@@ -1,0 +1,183 @@
+// Benchmarks regenerating the paper-reproduction experiments (one per
+// table/figure/claim; see DESIGN.md's per-experiment index) plus
+// micro-benchmarks of the optimizer and executor. The experiment benches
+// run the reduced-size (quick) configurations; `go run ./cmd/aggbench`
+// produces the full-size tables recorded in EXPERIMENTS.md.
+package aggview_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aggview"
+	"aggview/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and reports the first
+// numeric "gain" column of its last row as a metric when present.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if strings.Contains(tbl.String(), "BUG") {
+			b.Fatalf("%s flagged an inconsistency:\n%s", id, tbl)
+		}
+		if i == b.N-1 {
+			reportGain(b, tbl)
+		}
+	}
+}
+
+// reportGain surfaces the maximum "x.xx×"-style gain found in the table.
+func reportGain(b *testing.B, tbl *experiments.Table) {
+	b.Helper()
+	best := 0.0
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if !strings.HasSuffix(cell, "x") {
+				continue
+			}
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64); err == nil && v > best {
+				best = v
+			}
+		}
+	}
+	if best > 0 {
+		b.ReportMetric(best, "max-gain")
+	}
+}
+
+func BenchmarkExample1Crossover(b *testing.B)         { benchExperiment(b, "E1") }  // Example 1
+func BenchmarkExample2InvariantGrouping(b *testing.B) { benchExperiment(b, "E2") }  // Example 2
+func BenchmarkPullUpEquivalence(b *testing.B)         { benchExperiment(b, "E3") }  // Figure 1
+func BenchmarkPushDownEquivalence(b *testing.B)       { benchExperiment(b, "E4") }  // Figure 2
+func BenchmarkFigure4Alternatives(b *testing.B)       { benchExperiment(b, "E5") }  // Figure 4
+func BenchmarkFigure5MultiView(b *testing.B)          { benchExperiment(b, "E6") }  // Figure 5
+func BenchmarkNeverWorse(b *testing.B)                { benchExperiment(b, "E7") }  // §5 guarantee
+func BenchmarkSearchSpaceGrowth(b *testing.B)         { benchExperiment(b, "E8") }  // §5.2 / [CS94]
+func BenchmarkKLevelPullUp(b *testing.B)              { benchExperiment(b, "E9") }  // §5.3 restrictions
+func BenchmarkFlattenNestedQuery(b *testing.B)        { benchExperiment(b, "E10") } // §1 flattening
+func BenchmarkSingleBlockGroupBy(b *testing.B)        { benchExperiment(b, "E11") } // §5.2
+func BenchmarkPullUpAblation(b *testing.B)            { benchExperiment(b, "E12") } // §3 trade-offs
+
+// --- optimizer micro-benchmarks -------------------------------------------
+
+func exampleEngine(b *testing.B, nEmp, nDept int) *aggview.Engine {
+	b.Helper()
+	eng := aggview.Open(aggview.Config{PoolPages: 32})
+	spec := aggview.DefaultEmpDept()
+	spec.Employees, spec.Departments = nEmp, nDept
+	if err := eng.LoadEmpDept(spec); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+const example1Nested = `
+	select e1.sal from emp e1
+	where e1.age < 22
+	  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`
+
+// BenchmarkOptimizeExample1 measures pure optimization time (parse, bind,
+// flatten, enumerate) per mode.
+func BenchmarkOptimizeExample1(b *testing.B) {
+	eng := exampleEngine(b, 5000, 100)
+	for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				info, err := eng.Explain(example1Nested, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = info.Search.States
+			}
+			b.ReportMetric(float64(states), "dp-states")
+		})
+	}
+}
+
+// BenchmarkOptimizeStarJoin measures enumeration growth with relation count.
+func BenchmarkOptimizeStarJoin(b *testing.B) {
+	for _, dims := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("rels-%d", dims+1), func(b *testing.B) {
+			eng := exampleEngine(b, 2000, 50)
+			q := `select e.dno, sum(e.sal) from emp e`
+			where := ` where 1 = 1`
+			for d := 0; d < dims; d++ {
+				eng.MustExec(fmt.Sprintf(`create table bdim%d (dno int primary key, a int)`, d))
+				for v := 0; v < 50; v++ {
+					eng.MustExec(fmt.Sprintf(`insert into bdim%d values (%d, %d)`, d, v, v%5))
+				}
+				q += fmt.Sprintf(`, bdim%d x%d`, d, d)
+				where += fmt.Sprintf(` and e.dno = x%d.dno`, d)
+			}
+			eng.MustExec(`analyze`)
+			q += where + ` group by e.dno`
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Explain(q, aggview.PushDown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- end-to-end execution benchmarks ---------------------------------------
+
+// BenchmarkExecuteExample1 measures end-to-end latency (optimize + execute,
+// warm cache) of Example 1 per optimizer mode.
+func BenchmarkExecuteExample1(b *testing.B) {
+	eng := exampleEngine(b, 20000, 2000)
+	for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var io int64
+			for i := 0; i < b.N; i++ {
+				_, _, stats, err := eng.QueryWithMode(example1Nested, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				io = stats.Total()
+			}
+			b.ReportMetric(float64(io), "page-ios")
+		})
+	}
+}
+
+// BenchmarkExecuteGroupBy measures aggregation throughput (rows/op carried
+// in the metric) for hash aggregation over the emp table.
+func BenchmarkExecuteGroupBy(b *testing.B) {
+	eng := exampleEngine(b, 50000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Query(`select dno, avg(sal), count(*) from emp group by dno`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != 500 {
+			b.Fatalf("groups = %d", res.Len())
+		}
+	}
+	b.ReportMetric(50000, "rows-aggregated")
+}
+
+// BenchmarkExecuteJoin measures hash-join throughput on emp ⋈ dept.
+func BenchmarkExecuteJoin(b *testing.B) {
+	eng := exampleEngine(b, 50000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Query(`select count(*) from emp e, dept d where e.dno = d.dno`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0][0].(int64) != 50000 {
+			b.Fatalf("count = %v", res.Rows[0][0])
+		}
+	}
+}

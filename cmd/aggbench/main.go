@@ -1,0 +1,59 @@
+// Command aggbench regenerates the paper-reproduction experiments
+// (DESIGN.md's per-experiment index) and prints their tables.
+//
+// Usage:
+//
+//	aggbench                 # run every experiment at full size
+//	aggbench -quick          # run every experiment at reduced size
+//	aggbench -exp E1,E5      # run selected experiments
+//	aggbench -list           # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aggview/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	list := flag.Bool("list", false, "list experiments and exit")
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-4s %s\n", id, title)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

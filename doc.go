@@ -1,0 +1,36 @@
+// Package aggview is a cost-based query optimizer and execution engine for
+// queries with aggregate views, reproducing Chaudhuri & Shim, "Optimizing
+// Queries with Aggregate Views" (EDBT 1996).
+//
+// The engine implements the paper end to end:
+//
+//   - the pull-up transformation (Definition 1), which defers a view's
+//     group-by past joins so relations in different query blocks can be
+//     reordered;
+//   - the push-down transformations from [CS94] — invariant grouping and
+//     simple coalescing grouping — and the minimal invariant set;
+//   - the greedy conservative heuristic extension of System-R dynamic
+//     programming (Section 5.2), and the one-view and multi-view two-phase
+//     enumeration algorithms (Sections 5.3 and 5.4) with the paper's
+//     practical search-space restrictions (k-level pull-up, predicate
+//     sharing);
+//   - Kim-style flattening of nested subqueries into joins with aggregate
+//     views, making the optimizer applicable to correlated subqueries;
+//   - the substrate all of this needs: a SQL front end, a paged storage
+//     layer with a buffer pool and IO accounting, a statistics/cost model,
+//     and a Volcano-style executor whose spill behaviour matches the cost
+//     model's assumptions.
+//
+// The entry point is the Engine:
+//
+//	eng := aggview.Open(aggview.Config{})
+//	eng.MustExec(`create table emp (eno int primary key, dno int, sal float, age int)`)
+//	// … insert data, analyze …
+//	res, err := eng.Query(`
+//	    select e1.sal from emp e1
+//	    where e1.age < 22
+//	      and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`)
+//
+// Use Explain to inspect the chosen plan under each optimizer mode
+// (traditional, push-down, full) and compare estimated costs.
+package aggview

@@ -1,0 +1,504 @@
+package aggview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aggview/internal/binder"
+	"aggview/internal/catalog"
+	"aggview/internal/core"
+	"aggview/internal/datagen"
+	"aggview/internal/exec"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+	"aggview/internal/sql"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// OptimizerMode selects the enumeration algorithm; see the paper's
+// Section 5 and the core package documentation.
+type OptimizerMode = core.Mode
+
+// Optimizer modes.
+const (
+	// Traditional optimizes each view locally and joins with group-bys
+	// last (the Section 5.1 baseline).
+	Traditional OptimizerMode = core.ModeTraditional
+	// PushDown adds the greedy conservative heuristic (early group-by
+	// placement within blocks).
+	PushDown OptimizerMode = core.ModePushDown
+	// Full adds the pull-up transformation (cross-block reordering).
+	Full OptimizerMode = core.ModeFull
+)
+
+// EmpDeptSpec and TPCDSpec parametrize the built-in dataset generators.
+type (
+	EmpDeptSpec = datagen.EmpDeptSpec
+	TPCDSpec    = datagen.TPCDSpec
+)
+
+// DefaultEmpDept returns the emp/dept generator's default shape.
+func DefaultEmpDept() EmpDeptSpec { return datagen.DefaultEmpDept() }
+
+// DefaultTPCD returns the TPC-D-like generator's default shape.
+func DefaultTPCD() TPCDSpec { return datagen.DefaultTPCD() }
+
+// IOStats mirrors the storage layer's page-IO counters.
+type IOStats = storage.IOStats
+
+// SearchStats mirrors the optimizer's enumeration counters.
+type SearchStats = core.SearchStats
+
+// Config tunes an Engine.
+type Config struct {
+	// PoolPages is the buffer pool budget in 4 KiB pages (default 128).
+	// It bounds both the executor's spill thresholds and the cost model's
+	// memory assumptions.
+	PoolPages int
+	// Mode selects the optimizer algorithm (default Full).
+	Mode OptimizerMode
+	// KLevelPullUp caps relations pulled through one view (default 2;
+	// 0 = unlimited). Ignored outside Full mode.
+	KLevelPullUp int
+	// DisableSharedPredicateRestriction lifts the paper's "share a
+	// predicate" pull-up restriction.
+	DisableSharedPredicateRestriction bool
+	// CPUWeight adds a per-tuple cost in page-IO units (default 0: the
+	// paper's IO-only objective).
+	CPUWeight float64
+	// SystemRJoins restricts the plan space to nested-loops, sort-merge
+	// and index nested-loops joins — the repertoire of the paper's era.
+	SystemRJoins bool
+}
+
+// Engine is a self-contained database instance: storage, catalog,
+// optimizer and executor.
+type Engine struct {
+	store *storage.Store
+	cat   *catalog.Catalog
+	cfg   Config
+}
+
+// Open creates an empty engine.
+func Open(cfg Config) *Engine {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = storage.DefaultPoolPages
+	}
+	if cfg.Mode == Traditional && cfg.KLevelPullUp == 0 {
+		// Zero-value config means "defaults", and the zero Mode is
+		// Traditional; keep it honest: zero-value Config selects Full.
+		cfg.Mode = Full
+		cfg.KLevelPullUp = 2
+	}
+	st := storage.NewStore(cfg.PoolPages)
+	return &Engine{store: st, cat: catalog.New(st), cfg: cfg}
+}
+
+// OpenWithMode creates an engine pinned to a specific optimizer mode.
+func OpenWithMode(cfg Config, mode OptimizerMode) *Engine {
+	e := Open(cfg)
+	e.cfg.Mode = mode
+	return e
+}
+
+// WithConfig returns an engine sharing this engine's storage and catalog
+// but optimizing under a different configuration. PoolPages is taken from
+// the receiver (the buffer pool is shared and cannot be resized).
+func (e *Engine) WithConfig(cfg Config) *Engine {
+	cfg.PoolPages = e.cfg.PoolPages
+	if cfg.Mode == Traditional && cfg.KLevelPullUp == 0 {
+		cfg.Mode = Full
+		cfg.KLevelPullUp = 2
+	}
+	return &Engine{store: e.store, cat: e.cat, cfg: cfg}
+}
+
+func (e *Engine) options() core.Options {
+	opts := core.DefaultOptions()
+	opts.Mode = e.cfg.Mode
+	opts.PoolPages = e.cfg.PoolPages
+	opts.CPUWeight = e.cfg.CPUWeight
+	if e.cfg.KLevelPullUp != 0 {
+		opts.KLevelPullUp = e.cfg.KLevelPullUp
+	}
+	opts.RequireSharedPredicate = !e.cfg.DisableSharedPredicateRestriction
+	opts.NoHashJoin = e.cfg.SystemRJoins
+	return opts
+}
+
+// Result is a materialized query result. Row values are native Go values:
+// int64, float64, string, bool, or nil.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// String renders a small result as an aligned table.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprint(v)
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IOStats returns the cumulative page-IO counters.
+func (e *Engine) IOStats() IOStats { return e.store.Stats() }
+
+// ResetIOStats zeroes the counters; DropCaches additionally empties the
+// buffer pool so the next query runs cold.
+func (e *Engine) ResetIOStats() { e.store.ResetStats() }
+
+// DropCaches empties the buffer pool.
+func (e *Engine) DropCaches() { e.store.DropCaches() }
+
+// Tables lists the base tables.
+func (e *Engine) Tables() []string { return e.cat.TableNames() }
+
+// Views lists the named views.
+func (e *Engine) Views() []string { return e.cat.ViewNames() }
+
+// LoadEmpDept populates the paper's emp/dept schema.
+func (e *Engine) LoadEmpDept(spec EmpDeptSpec) error { return datagen.LoadEmpDept(e.cat, spec) }
+
+// LoadTPCD populates the TPC-D-like star schema.
+func (e *Engine) LoadTPCD(spec TPCDSpec) error { return datagen.LoadTPCD(e.cat, spec) }
+
+// Exec parses and executes one statement. DDL and INSERT return an empty
+// result; SELECT returns rows; EXPLAIN returns the plan text as rows.
+func (e *Engine) Exec(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt)
+}
+
+// MustExec is Exec for setup code; it panics on error.
+func (e *Engine) MustExec(src string) *Result {
+	res, err := e.Exec(src)
+	if err != nil {
+		panic(fmt.Sprintf("aggview: %v (in %q)", err, src))
+	}
+	return res
+}
+
+// ExecScript executes a semicolon-separated statement sequence, returning
+// the last statement's result.
+func (e *Engine) ExecScript(src string) (*Result, error) {
+	stmts, err := sql.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = e.execStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Query executes a SELECT.
+func (e *Engine) Query(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
+	}
+	return e.runSelect(sel)
+}
+
+func (e *Engine) execStmt(stmt sql.Statement) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sql.Select:
+		return e.runSelect(t)
+
+	case *sql.Explain:
+		info, err := e.ExplainSelect(t.Query, e.cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"plan"}}
+		for _, line := range strings.Split(strings.TrimRight(info.PlanText, "\n"), "\n") {
+			res.Rows = append(res.Rows, []any{line})
+		}
+		res.Rows = append(res.Rows, []any{fmt.Sprintf("estimated cost: %.1f page IOs", info.EstimatedCost)})
+		return res, nil
+
+	case *sql.CreateTable:
+		cols := make([]schema.Column, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = schema.Column{ID: schema.ColID{Name: c.Name}, Type: c.Type}
+		}
+		var fks []schema.ForeignKey
+		for _, fk := range t.ForeignKeys {
+			fks = append(fks, schema.ForeignKey{Cols: fk.Cols, RefTable: fk.RefTable, RefCols: fk.RefCols})
+		}
+		if _, err := e.cat.CreateTable(t.Name, cols, t.PrimaryKey, fks); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.CreateView:
+		if _, err := e.cat.CreateView(t.Name, t.Cols, t.Text); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.CreateIndex:
+		if _, err := e.cat.CreateIndex(t.Name, t.Table, t.Cols); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.DropTable:
+		if err := e.cat.DropTable(t.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.Insert:
+		tbl, ok := e.cat.Table(t.Table)
+		if !ok {
+			return nil, fmt.Errorf("aggview: table %q not found", t.Table)
+		}
+		for _, astRow := range t.Rows {
+			row := make(types.Row, len(astRow))
+			for i, ex := range astRow {
+				v, err := evalLiteral(ex)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if err := e.cat.Insert(tbl, row); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, nil
+
+	case *sql.Analyze:
+		names := e.cat.TableNames()
+		if t.Table != "" {
+			names = []string{t.Table}
+		}
+		for _, name := range names {
+			tbl, ok := e.cat.Table(name)
+			if !ok {
+				return nil, fmt.Errorf("aggview: table %q not found", name)
+			}
+			if err := e.cat.Analyze(tbl); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, nil
+
+	default:
+		return nil, fmt.Errorf("aggview: unsupported statement %T", stmt)
+	}
+}
+
+// evalLiteral evaluates the constant expressions allowed in VALUES rows.
+func evalLiteral(e sql.Expr) (types.Value, error) {
+	switch t := e.(type) {
+	case sql.Lit:
+		return t.Val, nil
+	case sql.Neg:
+		v, err := evalLiteral(t.E)
+		if err != nil {
+			return types.Null(), err
+		}
+		switch v.K {
+		case types.KindInt:
+			return types.NewInt(-v.I), nil
+		case types.KindFloat:
+			return types.NewFloat(-v.F), nil
+		}
+		return types.Null(), fmt.Errorf("aggview: cannot negate %s", v)
+	default:
+		return types.Null(), fmt.Errorf("aggview: VALUES rows must be literals, got %s", sql.ExprString(e))
+	}
+}
+
+func (e *Engine) runSelect(sel *sql.Select) (*Result, error) {
+	bound, err := binder.BindSelect(e.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Optimize(bound.Query, e.options())
+	if err != nil {
+		return nil, err
+	}
+	raw, err := exec.New(e.store).Run(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	return presentResult(bound, raw), nil
+}
+
+// presentResult applies ORDER BY and LIMIT and converts values.
+func presentResult(bound *binder.Bound, raw *exec.Result) *Result {
+	rows := raw.Rows
+	if len(bound.OrderBy) > 0 {
+		rows = append([]types.Row{}, rows...)
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range bound.OrderBy {
+				c := types.Compare(rows[i][k.Col], rows[j][k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if bound.Limit >= 0 && len(rows) > bound.Limit {
+		rows = rows[:bound.Limit]
+	}
+	out := &Result{Columns: bound.ColNames}
+	for _, r := range rows {
+		row := make([]any, len(r))
+		for i, v := range r {
+			row[i] = valueToGo(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func valueToGo(v types.Value) any {
+	switch v.K {
+	case types.KindInt:
+		return v.I
+	case types.KindFloat:
+		return v.F
+	case types.KindString:
+		return v.S
+	case types.KindBool:
+		return v.I != 0
+	default:
+		return nil
+	}
+}
+
+// PlanInfo describes an optimized plan without executing it.
+type PlanInfo struct {
+	Mode          OptimizerMode
+	PlanText      string
+	EstimatedCost float64 // page IOs under the cost model
+	EstimatedRows float64
+	Search        SearchStats
+}
+
+// Explain optimizes a SELECT under the given mode and returns the plan.
+func (e *Engine) Explain(src string, mode OptimizerMode) (*PlanInfo, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("aggview: Explain requires a SELECT statement")
+	}
+	return e.ExplainSelect(sel, mode)
+}
+
+// ExplainSelect is Explain over an already-parsed statement.
+func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, error) {
+	bound, err := binder.BindSelect(e.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	opts := e.options()
+	opts.Mode = mode
+	plan, err := core.Optimize(bound.Query, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanInfo{
+		Mode:          mode,
+		PlanText:      lplan.Format(plan.Root),
+		EstimatedCost: plan.Cost,
+		EstimatedRows: plan.Info.Rows,
+		Search:        plan.Stats,
+	}, nil
+}
+
+// ExplainAll optimizes a SELECT under every mode, in order traditional,
+// push-down, full — the comparison every experiment in the paper rests on.
+func (e *Engine) ExplainAll(src string) ([]*PlanInfo, error) {
+	var out []*PlanInfo
+	for _, mode := range []OptimizerMode{Traditional, PushDown, Full} {
+		info, err := e.Explain(src, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// QueryWithMode runs a SELECT under a specific optimizer mode, returning
+// the result, the plan, and the page IO the execution actually performed
+// (measured cold: the buffer pool is dropped first).
+func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanInfo, IOStats, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, nil, IOStats{}, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, nil, IOStats{}, fmt.Errorf("aggview: QueryWithMode requires a SELECT")
+	}
+	bound, err := binder.BindSelect(e.cat, sel)
+	if err != nil {
+		return nil, nil, IOStats{}, err
+	}
+	opts := e.options()
+	opts.Mode = mode
+	plan, err := core.Optimize(bound.Query, opts)
+	if err != nil {
+		return nil, nil, IOStats{}, err
+	}
+	e.store.DropCaches()
+	before := e.store.Stats()
+	raw, err := exec.New(e.store).Run(plan.Root)
+	if err != nil {
+		return nil, nil, IOStats{}, err
+	}
+	io := e.store.Stats().Sub(before)
+	info := &PlanInfo{
+		Mode:          mode,
+		PlanText:      lplan.Format(plan.Root),
+		EstimatedCost: plan.Cost,
+		EstimatedRows: plan.Info.Rows,
+		Search:        plan.Stats,
+	}
+	return presentResult(bound, raw), info, io, nil
+}
+
+// WriteCSV streams a base table as CSV (see cmd/datagen).
+func (e *Engine) WriteCSV(table string, w io.Writer) error {
+	return datagen.WriteCSV(e.cat, table, w)
+}

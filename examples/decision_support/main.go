@@ -1,0 +1,54 @@
+// Decision support: TPC-D-style correlated aggregate queries over a star
+// schema, the workload class the paper motivates its problem with.
+//
+// The headline query is shaped like TPC-D Q17: "small-quantity lineitems
+// of one brand, relative to the average quantity ordered for their part".
+// The engine unnests it into a join with an aggregate view and then
+// optimizes across the block boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aggview"
+)
+
+func main() {
+	eng := aggview.Open(aggview.Config{PoolPages: 32})
+	spec := aggview.DefaultTPCD()
+	spec.Lineitems = 60000
+	if err := eng.LoadTPCD(spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tables:", eng.Tables())
+
+	q17 := `
+		select l.price from lineitem l, part p
+		where p.partkey = l.partkey and p.brand = 3
+		  and l.qty < 0.4 * (select avg(l2.qty) from lineitem l2 where l2.partkey = p.partkey)
+		order by price desc limit 10`
+
+	res, info, io, err := eng.QueryWithMode(q17, aggview.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ17-style query: %d rows, %.1f estimated page IOs, %d measured\n",
+		res.Len(), info.EstimatedCost, io.Total())
+	fmt.Print(res.String())
+	fmt.Printf("\nchosen plan:\n%s", info.PlanText)
+
+	// Revenue per customer nation for large orders — a grouped join the
+	// greedy conservative heuristic can pre-aggregate.
+	rev := `
+		select c.nation, sum(o.total) as revenue, count(*) as orders
+		from customer c, orders o
+		where o.custkey = c.custkey and o.total > 50000
+		group by c.nation
+		order by revenue desc limit 5`
+	res2, err := eng.Query(rev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop nations by large-order revenue:\n%s", res2.String())
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small database with SQL, run the paper's Example 1
+// as a nested subquery, and inspect the optimizer's choice under each mode.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aggview"
+)
+
+func main() {
+	eng := aggview.Open(aggview.Config{PoolPages: 64})
+
+	// Schema and data via plain SQL.
+	must(eng.Exec(`create table dept (dno int primary key, budget float)`))
+	must(eng.Exec(`create table emp (
+		eno int primary key,
+		dno int,
+		sal float,
+		age int,
+		foreign key (dno) references dept (dno))`))
+	for d := 0; d < 10; d++ {
+		must(eng.Exec(fmt.Sprintf(`insert into dept values (%d, %d)`, d, 100000+10000*d)))
+	}
+	for i := 0; i < 1000; i++ {
+		must(eng.Exec(fmt.Sprintf(`insert into emp values (%d, %d, %d, %d)`,
+			i, i%10, 1000+(i*37)%3000, 18+(i*13)%50)))
+	}
+	must(eng.Exec(`analyze`))
+
+	// The paper's Example 1, written as a correlated nested subquery:
+	// employees under 22 who earn more than their department's average.
+	// The engine flattens it into a join with an aggregate view (Kim's
+	// transformation) and optimizes it cost-based.
+	q := `
+		select e1.sal from emp e1
+		where e1.age < 22
+		  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
+		order by sal desc limit 5`
+
+	res, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top earners under 22 (above their department average):")
+	fmt.Print(res.String())
+
+	// How would each optimizer mode evaluate it?
+	infos, err := eng.ExplainAll(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range infos {
+		fmt.Printf("\n--- %v mode: estimated cost %.1f page IOs (%s)\n%s",
+			info.Mode, info.EstimatedCost, info.Search, info.PlanText)
+	}
+}
+
+func must(res *aggview.Result, err error) *aggview.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

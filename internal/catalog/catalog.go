@@ -1,0 +1,368 @@
+// Package catalog manages table, view and index metadata plus the optimizer
+// statistics the cost model consumes.
+//
+// Views are stored as SQL text and expanded by the binder; keeping the
+// catalog free of parsed representations avoids a dependency cycle with the
+// SQL front end.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aggview/internal/schema"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// ColStats holds per-column statistics gathered by Analyze.
+type ColStats struct {
+	NDV      int64       // number of distinct values
+	Min, Max types.Value // value range (NULL when the column is empty)
+}
+
+// TableStats holds per-table statistics.
+type TableStats struct {
+	Rows  int64
+	Pages int
+	Cols  map[string]ColStats // keyed by column name
+}
+
+// Table is a base relation: schema, constraints, heap file and statistics.
+type Table struct {
+	Name        string
+	Schema      schema.Schema // column IDs carry Rel = table name
+	PrimaryKey  []string      // column names; empty means no declared key
+	ForeignKeys []schema.ForeignKey
+	File        *storage.File
+	Stats       TableStats
+	Indexes     map[string]*HashIndex // keyed by index name
+}
+
+// View is a named query with an optional explicit column list, stored as
+// SQL text to be parsed at bind time.
+type View struct {
+	Name string
+	Cols []string // optional explicit output column names
+	SQL  string   // the defining SELECT statement
+}
+
+// HashIndex maps the key encoding of the indexed columns to rowids of the
+// heap file. Hash indexes are memory-resident (as is common for equality
+// indexes in decision-support scratch databases); probing charges the heap
+// page IO of fetching the matching rows, via storage.FetchRID.
+type HashIndex struct {
+	Name    string
+	Table   string
+	Cols    []string // indexed column names, in key order
+	buckets map[string][]int64
+}
+
+// Lookup returns the rowids matching the key values, in insertion order.
+func (ix *HashIndex) Lookup(key []types.Value) []int64 {
+	var enc []byte
+	for _, v := range key {
+		enc = types.AppendKey(enc, v)
+	}
+	return ix.buckets[string(enc)]
+}
+
+// Entries returns the number of indexed rows.
+func (ix *HashIndex) Entries() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Catalog is the metadata root.
+type Catalog struct {
+	store  *storage.Store
+	tables map[string]*Table
+	views  map[string]*View
+}
+
+// New creates an empty catalog over the given store.
+func New(store *storage.Store) *Catalog {
+	return &Catalog{store: store, tables: map[string]*Table{}, views: map[string]*View{}}
+}
+
+// Store returns the backing store.
+func (c *Catalog) Store() *storage.Store { return c.store }
+
+// CreateTable registers a new base table. Column IDs in cols must either
+// carry Rel equal to the table name or be unqualified (they are qualified
+// automatically).
+func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) (*Table, error) {
+	lname := strings.ToLower(name)
+	if _, ok := c.tables[lname]; ok {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	if _, ok := c.views[lname]; ok {
+		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %q must have at least one column", name)
+	}
+	s := make(schema.Schema, len(cols))
+	seen := map[string]bool{}
+	for i, col := range cols {
+		cn := strings.ToLower(col.ID.Name)
+		if seen[cn] {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, col.ID.Name)
+		}
+		seen[cn] = true
+		s[i] = schema.Column{ID: schema.ColID{Rel: lname, Name: cn}, Type: col.Type}
+	}
+	for i, k := range primaryKey {
+		primaryKey[i] = strings.ToLower(k)
+		if !seen[primaryKey[i]] {
+			return nil, fmt.Errorf("table %q: key column %q not in schema", name, k)
+		}
+	}
+	for _, fk := range fks {
+		for _, col := range fk.Cols {
+			if !seen[strings.ToLower(col)] {
+				return nil, fmt.Errorf("table %q: foreign key column %q not in schema", name, col)
+			}
+		}
+	}
+	t := &Table{
+		Name:        lname,
+		Schema:      s,
+		PrimaryKey:  primaryKey,
+		ForeignKeys: fks,
+		File:        c.store.CreateFile(lname),
+		Stats:       TableStats{Cols: map[string]ColStats{}},
+		Indexes:     map[string]*HashIndex{},
+	}
+	c.tables[lname] = t
+	return t, nil
+}
+
+// CreateView registers a named view.
+func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, error) {
+	lname := strings.ToLower(name)
+	if _, ok := c.tables[lname]; ok {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	if _, ok := c.views[lname]; ok {
+		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	lcols := make([]string, len(cols))
+	for i, col := range cols {
+		lcols[i] = strings.ToLower(col)
+	}
+	v := &View{Name: lname, Cols: lcols, SQL: sql}
+	c.views[lname] = v
+	return v, nil
+}
+
+// DropTable removes a table and its heap file.
+func (c *Catalog) DropTable(name string) error {
+	lname := strings.ToLower(name)
+	t, ok := c.tables[lname]
+	if !ok {
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	c.store.DropFile(t.File)
+	delete(c.tables, lname)
+	return nil
+}
+
+// Table resolves a base table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// View resolves a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	v, ok := c.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// TableNames returns all base table names, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns all view names, sorted.
+func (c *Catalog) ViewNames() []string {
+	out := make([]string, 0, len(c.views))
+	for n := range c.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a row to the table, checking arity and kinds.
+func (c *Catalog) Insert(t *Table, row types.Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("table %q: expected %d values, got %d", t.Name, len(t.Schema), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			return fmt.Errorf("table %q: NULL in column %q (engine assumes NULL-free data, as does the paper)",
+				t.Name, t.Schema[i].ID.Name)
+		}
+		want := t.Schema[i].Type
+		if v.K == want {
+			continue
+		}
+		// Allow int literals into float columns.
+		if want == types.KindFloat && v.K == types.KindInt {
+			row[i] = types.NewFloat(v.Float())
+			continue
+		}
+		return fmt.Errorf("table %q column %q: cannot store %s into %s",
+			t.Name, t.Schema[i].ID.Name, v.K, want)
+	}
+	c.store.Append(t.File, row)
+	return nil
+}
+
+// FlushTable flushes the table's partial tail page.
+func (c *Catalog) FlushTable(t *Table) { c.store.Flush(t.File) }
+
+// Analyze scans the table and recomputes statistics and all indexes.
+func (c *Catalog) Analyze(t *Table) error {
+	c.store.Flush(t.File)
+	stats := TableStats{Cols: map[string]ColStats{}}
+	distinct := make([]map[string]struct{}, len(t.Schema))
+	mins := make([]types.Value, len(t.Schema))
+	maxs := make([]types.Value, len(t.Schema))
+	for i := range distinct {
+		distinct[i] = map[string]struct{}{}
+	}
+	for _, ix := range t.Indexes {
+		ix.buckets = map[string][]int64{}
+	}
+
+	sc := c.store.NewScanner(t.File)
+	var buf []byte
+	for {
+		row, rid, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		stats.Rows++
+		for i, v := range row {
+			buf = types.AppendKey(buf[:0], v)
+			distinct[i][string(buf)] = struct{}{}
+			if stats.Rows == 1 {
+				mins[i], maxs[i] = v, v
+			} else {
+				if types.Compare(v, mins[i]) < 0 {
+					mins[i] = v
+				}
+				if types.Compare(v, maxs[i]) > 0 {
+					maxs[i] = v
+				}
+			}
+		}
+		for _, ix := range t.Indexes {
+			key := buf[:0]
+			for _, cn := range ix.Cols {
+				pos := t.Schema.MustIndexOf(schema.ColID{Rel: t.Name, Name: cn})
+				key = types.AppendKey(key, row[pos])
+			}
+			ix.buckets[string(key)] = append(ix.buckets[string(key)], rid)
+		}
+	}
+	for i, col := range t.Schema {
+		stats.Cols[col.ID.Name] = ColStats{
+			NDV: int64(len(distinct[i])),
+			Min: mins[i],
+			Max: maxs[i],
+		}
+	}
+	stats.Pages = t.File.Pages()
+	t.Stats = stats
+	return nil
+}
+
+// CreateIndex registers a hash index over the named columns and builds it.
+func (c *Catalog) CreateIndex(name, table string, cols []string) (*HashIndex, error) {
+	t, ok := c.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", table)
+	}
+	lname := strings.ToLower(name)
+	if _, ok := t.Indexes[lname]; ok {
+		return nil, fmt.Errorf("index %q already exists on %q", name, table)
+	}
+	lcols := make([]string, len(cols))
+	for i, cn := range cols {
+		lcols[i] = strings.ToLower(cn)
+		if !t.Schema.Contains(schema.ColID{Rel: t.Name, Name: lcols[i]}) {
+			return nil, fmt.Errorf("index %q: column %q not in table %q", name, cn, table)
+		}
+	}
+	ix := &HashIndex{Name: lname, Table: t.Name, Cols: lcols, buckets: map[string][]int64{}}
+	t.Indexes[lname] = ix
+	if err := c.Analyze(t); err != nil {
+		delete(t.Indexes, lname)
+		return nil, err
+	}
+	return ix, nil
+}
+
+// IndexOn returns an index whose key columns are exactly cols (order
+// insensitive), if one exists.
+func (t *Table) IndexOn(cols []string) (*HashIndex, bool) {
+	want := append([]string(nil), cols...)
+	for i := range want {
+		want[i] = strings.ToLower(want[i])
+	}
+	sort.Strings(want)
+	for _, ix := range t.Indexes {
+		if len(ix.Cols) != len(want) {
+			continue
+		}
+		have := append([]string(nil), ix.Cols...)
+		sort.Strings(have)
+		match := true
+		for i := range have {
+			if have[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// Key returns the table's primary key as a schema.Key qualified with the
+// given relation alias, or ok=false if no key is declared.
+func (t *Table) Key(alias string) (schema.Key, bool) {
+	if len(t.PrimaryKey) == 0 {
+		return nil, false
+	}
+	k := make(schema.Key, len(t.PrimaryKey))
+	for i, cn := range t.PrimaryKey {
+		k[i] = schema.ColID{Rel: alias, Name: cn}
+	}
+	return k, true
+}
+
+// ColStat returns statistics for the named column, with ok=false if
+// Analyze has not produced them.
+func (t *Table) ColStat(name string) (ColStats, bool) {
+	cs, ok := t.Stats.Cols[strings.ToLower(name)]
+	return cs, ok
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"aggview/internal/expr"
+	"aggview/internal/schema"
+)
+
+// Equality equivalence classes ([LMS94]-style predicate inference, which
+// the paper cites as complementary): column equalities are transitive, so
+// a = b ∧ b = c implies a = c. The DP uses this two ways:
+//
+//   - derived equalities are synthesized for every in-class pair, so a
+//     relation can join (or be pulled into a Φ) through an *implied*
+//     predicate even when the query spells the chain differently;
+//   - at each join step only a spanning forest of each class is applied —
+//     an equality whose endpoints are already connected by applied
+//     equalities is implied, so applying it again would be redundant work
+//     and, worse, would double-count its selectivity.
+
+// colDSU is a union-find over column identities.
+type colDSU struct {
+	parent map[schema.ColID]schema.ColID
+}
+
+func newColDSU() *colDSU { return &colDSU{parent: map[schema.ColID]schema.ColID{}} }
+
+func (d *colDSU) find(c schema.ColID) schema.ColID {
+	p, ok := d.parent[c]
+	if !ok {
+		d.parent[c] = c
+		return c
+	}
+	if p == c {
+		return c
+	}
+	root := d.find(p)
+	d.parent[c] = root
+	return root
+}
+
+func (d *colDSU) union(a, b schema.ColID) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}
+
+func (d *colDSU) connected(a, b schema.ColID) bool { return d.find(a) == d.find(b) }
+
+// bareEquality extracts the two column identities of a bare col = col
+// conjunct (different relations), ok=false otherwise.
+func bareEquality(e expr.Expr) (a, b schema.ColID, ok bool) {
+	return expr.EquiJoin(e)
+}
+
+// addDerivedEqualities computes the equality classes of the conjunct list
+// and appends synthesized equalities for in-class pairs that have no
+// direct conjunct and whose columns live on different DP relations. The
+// spanning-forest rule in predsFor keeps the redundancy harmless.
+func addDerivedEqualities(conjs []dpConj, aliases map[string]uint64) []dpConj {
+	dsu := newColDSU()
+	members := map[schema.ColID]bool{}
+	have := map[[2]schema.ColID]bool{}
+	for _, c := range conjs {
+		a, b, ok := bareEquality(c.e)
+		if !ok {
+			continue
+		}
+		dsu.union(a, b)
+		members[a], members[b] = true, true
+		have[[2]schema.ColID{a, b}] = true
+		have[[2]schema.ColID{b, a}] = true
+	}
+	if len(members) == 0 {
+		return conjs
+	}
+	// Group members per class root, with deterministic ordering.
+	classes := map[schema.ColID][]schema.ColID{}
+	var order []schema.ColID
+	for _, c := range conjs {
+		a, b, ok := bareEquality(c.e)
+		if !ok {
+			continue
+		}
+		for _, m := range []schema.ColID{a, b} {
+			root := dsu.find(m)
+			seen := false
+			for _, x := range classes[root] {
+				if x == m {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				if len(classes[root]) == 0 {
+					order = append(order, root)
+				}
+				classes[root] = append(classes[root], m)
+			}
+		}
+	}
+	out := conjs
+	for _, root := range order {
+		cls := classes[root]
+		for i := 0; i < len(cls); i++ {
+			for j := i + 1; j < len(cls); j++ {
+				a, b := cls[i], cls[j]
+				if have[[2]schema.ColID{a, b}] {
+					continue
+				}
+				ma, okA := aliases[a.Rel]
+				mb, okB := aliases[b.Rel]
+				if !okA || !okB || ma == mb {
+					continue // same relation or unknown alias: nothing to derive
+				}
+				out = append(out, dpConj{
+					e:       expr.NewCmp(expr.EQ, expr.ColOf(a), expr.ColOf(b)),
+					mask:    ma | mb,
+					derived: true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// prunedEqualities returns, for a join of prev with r, the applicable new
+// conjuncts with redundant equalities removed: equalities whose endpoints
+// are already connected by equalities applied inside either input (or by
+// earlier-kept equalities of this step) are implied and skipped.
+func (dp *blockDP) prunedNewPreds(prev, rmask uint64) []expr.Expr {
+	joined := prev | rmask
+	dsu := newColDSU()
+	// Seed with equalities already applied inside either side.
+	for _, c := range dp.conjs {
+		if c.mask&^prev == 0 || c.mask&^rmask == 0 {
+			if a, b, ok := bareEquality(c.e); ok {
+				dsu.union(a, b)
+			}
+		}
+	}
+	var out []expr.Expr
+	for _, c := range dp.conjs {
+		if c.mask&^joined != 0 {
+			continue // touches relations not yet joined
+		}
+		if c.mask&rmask == 0 || c.mask&prev == 0 {
+			continue // fully inside one side: already applied (or at a leaf)
+		}
+		if a, b, ok := bareEquality(c.e); ok {
+			if dsu.connected(a, b) {
+				continue // implied by the spanning forest
+			}
+			dsu.union(a, b)
+		}
+		out = append(out, c.e)
+	}
+	return out
+}

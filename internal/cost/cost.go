@@ -1,0 +1,478 @@
+// Package cost implements the IO cost model the optimization algorithms
+// minimize.
+//
+// The paper requires only two properties of the cost model (Section 5): it
+// charges IO, and it satisfies the principle of optimality. This model
+// charges page IO against a buffer budget of PoolPages:
+//
+//   - sequential scans pay the base table's pages;
+//   - hash joins are free beyond their inputs while the build side fits,
+//     and pay one Grace partitioning round trip otherwise;
+//   - block nested-loops joins pay one pass over the inner per outer block;
+//   - index nested-loops joins pay the matching heap pages per probe;
+//   - merge joins pay external sorts for unsorted inputs;
+//   - hash aggregation is free while the group table fits and pays a
+//     partitioning round trip otherwise; sort aggregation pays a sort
+//     unless the input already carries the grouping order.
+//
+// Intermediate results are pipelined (no IO) except at those spill and
+// materialization points — which is exactly why early aggregation (smaller
+// inputs downstream) and deferred aggregation (selective joins first) trade
+// off, per Section 3 of the paper. An optional CPU weight per processed
+// tuple supports the paper's remark that the algorithms adapt to a weighted
+// CPU+IO combination.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+	"aggview/internal/stats"
+	"aggview/internal/storage"
+)
+
+// Info carries the derived properties of a plan node.
+type Info struct {
+	Rows  float64         // estimated output cardinality
+	Width int             // average tuple width in bytes
+	Pages float64         // estimated output size in pages
+	Rel   *stats.Relation // column statistics of the output
+	Cost  float64         // cumulative cost of producing the output
+	Order []schema.ColID  // sort order of the output; nil = unordered
+}
+
+// Model estimates plan costs. It memoizes per node pointer, so shared
+// subtrees across dynamic-programming states are costed once.
+type Model struct {
+	PoolPages int     // buffer budget M in pages
+	CPUWeight float64 // cost per processed tuple, in page-IO units (0 = IO only)
+
+	cache map[lplan.Node]*Info
+}
+
+// NewModel creates a model with the given buffer budget. A non-positive
+// budget uses storage.DefaultPoolPages.
+func NewModel(poolPages int, cpuWeight float64) *Model {
+	if poolPages <= 0 {
+		poolPages = storage.DefaultPoolPages
+	}
+	return &Model{PoolPages: poolPages, CPUWeight: cpuWeight, cache: map[lplan.Node]*Info{}}
+}
+
+// Info computes (or returns the memoized) properties of n.
+func (m *Model) Info(n lplan.Node) (*Info, error) {
+	if info, ok := m.cache[n]; ok {
+		return info, nil
+	}
+	info, err := m.compute(n)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[n] = info
+	return info, nil
+}
+
+// Cost is shorthand returning just the cumulative cost.
+func (m *Model) Cost(n lplan.Node) (float64, error) {
+	info, err := m.Info(n)
+	if err != nil {
+		return 0, err
+	}
+	return info.Cost, nil
+}
+
+func (m *Model) compute(n lplan.Node) (*Info, error) {
+	switch t := n.(type) {
+	case *lplan.Scan:
+		return m.scanInfo(t)
+	case *lplan.Join:
+		return m.joinInfo(t)
+	case *lplan.GroupBy:
+		return m.groupByInfo(t)
+	case *lplan.Project:
+		return m.projectInfo(t)
+	case *lplan.Filter:
+		return m.filterInfo(t)
+	case *lplan.Sort:
+		return m.sortInfo(t)
+	default:
+		return nil, fmt.Errorf("cost: unknown node type %T", n)
+	}
+}
+
+func pagesOf(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return math.Ceil(rows * float64(width) / storage.PageSize)
+}
+
+func (m *Model) cpu(tuples float64) float64 { return m.CPUWeight * tuples }
+
+func (m *Model) scanInfo(s *lplan.Scan) (*Info, error) {
+	tbl := s.Table
+	baseRows := float64(tbl.Stats.Rows)
+	basePages := float64(tbl.Stats.Pages)
+	if tbl.Stats.Rows == 0 && tbl.File.Rows() > 0 {
+		// Unanalyzed table: fall back to physical counts.
+		baseRows = float64(tbl.File.Rows())
+		basePages = float64(tbl.File.Pages())
+	}
+
+	rel := stats.NewRelation(baseRows)
+	for _, col := range tbl.Schema {
+		cs, ok := tbl.ColStat(col.ID.Name)
+		aliased := schema.ColID{Rel: s.Alias, Name: col.ID.Name}
+		if ok && cs.NDV > 0 {
+			rel.Cols[aliased] = stats.ColInfo{NDV: float64(cs.NDV), Min: cs.Min, Max: cs.Max}
+		}
+	}
+	if s.WithTID {
+		rel.Cols[schema.ColID{Rel: s.Alias, Name: lplan.TIDColumn}] = stats.ColInfo{NDV: math.Max(baseRows, 1)}
+	}
+
+	sel := 1.0
+	for _, p := range s.Filter {
+		sel *= stats.Selectivity(p, rel)
+	}
+	rel.Rows = baseRows * sel
+	rel.ClampNDVs()
+
+	width := s.Schema().AvgWidth()
+	return &Info{
+		Rows:  rel.Rows,
+		Width: width,
+		Pages: pagesOf(rel.Rows, width),
+		Rel:   rel,
+		Cost:  basePages + m.cpu(baseRows),
+		Order: nil, // heap scans produce no useful order
+	}, nil
+}
+
+func (m *Model) joinInfo(j *lplan.Join) (*Info, error) {
+	l, err := m.Info(j.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.Info(j.R)
+	if err != nil {
+		return nil, err
+	}
+
+	sel := 1.0
+	for _, p := range j.Preds {
+		sel *= stats.JoinSelectivity(p, l.Rel, r.Rel)
+	}
+	rows := l.Rows * r.Rows * sel
+
+	rel := stats.MergeForJoin(l.Rel, r.Rel)
+	rel.Rows = rows
+	// Equi-joined columns converge to the smaller NDV.
+	for _, p := range j.Preds {
+		if lc, rc, ok := expr.EquiJoin(p); ok {
+			ndv := math.Min(rel.Col(lc).NDV, rel.Col(rc).NDV)
+			li, ri := rel.Col(lc), rel.Col(rc)
+			li.NDV, ri.NDV = ndv, ndv
+			rel.Cols[lc], rel.Cols[rc] = li, ri
+		}
+	}
+	rel.ClampNDVs()
+
+	width := j.Schema().AvgWidth()
+	extra, order, err := m.joinMethodCost(j, l, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Info{
+		Rows:  rows,
+		Width: width,
+		Pages: pagesOf(rows, width),
+		Rel:   rel,
+		Cost:  l.Cost + r.Cost + extra + m.cpu(l.Rows+r.Rows+rows),
+		Order: order,
+	}, nil
+}
+
+// joinMethodCost returns the method-specific IO beyond producing the inputs
+// and the output's sort order.
+func (m *Model) joinMethodCost(j *lplan.Join, l, r *Info) (float64, []schema.ColID, error) {
+	mPages := float64(m.PoolPages)
+	switch j.Method {
+	case lplan.JoinHash, lplan.JoinUnset:
+		// Build on the right input. Pipelined while the build fits.
+		if r.Pages <= mPages-2 {
+			return 0, l.Order, nil // probe side order preserved
+		}
+		return 2 * (l.Pages + r.Pages), nil, nil
+
+	case lplan.JoinBlockNL:
+		blocks := math.Max(math.Ceil(l.Pages/math.Max(mPages-2, 1)), 1)
+		extra := blocks * r.Pages
+		if _, isScan := j.R.(*lplan.Scan); !isScan {
+			// Non-scan inner must be materialized once before rescans.
+			extra += r.Pages
+		}
+		return extra, l.Order, nil
+
+	case lplan.JoinIndexNL:
+		_, joinCol, ok := IndexNLAccess(j)
+		if !ok {
+			return 0, nil, fmt.Errorf("cost: index-nl join without usable index")
+		}
+		matchRows := r.Rows / math.Max(r.Rel.Col(joinCol).NDV, 1)
+		rowsPerPage := math.Max(float64(storage.PageSize)/float64(r.Width), 1)
+		pagesPerProbe := math.Max(math.Ceil(matchRows/rowsPerPage), 1)
+		return l.Rows * pagesPerProbe, l.Order, nil
+
+	case lplan.JoinMerge:
+		cols := equiJoinCols(j)
+		if len(cols) == 0 {
+			return 0, nil, fmt.Errorf("cost: merge join without equi-join predicate")
+		}
+		var extra float64
+		var lCols, rCols []schema.ColID
+		for _, pair := range cols {
+			lCols = append(lCols, pair[0])
+			rCols = append(rCols, pair[1])
+		}
+		if !orderSatisfies(l.Order, lCols) {
+			extra += m.SortCost(l.Pages)
+		}
+		if !orderSatisfies(r.Order, rCols) {
+			extra += m.SortCost(r.Pages)
+		}
+		return extra, lCols, nil
+
+	default:
+		return 0, nil, fmt.Errorf("cost: unknown join method %v", j.Method)
+	}
+}
+
+// equiJoinCols extracts the (left, right) column pairs of the join's
+// equi-join conjuncts, normalizing sides so the first element belongs to
+// the left input.
+func equiJoinCols(j *lplan.Join) [][2]schema.ColID {
+	ls := j.L.Schema()
+	var out [][2]schema.ColID
+	for _, p := range j.Preds {
+		lc, rc, ok := expr.EquiJoin(p)
+		if !ok {
+			continue
+		}
+		if ls.Contains(lc) {
+			out = append(out, [2]schema.ColID{lc, rc})
+		} else if ls.Contains(rc) {
+			out = append(out, [2]schema.ColID{rc, lc})
+		}
+	}
+	return out
+}
+
+// IndexNLAccess reports whether the join can run as an index nested-loops
+// join: the right input must be a scan with a hash index exactly on the
+// right-side columns of the equi-join conjuncts. It returns the inner scan
+// and one right join column (for match-size estimation).
+func IndexNLAccess(j *lplan.Join) (*lplan.Scan, schema.ColID, bool) {
+	s, ok := j.R.(*lplan.Scan)
+	if !ok {
+		return nil, schema.ColID{}, false
+	}
+	pairs := equiJoinCols(j)
+	if len(pairs) == 0 {
+		return nil, schema.ColID{}, false
+	}
+	var names []string
+	var rCol schema.ColID
+	for _, pr := range pairs {
+		if pr[1].Rel != s.Alias {
+			return nil, schema.ColID{}, false
+		}
+		names = append(names, pr[1].Name)
+		rCol = pr[1]
+	}
+	if _, ok := s.Table.IndexOn(names); !ok {
+		return nil, schema.ColID{}, false
+	}
+	return s, rCol, true
+}
+
+// SortCost returns the IO of externally sorting the given number of pages
+// with the model's buffer budget: zero when the input fits in memory,
+// otherwise a write+read round trip per merge pass.
+func (m *Model) SortCost(pages float64) float64 {
+	mPages := float64(m.PoolPages)
+	if pages <= mPages {
+		return 0
+	}
+	runs := math.Ceil(pages / mPages)
+	fanIn := math.Max(mPages-1, 2)
+	passes := math.Ceil(math.Log(runs) / math.Log(fanIn))
+	if passes < 1 {
+		passes = 1
+	}
+	return 2 * pages * passes
+}
+
+// orderSatisfies reports whether an existing sort order covers the wanted
+// columns as a prefix set (any permutation of the first len(want) columns
+// works for grouping and merge purposes only if it is exactly the wanted
+// set; we require set-prefix match).
+func orderSatisfies(have []schema.ColID, want []schema.ColID) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if len(have) < len(want) {
+		return false
+	}
+	prefix := map[schema.ColID]bool{}
+	for _, c := range have[:len(want)] {
+		prefix[c] = true
+	}
+	for _, c := range want {
+		if !prefix[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderSatisfies is the exported form used by the optimizer's
+// interesting-order bookkeeping.
+func OrderSatisfies(have, want []schema.ColID) bool { return orderSatisfies(have, want) }
+
+func (m *Model) groupByInfo(g *lplan.GroupBy) (*Info, error) {
+	in, err := m.Info(g.In)
+	if err != nil {
+		return nil, err
+	}
+	groups := stats.DistinctGroups(in.Rel, g.GroupCols)
+
+	// Build the inner relation (grouping cols + agg outputs) for Having.
+	inner := stats.NewRelation(groups)
+	for _, gc := range g.GroupCols {
+		ci := in.Rel.Col(gc)
+		if ci.NDV > groups {
+			ci.NDV = math.Max(groups, 1)
+		}
+		inner.Cols[gc] = ci
+	}
+	for _, a := range g.Aggs {
+		inner.Cols[a.Out] = stats.ColInfo{NDV: math.Max(groups, 1)}
+	}
+
+	sel := 1.0
+	for _, h := range g.Having {
+		sel *= stats.Selectivity(h, inner)
+	}
+	rows := groups * sel
+	inner.Rows = rows
+	inner.ClampNDVs()
+
+	// Outputs: rename/copy stats for bare column references.
+	rel := inner
+	if len(g.Outputs) > 0 {
+		rel = stats.NewRelation(rows)
+		for _, ne := range g.Outputs {
+			if cr, ok := ne.E.(*expr.ColRef); ok {
+				rel.Cols[ne.As] = inner.Col(cr.ID)
+			} else {
+				rel.Cols[ne.As] = stats.ColInfo{NDV: math.Max(rows, 1)}
+			}
+		}
+	}
+
+	width := g.Schema().AvgWidth()
+	var extra float64
+	var order []schema.ColID
+	switch g.Method {
+	case lplan.AggSort:
+		if !orderSatisfies(in.Order, g.GroupCols) {
+			extra = m.SortCost(in.Pages)
+		}
+		order = append([]schema.ColID{}, g.GroupCols...)
+	case lplan.AggHash, lplan.AggUnset:
+		tablePages := pagesOf(groups, width)
+		if tablePages > float64(m.PoolPages) {
+			extra = 2 * in.Pages
+		}
+	default:
+		return nil, fmt.Errorf("cost: unknown aggregation method %v", g.Method)
+	}
+
+	return &Info{
+		Rows:  rows,
+		Width: width,
+		Pages: pagesOf(rows, width),
+		Rel:   rel,
+		Cost:  in.Cost + extra + m.cpu(in.Rows+rows),
+		Order: order,
+	}, nil
+}
+
+func (m *Model) projectInfo(p *lplan.Project) (*Info, error) {
+	in, err := m.Info(p.In)
+	if err != nil {
+		return nil, err
+	}
+	rel := stats.NewRelation(in.Rows)
+	for _, ne := range p.Items {
+		if cr, ok := ne.E.(*expr.ColRef); ok {
+			rel.Cols[ne.As] = in.Rel.Col(cr.ID)
+		} else {
+			rel.Cols[ne.As] = stats.ColInfo{NDV: math.Max(in.Rows, 1)}
+		}
+	}
+	width := p.Schema().AvgWidth()
+	return &Info{
+		Rows:  in.Rows,
+		Width: width,
+		Pages: pagesOf(in.Rows, width),
+		Rel:   rel,
+		Cost:  in.Cost + m.cpu(in.Rows),
+		Order: nil, // projection renames columns; order tracking stops here
+	}, nil
+}
+
+func (m *Model) filterInfo(f *lplan.Filter) (*Info, error) {
+	in, err := m.Info(f.In)
+	if err != nil {
+		return nil, err
+	}
+	sel := 1.0
+	for _, p := range f.Preds {
+		sel *= stats.Selectivity(p, in.Rel)
+	}
+	rel := in.Rel.Clone()
+	rel.Rows = in.Rows * sel
+	rel.ClampNDVs()
+	return &Info{
+		Rows:  rel.Rows,
+		Width: in.Width,
+		Pages: pagesOf(rel.Rows, in.Width),
+		Rel:   rel,
+		Cost:  in.Cost + m.cpu(in.Rows),
+		Order: in.Order,
+	}, nil
+}
+
+func (m *Model) sortInfo(s *lplan.Sort) (*Info, error) {
+	in, err := m.Info(s.In)
+	if err != nil {
+		return nil, err
+	}
+	extra := 0.0
+	if !orderSatisfies(in.Order, s.By) {
+		extra = m.SortCost(in.Pages)
+	}
+	return &Info{
+		Rows:  in.Rows,
+		Width: in.Width,
+		Pages: in.Pages,
+		Rel:   in.Rel,
+		Cost:  in.Cost + extra + m.cpu(in.Rows),
+		Order: append([]schema.ColID{}, s.By...),
+	}, nil
+}

@@ -1,0 +1,198 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aggview/internal/catalog"
+	"aggview/internal/storage"
+)
+
+func TestLoadEmpDept(t *testing.T) {
+	cat := catalog.New(storage.NewStore(64))
+	spec := DefaultEmpDept()
+	spec.Employees = 500
+	spec.Departments = 20
+	if err := LoadEmpDept(cat, spec); err != nil {
+		t.Fatal(err)
+	}
+	emp, ok := cat.Table("emp")
+	if !ok || emp.Stats.Rows != 500 {
+		t.Fatalf("emp rows = %+v", emp.Stats)
+	}
+	dept, _ := cat.Table("dept")
+	if dept.Stats.Rows != 20 {
+		t.Fatalf("dept rows = %d", dept.Stats.Rows)
+	}
+	cs, _ := emp.ColStat("dno")
+	if cs.NDV != 20 {
+		t.Fatalf("dno NDV = %d", cs.NDV)
+	}
+	cs, _ = emp.ColStat("age")
+	if cs.Min.Int() < 18 || cs.Max.Int() >= 68 {
+		t.Fatalf("age range = %v..%v", cs.Min, cs.Max)
+	}
+}
+
+func TestLoadEmpDeptDeterministic(t *testing.T) {
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 100, 5
+	c1 := catalog.New(storage.NewStore(64))
+	c2 := catalog.New(storage.NewStore(64))
+	if err := LoadEmpDept(c1, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadEmpDept(c2, spec); err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteCSV(c1, "emp", &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(c2, "emp", &b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("generation is not deterministic")
+	}
+}
+
+func TestLoadEmpDeptPayload(t *testing.T) {
+	cat := catalog.New(storage.NewStore(64))
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 50, 5
+	spec.PayloadCols = 3
+	spec.PayloadLen = 10
+	if err := LoadEmpDept(cat, spec); err != nil {
+		t.Fatal(err)
+	}
+	emp, _ := cat.Table("emp")
+	if len(emp.Schema) != 7 {
+		t.Fatalf("schema = %s", emp.Schema)
+	}
+}
+
+func TestLoadEmpDeptRejectsBadSpec(t *testing.T) {
+	cat := catalog.New(storage.NewStore(64))
+	if err := LoadEmpDept(cat, EmpDeptSpec{}); err == nil {
+		t.Fatalf("empty spec accepted")
+	}
+}
+
+func TestLoadTPCD(t *testing.T) {
+	cat := catalog.New(storage.NewStore(64))
+	spec := TPCDSpec{Seed: 1, Lineitems: 2000}
+	if err := LoadTPCD(cat, spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"part", "supplier", "customer", "orders", "lineitem"} {
+		tbl, ok := cat.Table(name)
+		if !ok || tbl.Stats.Rows == 0 {
+			t.Fatalf("table %q missing or empty", name)
+		}
+	}
+	li, _ := cat.Table("lineitem")
+	if li.Stats.Rows != 2000 {
+		t.Fatalf("lineitem rows = %d", li.Stats.Rows)
+	}
+	ord, _ := cat.Table("orders")
+	if ord.Stats.Rows != 500 {
+		t.Fatalf("orders rows = %d", ord.Stats.Rows)
+	}
+	// Foreign keys declared.
+	if len(li.ForeignKeys) != 3 {
+		t.Fatalf("lineitem fks = %d", len(li.ForeignKeys))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	cat := catalog.New(storage.NewStore(64))
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 10, 3
+	if err := LoadEmpDept(cat, spec); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteCSV(cat, "emp", &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "eno,dno,sal,age" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if err := WriteCSV(cat, "nosuch", &b); err == nil {
+		t.Fatalf("missing table accepted")
+	}
+}
+
+func TestLoadTPCDDeterministic(t *testing.T) {
+	spec := TPCDSpec{Seed: 3, Lineitems: 500}
+	c1 := catalog.New(storage.NewStore(32))
+	c2 := catalog.New(storage.NewStore(32))
+	if err := LoadTPCD(c1, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCD(c2, spec); err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteCSV(c1, "lineitem", &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(c2, "lineitem", &b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("TPCD generation not deterministic")
+	}
+}
+
+func TestLoadTPCDRejectsBadSpec(t *testing.T) {
+	if err := LoadTPCD(catalog.New(storage.NewStore(32)), TPCDSpec{}); err == nil {
+		t.Fatalf("zero lineitems accepted")
+	}
+}
+
+func TestLoadTPCDCSVHeaders(t *testing.T) {
+	c := catalog.New(storage.NewStore(32))
+	if err := LoadTPCD(c, TPCDSpec{Seed: 1, Lineitems: 100}); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteCSV(c, "customer", &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "custkey,nation,segment") {
+		t.Fatalf("customer header = %q", strings.SplitN(b.String(), "\n", 2)[0])
+	}
+}
+
+func TestDeptPayload(t *testing.T) {
+	c := catalog.New(storage.NewStore(32))
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 30, 5
+	spec.DeptPayloadCols = 2
+	if err := LoadEmpDept(c, spec); err != nil {
+		t.Fatal(err)
+	}
+	dept, _ := c.Table("dept")
+	if len(dept.Schema) != 4 {
+		t.Fatalf("dept schema = %s", dept.Schema)
+	}
+}
+
+func TestLoadEmpDeptDuplicateCall(t *testing.T) {
+	c := catalog.New(storage.NewStore(32))
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 10, 2
+	if err := LoadEmpDept(c, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadEmpDept(c, spec); err == nil {
+		t.Fatalf("second load over existing tables accepted")
+	}
+}

@@ -1,0 +1,355 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/types"
+)
+
+// groupByCtx holds the compiled pieces of a GroupBy shared by both
+// aggregation methods.
+type groupByCtx struct {
+	groupPos []int           // grouping column positions in the input
+	argFns   []expr.Compiled // aggregate argument evaluators (nil for COUNT(*))
+	aggs     []expr.Agg
+	having   func(types.Row) (bool, error) // over the inner schema
+	outputs  []expr.Compiled               // over the inner schema; nil = identity
+	scalar   bool                          // no grouping columns: always emit one row
+}
+
+func (e *Executor) groupByCtxOf(g *lplan.GroupBy) (*groupByCtx, error) {
+	in := g.In.Schema()
+	groupPos, err := colIndexes(in, g.GroupCols)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &groupByCtx{groupPos: groupPos, scalar: len(g.GroupCols) == 0}
+	for _, a := range g.Aggs {
+		ctx.aggs = append(ctx.aggs, a)
+		if a.Arg == nil {
+			ctx.argFns = append(ctx.argFns, nil)
+			continue
+		}
+		fn, err := expr.Compile(a.Arg, in)
+		if err != nil {
+			return nil, err
+		}
+		ctx.argFns = append(ctx.argFns, fn)
+	}
+	inner := g.InnerSchema()
+	ctx.having, err = compilePreds(g.Having, inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.Outputs) > 0 {
+		for _, ne := range g.Outputs {
+			fn, err := expr.Compile(ne.E, inner)
+			if err != nil {
+				return nil, err
+			}
+			ctx.outputs = append(ctx.outputs, fn)
+		}
+	}
+	return ctx, nil
+}
+
+// groupState accumulates one group.
+type groupState struct {
+	groupVals types.Row
+	accs      []expr.Accumulator
+	bytes     int
+}
+
+func (c *groupByCtx) newState(row types.Row) *groupState {
+	gs := &groupState{accs: make([]expr.Accumulator, len(c.aggs))}
+	gs.groupVals = make(types.Row, len(c.groupPos))
+	for i, p := range c.groupPos {
+		gs.groupVals[i] = row[p]
+	}
+	for i, a := range c.aggs {
+		gs.accs[i] = a.NewAccumulator()
+	}
+	// Accounted bytes mirror the cost model's group-table estimate (the
+	// output row width), so the executor spills exactly where the model
+	// predicts a spill.
+	gs.bytes = gs.groupVals.DiskWidth() + 8*len(gs.accs)
+	return gs
+}
+
+func (c *groupByCtx) add(gs *groupState, row types.Row) error {
+	for i, fn := range c.argFns {
+		if fn == nil { // COUNT(*)
+			gs.accs[i].Add(types.NewInt(1))
+			continue
+		}
+		v, err := fn(row)
+		if err != nil {
+			return err
+		}
+		gs.accs[i].Add(v)
+	}
+	return nil
+}
+
+// finish converts a group state into the output row, applying Having and
+// Outputs. ok=false means the group was filtered out.
+func (c *groupByCtx) finish(gs *groupState) (types.Row, bool, error) {
+	inner := make(types.Row, 0, len(gs.groupVals)+len(gs.accs))
+	inner = append(inner, gs.groupVals...)
+	for _, acc := range gs.accs {
+		inner = append(inner, acc.Result())
+	}
+	keep, err := c.having(inner)
+	if err != nil || !keep {
+		return nil, false, err
+	}
+	if c.outputs == nil {
+		return inner, true, nil
+	}
+	out := make(types.Row, len(c.outputs))
+	for i, fn := range c.outputs {
+		v, err := fn(inner)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (e *Executor) buildGroupBy(g *lplan.GroupBy) (iterator, error) {
+	ctx, err := e.groupByCtxOf(g)
+	if err != nil {
+		return nil, err
+	}
+	in, err := e.build(g.In)
+	if err != nil {
+		return nil, err
+	}
+	switch g.Method {
+	case lplan.AggSort:
+		return &sortAggIter{ctx: ctx, in: newSortIter(e, in, ctx.groupPos)}, nil
+	case lplan.AggHash, lplan.AggUnset:
+		return &hashAggIter{exec: e, ctx: ctx, in: in}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregation method %v", g.Method)
+	}
+}
+
+// hashAggIter aggregates through an in-memory group table, partitioning the
+// input to spill files when the table exceeds the budget.
+type hashAggIter struct {
+	exec *Executor
+	ctx  *groupByCtx
+	in   iterator
+
+	out *sliceIter
+}
+
+const aggPartitions = 16
+
+func (it *hashAggIter) Open() error {
+	groups := map[string]*groupState{}
+	bytes := 0
+	var parts []*spill
+	var buf []byte
+
+	spillAll := func(row types.Row) {
+		buf = row.AppendKey(buf[:0], it.ctx.groupPos)
+		h := fnv.New32a()
+		h.Write(buf)
+		parts[h.Sum32()%aggPartitions].add(row)
+	}
+
+	err := drain(it.in, func(row types.Row) error {
+		buf = row.AppendKey(buf[:0], it.ctx.groupPos)
+		// Rows of groups already resident keep accumulating in memory, so a
+		// group never splits between the table and the partitions.
+		if gs, ok := groups[string(buf)]; ok {
+			return it.ctx.add(gs, row)
+		}
+		if parts != nil {
+			spillAll(row)
+			return nil
+		}
+		gs := it.ctx.newState(row)
+		groups[string(buf)] = gs
+		bytes += gs.bytes
+		if bytes > it.exec.budgetBytes {
+			// The group table is over budget: rows of *new* groups are
+			// partitioned to spill files from here on and aggregated
+			// shard by shard afterwards.
+			parts = make([]*spill, aggPartitions)
+			for i := range parts {
+				parts[i] = newSpill(it.exec.store, "agg-part")
+			}
+		}
+		return it.ctx.add(gs, row)
+	})
+	if err != nil {
+		return err
+	}
+
+	var rows []types.Row
+	emit := func(gs *groupState) error {
+		row, ok, err := it.ctx.finish(gs)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+		return nil
+	}
+
+	// The in-memory shard. Note: when partitioning kicked in, rows for
+	// groups that were already in the table kept accumulating there (see
+	// drain above: lookup happens before the partition check), so a group
+	// never splits between the table and the partitions.
+	for _, gs := range groups {
+		if err := emit(gs); err != nil {
+			return err
+		}
+	}
+
+	// Partitioned shards.
+	for _, p := range parts {
+		p.finish()
+		part := map[string]*groupState{}
+		sc := p.scan()
+		for {
+			row, _, ok, err := sc.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			buf = row.AppendKey(buf[:0], it.ctx.groupPos)
+			gs, ok2 := part[string(buf)]
+			if !ok2 {
+				gs = it.ctx.newState(row)
+				part[string(buf)] = gs
+			}
+			if err := it.ctx.add(gs, row); err != nil {
+				return err
+			}
+		}
+		for _, gs := range part {
+			if err := emit(gs); err != nil {
+				return err
+			}
+		}
+		p.drop()
+	}
+
+	// SQL semantics: a scalar aggregate over an empty input yields one row.
+	if it.ctx.scalar && len(groups) == 0 && parts == nil {
+		gs := it.ctx.newState(types.Row{})
+		if err := emit(gs); err != nil {
+			return err
+		}
+	}
+
+	it.out = &sliceIter{rows: rows}
+	return it.out.Open()
+}
+
+func (it *hashAggIter) Next() (types.Row, bool, error) { return it.out.Next() }
+func (it *hashAggIter) Close() error                   { return nil }
+
+// sortAggIter aggregates an input sorted on the grouping columns by
+// streaming group boundaries.
+type sortAggIter struct {
+	ctx *groupByCtx
+	in  *sortIter
+
+	cur     *groupState
+	curKey  []byte
+	done    bool
+	emitted bool
+}
+
+func (it *sortAggIter) Open() error {
+	it.done, it.emitted = false, false
+	it.cur = nil
+	return it.in.Open()
+}
+
+func (it *sortAggIter) Next() (types.Row, bool, error) {
+	var buf []byte
+	for {
+		if it.done {
+			// Emit the trailing group, then the scalar-empty row if needed.
+			if it.cur != nil {
+				gs := it.cur
+				it.cur = nil
+				it.emitted = true
+				row, ok, err := it.ctx.finish(gs)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return row, true, nil
+				}
+				continue
+			}
+			if it.ctx.scalar && !it.emitted {
+				it.emitted = true
+				gs := it.ctx.newState(types.Row{})
+				row, ok, err := it.ctx.finish(gs)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return row, true, nil
+				}
+			}
+			return nil, false, nil
+		}
+
+		row, ok, err := it.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.done = true
+			continue
+		}
+		buf = row.AppendKey(buf[:0], it.ctx.groupPos)
+		if it.cur == nil {
+			it.cur = it.ctx.newState(row)
+			it.curKey = append(it.curKey[:0], buf...)
+			if err := it.ctx.add(it.cur, row); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if string(buf) == string(it.curKey) {
+			if err := it.ctx.add(it.cur, row); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Group boundary: emit the finished group, start the next.
+		gs := it.cur
+		it.cur = it.ctx.newState(row)
+		it.curKey = append(it.curKey[:0], buf...)
+		if err := it.ctx.add(it.cur, row); err != nil {
+			return nil, false, err
+		}
+		it.emitted = true
+		out, keep, err := it.ctx.finish(gs)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return out, true, nil
+		}
+	}
+}
+
+func (it *sortAggIter) Close() error { return it.in.Close() }

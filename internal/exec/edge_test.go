@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"testing"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+	"aggview/internal/types"
+)
+
+func TestEmptyInputsThroughOperators(t *testing.T) {
+	e := newEnv(t, 16, 50, 5)
+	empty := e.scanEmp("e")
+	empty.Filter = []expr.Expr{expr.NewCmp(expr.GT, expr.Col("e", "age"), expr.IntLit(9999))}
+
+	// Join with an empty left input, each method.
+	for _, m := range []lplan.JoinMethod{lplan.JoinHash, lplan.JoinBlockNL, lplan.JoinMerge} {
+		j := &lplan.Join{L: empty, R: e.scanDept("d"),
+			Preds:  []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.Col("d", "dno"))},
+			Method: m}
+		res, err := New(e.store).Run(j)
+		if err != nil {
+			t.Fatalf("[%v] %v", m, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Fatalf("[%v] rows = %d", m, len(res.Rows))
+		}
+	}
+
+	// Grouped empty input: zero groups (non-scalar).
+	g := &lplan.GroupBy{In: empty,
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggSum, Arg: expr.Col("e", "sal"), Out: schema.ColID{Rel: "v", Name: "s"}}},
+		Method:    lplan.AggSort}
+	res := runBoth(t, e, g)
+	if len(res.Rows) != 0 {
+		t.Fatalf("empty grouped rows = %d", len(res.Rows))
+	}
+}
+
+func TestSortAggWithHavingAndOutputs(t *testing.T) {
+	e := newEnv(t, 16, 800, 10)
+	g := groupByDno(e, lplan.AggSort)
+	g.Having = []expr.Expr{expr.NewCmp(expr.GT, expr.Col("v", "cnt"), expr.IntLit(60))}
+	g.Outputs = []lplan.NamedExpr{
+		{E: expr.Col("v", "cnt"), As: schema.ColID{Rel: "o", Name: "n"}},
+	}
+	res := runBoth(t, e, g)
+	for _, r := range res.Rows {
+		if r[0].Int() <= 60 {
+			t.Fatalf("having violated: %v", r)
+		}
+	}
+}
+
+func TestScalarSortAggregate(t *testing.T) {
+	e := newEnv(t, 16, 300, 5)
+	g := &lplan.GroupBy{
+		In: e.scanEmp("e"),
+		Aggs: []expr.Agg{
+			{Kind: expr.AggSum, Arg: expr.Col("e", "sal"), Out: schema.ColID{Rel: "v", Name: "s"}},
+		},
+		Method: lplan.AggSort,
+	}
+	res := runBoth(t, e, g)
+	if len(res.Rows) != 1 {
+		t.Fatalf("scalar agg rows = %d", len(res.Rows))
+	}
+}
+
+func TestMultiColumnIndexNL(t *testing.T) {
+	e := newEnv(t, 16, 500, 10)
+	if _, err := e.cat.CreateIndex("emp_dno_age", "emp", []string{"dno", "age"}); err != nil {
+		t.Fatal(err)
+	}
+	// Build an auxiliary probe table with (dno, age) pairs.
+	probe, err := e.cat.CreateTable("probe", []schema.Column{
+		{ID: schema.ColID{Name: "pd"}, Type: types.KindInt},
+		{ID: schema.ColID{Name: "pa"}, Type: types.KindInt},
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := e.cat.Insert(probe, types.Row{
+			types.NewInt(int64(i % 10)), types.NewInt(int64(20 + i%40)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.cat.Analyze(probe); err != nil {
+		t.Fatal(err)
+	}
+	j := &lplan.Join{
+		L: &lplan.Scan{Alias: "p", Table: probe, WithTID: true},
+		R: e.scanEmp("e"),
+		Preds: []expr.Expr{
+			expr.NewCmp(expr.EQ, expr.Col("p", "pd"), expr.Col("e", "dno")),
+			expr.NewCmp(expr.EQ, expr.Col("p", "pa"), expr.Col("e", "age")),
+		},
+		Method: lplan.JoinIndexNL,
+	}
+	runBoth(t, e, j)
+}
+
+func TestIndexNLErrors(t *testing.T) {
+	e := newEnv(t, 16, 50, 5)
+	// No index on the inner.
+	j := &lplan.Join{L: e.scanDept("d"), R: e.scanEmp("e"),
+		Preds:  []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("d", "dno"), expr.Col("e", "dno"))},
+		Method: lplan.JoinIndexNL}
+	if _, err := New(e.store).Run(j); err == nil {
+		t.Errorf("index-nl without index accepted")
+	}
+	// Non-scan inner.
+	inner := &lplan.Filter{In: e.scanEmp("e"), Preds: []expr.Expr{expr.NewCmp(expr.GT, expr.Col("e", "sal"), expr.IntLit(0))}}
+	j2 := &lplan.Join{L: e.scanDept("d"), R: inner,
+		Preds:  []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("d", "dno"), expr.Col("e", "dno"))},
+		Method: lplan.JoinIndexNL}
+	if _, err := New(e.store).Run(j2); err == nil {
+		t.Errorf("index-nl with non-scan inner accepted")
+	}
+	// No equi predicate for merge join.
+	j3 := &lplan.Join{L: e.scanDept("d"), R: e.scanEmp("e"),
+		Preds:  []expr.Expr{expr.NewCmp(expr.LT, expr.Col("d", "dno"), expr.Col("e", "dno"))},
+		Method: lplan.JoinMerge}
+	if _, err := New(e.store).Run(j3); err == nil {
+		t.Errorf("merge join without equi predicate accepted")
+	}
+}
+
+func TestDeepPipelineSpillingEverywhere(t *testing.T) {
+	// A three-level plan under a tiny pool: external sort feeding a merge
+	// join feeding a spilling aggregate, all verified against the oracle.
+	e := newEnv(t, 2, 4000, 400)
+	j := &lplan.Join{
+		L:      e.scanEmp("a"),
+		R:      e.scanEmp("b"),
+		Preds:  []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("a", "dno"), expr.Col("b", "dno"))},
+		Method: lplan.JoinMerge,
+	}
+	g := &lplan.GroupBy{
+		In:        j,
+		GroupCols: []schema.ColID{{Rel: "a", Name: "dno"}},
+		Aggs: []expr.Agg{
+			{Kind: expr.AggCountStar, Out: schema.ColID{Rel: "v", Name: "n"}},
+			{Kind: expr.AggMax, Arg: expr.Col("b", "sal"), Out: schema.ColID{Rel: "v", Name: "m"}},
+		},
+		Method: lplan.AggHash,
+	}
+	res := runBoth(t, e, g)
+	if len(res.Rows) != 400 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestRunRejectsUnknownMethod(t *testing.T) {
+	e := newEnv(t, 16, 10, 2)
+	g := groupByDno(e, lplan.AggMethod(99))
+	if _, err := New(e.store).Run(g); err == nil {
+		t.Errorf("unknown agg method accepted")
+	}
+	j := &lplan.Join{L: e.scanEmp("a"), R: e.scanDept("d"), Method: lplan.JoinMethod(99)}
+	if _, err := New(e.store).Run(j); err == nil {
+		t.Errorf("unknown join method accepted")
+	}
+}
+
+func TestGroupByExpressionArgument(t *testing.T) {
+	e := newEnv(t, 16, 300, 8)
+	g := &lplan.GroupBy{
+		In:        e.scanEmp("e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs: []expr.Agg{{Kind: expr.AggSum,
+			Arg: expr.NewArith(expr.Mul, expr.Col("e", "sal"), expr.IntLit(2)),
+			Out: schema.ColID{Rel: "v", Name: "dbl"}}},
+		Method: lplan.AggHash,
+	}
+	runBoth(t, e, g)
+}
+
+func TestProjectOverJoin(t *testing.T) {
+	e := newEnv(t, 16, 200, 6)
+	j := &lplan.Join{L: e.scanEmp("e"), R: e.scanDept("d"),
+		Preds:  []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.Col("d", "dno"))},
+		Method: lplan.JoinHash}
+	p := &lplan.Project{In: j, Items: []lplan.NamedExpr{
+		{E: expr.NewArith(expr.Add, expr.Col("e", "sal"), expr.Col("d", "budget")), As: schema.ColID{Name: "tot"}},
+	}}
+	res := runBoth(t, e, p)
+	if len(res.Schema) != 1 {
+		t.Fatalf("schema = %s", res.Schema)
+	}
+}

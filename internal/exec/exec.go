@@ -1,0 +1,351 @@
+// Package exec is a Volcano-style executor for lplan trees.
+//
+// Every operator that exceeds the memory budget spills through the storage
+// layer — external sort runs, Grace hash-join partitions, hash-aggregate
+// partitions, block-nested-loops inner materialization — so the IO counters
+// of the backing store reflect the same trade-offs the cost model estimates.
+// The executor exists for two reasons: to machine-check that transformed
+// plans are equivalent (the paper's Definition 1 and the push-down
+// transformations), and to validate the cost model's shape against measured
+// page IO in the experiment harness.
+package exec
+
+import (
+	"fmt"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// Executor runs plans against a store.
+type Executor struct {
+	store *storage.Store
+	// budgetBytes is the memory an operator may hold before spilling,
+	// mirroring the cost model's PoolPages budget.
+	budgetBytes int
+}
+
+// New creates an executor whose operators spill once they exceed the
+// store's buffer budget.
+func New(store *storage.Store) *Executor {
+	return &Executor{
+		store:       store,
+		budgetBytes: store.PoolPages() * storage.PageSize,
+	}
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema schema.Schema
+	Rows   []types.Row
+}
+
+// Run executes the plan and materializes its output.
+func (e *Executor) Run(n lplan.Node) (*Result, error) {
+	if err := lplan.Validate(n); err != nil {
+		return nil, fmt.Errorf("exec: invalid plan: %w", err)
+	}
+	it, err := e.build(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	res := &Result{Schema: n.Schema()}
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// iterator is the Volcano operator interface.
+type iterator interface {
+	Open() error
+	Next() (types.Row, bool, error)
+	Close() error
+}
+
+// build compiles a plan node into an iterator tree.
+func (e *Executor) build(n lplan.Node) (iterator, error) {
+	switch t := n.(type) {
+	case *lplan.Scan:
+		return e.buildScan(t)
+	case *lplan.Filter:
+		in, err := e.build(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return newFilterIter(in, t.Preds, t.In.Schema())
+	case *lplan.Project:
+		in, err := e.build(t.In)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectIter(in, t.Items, t.In.Schema())
+	case *lplan.Sort:
+		in, err := e.build(t.In)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := colIndexes(t.In.Schema(), t.By)
+		if err != nil {
+			return nil, err
+		}
+		return newSortIter(e, in, cols), nil
+	case *lplan.Join:
+		return e.buildJoin(t)
+	case *lplan.GroupBy:
+		return e.buildGroupBy(t)
+	default:
+		return nil, fmt.Errorf("exec: unknown node type %T", n)
+	}
+}
+
+func colIndexes(s schema.Schema, cols []schema.ColID) ([]int, error) {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := s.IndexOf(c)
+		if err != nil {
+			return nil, err
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("exec: column %s not in schema %s", c, s)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// compilePreds compiles a conjunct list into a single row filter.
+func compilePreds(preds []expr.Expr, s schema.Schema) (func(types.Row) (bool, error), error) {
+	fs := make([]func(types.Row) (bool, error), len(preds))
+	for i, p := range preds {
+		f, err := expr.CompilePredicate(p, s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(row types.Row) (bool, error) {
+		for _, f := range fs {
+			ok, err := f(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}, nil
+}
+
+// scanIter reads a base table, filters, optionally appends $tid, projects.
+type scanIter struct {
+	exec   *Executor
+	node   *lplan.Scan
+	filter func(types.Row) (bool, error)
+	proj   []int // indexes into the (possibly tid-extended) base row; nil = all
+	sc     *storage.Scanner
+}
+
+func (e *Executor) buildScan(s *lplan.Scan) (iterator, error) {
+	base := s.Table.Schema.Rename(s.Alias)
+	if s.WithTID {
+		base = append(base, schema.Column{
+			ID: schema.ColID{Rel: s.Alias, Name: lplan.TIDColumn}, Type: types.KindInt})
+	}
+	filter, err := compilePreds(s.Filter, base)
+	if err != nil {
+		return nil, err
+	}
+	var proj []int
+	if s.Proj != nil {
+		proj, err = colIndexes(base, s.Proj)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &scanIter{exec: e, node: s, filter: filter, proj: proj}, nil
+}
+
+func (it *scanIter) Open() error {
+	it.sc = it.exec.store.NewScanner(it.node.Table.File)
+	return nil
+}
+
+func (it *scanIter) Next() (types.Row, bool, error) {
+	for {
+		row, rid, ok, err := it.sc.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.node.WithTID {
+			row = append(row.Clone(), types.NewInt(rid))
+		}
+		keep, err := it.filter(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if !keep {
+			continue
+		}
+		if it.proj != nil {
+			out := make(types.Row, len(it.proj))
+			for i, j := range it.proj {
+				out[i] = row[j]
+			}
+			row = out
+		}
+		return row, true, nil
+	}
+}
+
+func (it *scanIter) Close() error { return nil }
+
+// filterIter applies residual predicates.
+type filterIter struct {
+	in   iterator
+	pred func(types.Row) (bool, error)
+}
+
+func newFilterIter(in iterator, preds []expr.Expr, s schema.Schema) (iterator, error) {
+	pred, err := compilePreds(preds, s)
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{in: in, pred: pred}, nil
+}
+
+func (it *filterIter) Open() error { return it.in.Open() }
+func (it *filterIter) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := it.pred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+func (it *filterIter) Close() error { return it.in.Close() }
+
+// projectIter computes output expressions.
+type projectIter struct {
+	in    iterator
+	exprs []expr.Compiled
+}
+
+func newProjectIter(in iterator, items []lplan.NamedExpr, s schema.Schema) (iterator, error) {
+	exprs := make([]expr.Compiled, len(items))
+	for i, ne := range items {
+		c, err := expr.Compile(ne.E, s)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = c
+	}
+	return &projectIter{in: in, exprs: exprs}, nil
+}
+
+func (it *projectIter) Open() error { return it.in.Open() }
+func (it *projectIter) Next() (types.Row, bool, error) {
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Row, len(it.exprs))
+	for i, c := range it.exprs {
+		v, err := c(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+func (it *projectIter) Close() error { return it.in.Close() }
+
+// projRow applies a precomputed index projection, or returns the row as-is.
+func projRow(row types.Row, proj []int) types.Row {
+	if proj == nil {
+		return row
+	}
+	out := make(types.Row, len(proj))
+	for i, j := range proj {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// drain reads an iterator to completion, invoking fn per row.
+func drain(it iterator, fn func(types.Row) error) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// sliceIter yields an in-memory row slice.
+type sliceIter struct {
+	rows []types.Row
+	pos  int
+}
+
+func (it *sliceIter) Open() error { it.pos = 0; return nil }
+func (it *sliceIter) Next() (types.Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+func (it *sliceIter) Close() error { return nil }
+
+// spill is a temporary file owned by an operator.
+type spill struct {
+	store *storage.Store
+	file  *storage.File
+	bytes int
+}
+
+func newSpill(store *storage.Store, name string) *spill {
+	return &spill{store: store, file: store.CreateFile(name)}
+}
+
+func (s *spill) add(row types.Row) {
+	s.bytes += row.DiskWidth()
+	s.store.Append(s.file, row)
+}
+
+func (s *spill) finish() { s.store.Flush(s.file) }
+
+func (s *spill) scan() *storage.Scanner { return s.store.NewScanner(s.file) }
+
+func (s *spill) drop() { s.store.DropFile(s.file) }

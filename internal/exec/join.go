@@ -1,0 +1,703 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+	"aggview/internal/types"
+)
+
+// joinCommon holds pieces shared by the join algorithms: the key column
+// positions of the equi-join conjuncts on each side, the residual predicate
+// compiled against the concatenated schema, and the output projection.
+type joinCommon struct {
+	lKeys, rKeys []int // equi-join column positions (parallel slices)
+	residual     func(types.Row) (bool, error)
+	proj         []int // output projection over concat schema; nil = all
+	lWidth       int   // arity of the left input
+}
+
+func (e *Executor) joinCommonOf(j *lplan.Join) (*joinCommon, error) {
+	ls, rs := j.L.Schema(), j.R.Schema()
+	concat := ls.Concat(rs)
+	var residualPreds []expr.Expr
+	var lKeys, rKeys []int
+	for _, p := range j.Preds {
+		lc, rc, ok := expr.EquiJoin(p)
+		if ok {
+			// Normalize: lc on the left input.
+			if !ls.Contains(lc) && ls.Contains(rc) {
+				lc, rc = rc, lc
+			}
+			if ls.Contains(lc) && rs.Contains(rc) {
+				li, err := ls.IndexOf(lc)
+				if err != nil {
+					return nil, err
+				}
+				ri, err := rs.IndexOf(rc)
+				if err != nil {
+					return nil, err
+				}
+				lKeys = append(lKeys, li)
+				rKeys = append(rKeys, ri)
+				continue
+			}
+		}
+		residualPreds = append(residualPreds, p)
+	}
+	residual, err := compilePreds(residualPreds, concat)
+	if err != nil {
+		return nil, err
+	}
+	var proj []int
+	if j.Proj != nil {
+		proj, err = colIndexes(concat, j.Proj)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &joinCommon{
+		lKeys: lKeys, rKeys: rKeys,
+		residual: residual, proj: proj, lWidth: len(ls),
+	}, nil
+}
+
+func (e *Executor) buildJoin(j *lplan.Join) (iterator, error) {
+	jc, err := e.joinCommonOf(j)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Method {
+	case lplan.JoinHash, lplan.JoinUnset:
+		if len(jc.lKeys) == 0 {
+			// No equi-join conjunct: degrade to block nested loops.
+			return e.buildBlockNL(j, jc)
+		}
+		l, err := e.build(j.L)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{exec: e, jc: jc, probe: l, buildNode: j.R}, nil
+	case lplan.JoinBlockNL:
+		return e.buildBlockNL(j, jc)
+	case lplan.JoinIndexNL:
+		return e.buildIndexNL(j, jc)
+	case lplan.JoinMerge:
+		if len(jc.lKeys) == 0 {
+			return nil, fmt.Errorf("exec: merge join requires an equi-join predicate")
+		}
+		l, err := e.build(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return &mergeJoinIter{
+			jc: jc,
+			l:  newSortIter(e, l, jc.lKeys),
+			r:  newSortIter(e, r, jc.rKeys),
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown join method %v", j.Method)
+	}
+}
+
+// emit applies residual predicates and projection to a joined row pair.
+func (jc *joinCommon) emit(l, r types.Row) (types.Row, bool, error) {
+	row := make(types.Row, 0, len(l)+len(r))
+	row = append(row, l...)
+	row = append(row, r...)
+	ok, err := jc.residual(row)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return projRow(row, jc.proj), true, nil
+}
+
+// hashJoinIter builds a hash table on the right input; if the build side
+// exceeds the budget it falls back to Grace partitioning, writing both
+// inputs to spill partitions and joining them pairwise.
+type hashJoinIter struct {
+	exec      *Executor
+	jc        *joinCommon
+	probe     iterator
+	buildNode lplan.Node
+
+	// in-memory path
+	table map[string][]types.Row
+	// grace path
+	lParts, rParts []*spill
+	part           int
+	partProbe      *sliceIter
+
+	pending []types.Row // matches of the current probe row
+	curL    types.Row
+	open    bool
+	grace   bool
+}
+
+const gracePartitions = 16
+
+func (it *hashJoinIter) Open() error {
+	build, err := it.exec.build(it.buildNode)
+	if err != nil {
+		return err
+	}
+	// Materialize the build side, counting bytes.
+	var rows []types.Row
+	bytes := 0
+	if err := drain(build, func(r types.Row) error {
+		rows = append(rows, r)
+		bytes += r.DiskWidth()
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if bytes <= it.exec.budgetBytes {
+		it.table = make(map[string][]types.Row, len(rows))
+		var buf []byte
+		for _, r := range rows {
+			buf = r.AppendKey(buf[:0], it.jc.rKeys)
+			it.table[string(buf)] = append(it.table[string(buf)], r)
+		}
+		if err := it.probe.Open(); err != nil {
+			return err
+		}
+		it.open = true
+		return nil
+	}
+
+	// Grace: write build rows to partitions, then probe rows.
+	it.grace = true
+	it.rParts = make([]*spill, gracePartitions)
+	it.lParts = make([]*spill, gracePartitions)
+	for i := range it.rParts {
+		it.rParts[i] = newSpill(it.exec.store, "hj-build")
+		it.lParts[i] = newSpill(it.exec.store, "hj-probe")
+	}
+	var buf []byte
+	for _, r := range rows {
+		buf = r.AppendKey(buf[:0], it.jc.rKeys)
+		it.rParts[partitionOf(buf)].add(r)
+	}
+	rows = nil
+	if err := drain(it.probe, func(l types.Row) error {
+		buf = l.AppendKey(buf[:0], it.jc.lKeys)
+		it.lParts[partitionOf(buf)].add(l)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i := range it.rParts {
+		it.rParts[i].finish()
+		it.lParts[i].finish()
+	}
+	it.part = -1
+	it.open = true
+	return nil
+}
+
+func partitionOf(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % gracePartitions)
+}
+
+func (it *hashJoinIter) Next() (types.Row, bool, error) {
+	var buf []byte
+	for {
+		// Flush pending matches for the current probe row.
+		for len(it.pending) > 0 {
+			r := it.pending[0]
+			it.pending = it.pending[1:]
+			out, ok, err := it.jc.emit(it.curL, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return out, true, nil
+			}
+		}
+
+		if !it.grace {
+			l, ok, err := it.probe.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			buf = l.AppendKey(buf[:0], it.jc.lKeys)
+			it.curL = l
+			it.pending = it.table[string(buf)]
+			continue
+		}
+
+		// Grace path: stream the current partition's probe rows.
+		if it.partProbe != nil {
+			l, ok, err := it.partProbe.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				buf = l.AppendKey(buf[:0], it.jc.lKeys)
+				it.curL = l
+				it.pending = it.table[string(buf)]
+				continue
+			}
+			it.partProbe = nil
+		}
+		// Advance to the next partition.
+		it.part++
+		if it.part >= gracePartitions {
+			return nil, false, nil
+		}
+		it.table = map[string][]types.Row{}
+		sc := it.rParts[it.part].scan()
+		for {
+			r, _, ok, err := sc.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			buf = r.AppendKey(buf[:0], it.jc.rKeys)
+			it.table[string(buf)] = append(it.table[string(buf)], r)
+		}
+		var probeRows []types.Row
+		lsc := it.lParts[it.part].scan()
+		for {
+			l, _, ok, err := lsc.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			probeRows = append(probeRows, l)
+		}
+		it.partProbe = &sliceIter{rows: probeRows}
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	if !it.grace && it.open {
+		it.probe.Close()
+	}
+	for _, p := range it.lParts {
+		p.drop()
+	}
+	for _, p := range it.rParts {
+		p.drop()
+	}
+	it.lParts, it.rParts = nil, nil
+	return nil
+}
+
+// blockNLIter reads the outer in memory-budget blocks and rescans the inner
+// once per block. A base-table inner is rescanned directly (the buffer pool
+// charges the repeated reads); any other inner is materialized to a spill
+// file first.
+type blockNLIter struct {
+	exec  *Executor
+	jc    *joinCommon
+	outer iterator
+	inner func() (iterator, error) // fresh inner scan per block
+
+	spilled *spill
+	block   []types.Row
+	inIt    iterator
+	inRow   types.Row
+	pos     int
+	done    bool
+}
+
+func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (iterator, error) {
+	outer, err := e.build(j.L)
+	if err != nil {
+		return nil, err
+	}
+	it := &blockNLIter{exec: e, jc: jc, outer: outer}
+	if _, isScan := j.R.(*lplan.Scan); isScan {
+		inner := j.R
+		it.inner = func() (iterator, error) { return e.build(inner) }
+	} else {
+		// Materialize once, then scan the spill per block.
+		in, err := e.build(j.R)
+		if err != nil {
+			return nil, err
+		}
+		sp := newSpill(e.store, "bnl-inner")
+		if err := drain(in, func(r types.Row) error { sp.add(r); return nil }); err != nil {
+			sp.drop()
+			return nil, err
+		}
+		sp.finish()
+		it.spilled = sp
+		it.inner = func() (iterator, error) { return &spillIter{sp: sp}, nil }
+	}
+	return it, nil
+}
+
+// spillIter scans a spill file.
+type spillIter struct {
+	sp *spill
+	sc interface {
+		Next() (types.Row, int64, bool, error)
+	}
+}
+
+func (it *spillIter) Open() error { it.sc = it.sp.scan(); return nil }
+func (it *spillIter) Next() (types.Row, bool, error) {
+	r, _, ok, err := it.sc.Next()
+	return r, ok, err
+}
+func (it *spillIter) Close() error { return nil }
+
+func (it *blockNLIter) Open() error {
+	if err := it.outer.Open(); err != nil {
+		return err
+	}
+	return it.nextBlock()
+}
+
+// nextBlock fills the outer block and opens a fresh inner scan.
+func (it *blockNLIter) nextBlock() error {
+	it.block = it.block[:0]
+	bytes := 0
+	budget := it.exec.budgetBytes - 2*4096 // leave pages for the inner stream
+	if budget < 4096 {
+		budget = 4096
+	}
+	for bytes < budget {
+		row, ok, err := it.outer.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.block = append(it.block, row)
+		bytes += row.DiskWidth()
+	}
+	if len(it.block) == 0 {
+		it.done = true
+		return nil
+	}
+	in, err := it.inner()
+	if err != nil {
+		return err
+	}
+	if err := in.Open(); err != nil {
+		return err
+	}
+	it.inIt = in
+	it.inRow = nil
+	it.pos = 0
+	return nil
+}
+
+func (it *blockNLIter) Next() (types.Row, bool, error) {
+	for {
+		if it.done {
+			return nil, false, nil
+		}
+		if it.inRow == nil {
+			r, ok, err := it.inIt.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				it.inIt.Close()
+				if err := it.nextBlock(); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			it.inRow = r
+			it.pos = 0
+		}
+		for it.pos < len(it.block) {
+			l := it.block[it.pos]
+			it.pos++
+			// Equi keys (if any) must match; residual must pass.
+			if !keysEqual(l, it.inRow, it.jc.lKeys, it.jc.rKeys) {
+				continue
+			}
+			out, ok, err := it.jc.emit(l, it.inRow)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return out, true, nil
+			}
+		}
+		it.inRow = nil
+	}
+}
+
+func keysEqual(l, r types.Row, lKeys, rKeys []int) bool {
+	for i := range lKeys {
+		if types.Compare(l[lKeys[i]], r[rKeys[i]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *blockNLIter) Close() error {
+	it.outer.Close()
+	if it.inIt != nil {
+		it.inIt.Close()
+	}
+	if it.spilled != nil {
+		it.spilled.drop()
+		it.spilled = nil
+	}
+	return nil
+}
+
+// indexNLIter probes a hash index on the inner base table per outer row.
+type indexNLIter struct {
+	exec    *Executor
+	jc      *joinCommon
+	outer   iterator
+	scan    *lplan.Scan
+	index   indexLookup
+	rFilter func(types.Row) (bool, error)
+	rProj   []int
+	withTID bool
+	lKeyPos []int // outer-row positions feeding the index key, in index order
+
+	curL    types.Row
+	matches []int64
+	mpos    int
+}
+
+// indexLookup decouples exec from the concrete catalog index type.
+type indexLookup interface {
+	Lookup(key []types.Value) []int64
+}
+
+func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (iterator, error) {
+	scan, ok := j.R.(*lplan.Scan)
+	if !ok {
+		return nil, fmt.Errorf("exec: index-nl join requires a base-table inner")
+	}
+	if len(jc.rKeys) == 0 {
+		return nil, fmt.Errorf("exec: index-nl join requires an equi-join predicate")
+	}
+	// The rKeys positions refer to the scan's *output* schema; the index is
+	// declared over base column names. Recompute the base positions.
+	base := scan.Table.Schema.Rename(scan.Alias)
+	if scan.WithTID {
+		base = append(base, schema.Column{ID: schema.ColID{Rel: scan.Alias, Name: lplan.TIDColumn}, Type: types.KindInt})
+	}
+	outSchema := scan.Schema()
+	var names []string
+	basePos := make([]int, len(jc.rKeys))
+	for i, rk := range jc.rKeys {
+		id := outSchema[rk].ID
+		names = append(names, id.Name)
+		bp, err := base.IndexOf(id)
+		if err != nil || bp < 0 {
+			return nil, fmt.Errorf("exec: index-nl join column %s not in base schema", id)
+		}
+		basePos[i] = bp
+	}
+	ix, ok := scan.Table.IndexOn(names)
+	if !ok {
+		return nil, fmt.Errorf("exec: no index on %s(%v)", scan.Table.Name, names)
+	}
+	// Reorder the outer key evaluation to the index's column order.
+	ordered := make([]int, len(ix.Cols))
+	for i, cn := range ix.Cols {
+		found := false
+		for k, nm := range names {
+			if nm == cn {
+				ordered[i] = jc.lKeys[k]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exec: index column %s not among join columns", cn)
+		}
+	}
+	filter, err := compilePreds(scan.Filter, base)
+	if err != nil {
+		return nil, err
+	}
+	var proj []int
+	if scan.Proj != nil {
+		proj, err = colIndexes(base, scan.Proj)
+		if err != nil {
+			return nil, err
+		}
+	}
+	outer, err := e.build(j.L)
+	if err != nil {
+		return nil, err
+	}
+	return &indexNLIter{
+		exec: e, jc: &joinCommon{
+			// Keys already applied via the index; only residual+emit remain.
+			residual: jc.residual, proj: jc.proj, lWidth: jc.lWidth,
+		},
+		outer: outer, scan: scan, index: ix,
+		rFilter: filter, rProj: proj, withTID: scan.WithTID,
+		lKeyPos: ordered,
+	}, nil
+}
+
+func (it *indexNLIter) Open() error { return it.outer.Open() }
+
+func (it *indexNLIter) Next() (types.Row, bool, error) {
+	for {
+		for it.mpos < len(it.matches) {
+			rid := it.matches[it.mpos]
+			it.mpos++
+			row, err := it.exec.store.FetchRID(it.scan.Table.File, rid)
+			if err != nil {
+				return nil, false, err
+			}
+			if it.withTID {
+				row = append(row.Clone(), types.NewInt(rid))
+			}
+			keep, err := it.rFilter(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+			row = projRow(row, it.rProj)
+			out, ok, err := it.jc.emit(it.curL, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return out, true, nil
+			}
+		}
+		l, ok, err := it.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.curL = l
+		key := make([]types.Value, len(it.lKeyPos))
+		for i, p := range it.lKeyPos {
+			key[i] = l[p]
+		}
+		it.matches = it.index.Lookup(key)
+		it.mpos = 0
+	}
+}
+
+func (it *indexNLIter) Close() error { return it.outer.Close() }
+
+// mergeJoinIter joins two inputs sorted on their equi-join keys, buffering
+// the right-side group of equal keys.
+type mergeJoinIter struct {
+	jc   *joinCommon
+	l, r *sortIter
+
+	curL   types.Row
+	group  []types.Row // right rows equal to curL's key
+	gpos   int
+	rRow   types.Row // lookahead on the right
+	rDone  bool
+	opened bool
+}
+
+func (it *mergeJoinIter) Open() error {
+	if err := it.l.Open(); err != nil {
+		return err
+	}
+	if err := it.r.Open(); err != nil {
+		return err
+	}
+	it.opened = true
+	r, ok, err := it.r.Next()
+	if err != nil {
+		return err
+	}
+	it.rRow, it.rDone = r, !ok
+	return nil
+}
+
+// advanceGroup loads the right-side group matching key, consuming the right
+// iterator up to the first greater key.
+func (it *mergeJoinIter) advanceGroup(key types.Row) error {
+	it.group = it.group[:0]
+	for !it.rDone {
+		c := compareKeys(key, it.jc.lKeys, it.rRow, it.jc.rKeys)
+		if c < 0 {
+			break
+		}
+		if c == 0 {
+			it.group = append(it.group, it.rRow)
+		}
+		r, ok, err := it.r.Next()
+		if err != nil {
+			return err
+		}
+		it.rRow, it.rDone = r, !ok
+	}
+	return nil
+}
+
+func compareKeys(l types.Row, lKeys []int, r types.Row, rKeys []int) int {
+	for i := range lKeys {
+		if c := types.Compare(l[lKeys[i]], r[rKeys[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (it *mergeJoinIter) Next() (types.Row, bool, error) {
+	for {
+		for it.curL != nil && it.gpos < len(it.group) {
+			r := it.group[it.gpos]
+			it.gpos++
+			out, ok, err := it.jc.emit(it.curL, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return out, true, nil
+			}
+		}
+		l, ok, err := it.l.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		// Reuse the group if the key is unchanged (duplicate left keys).
+		if it.curL == nil || compareKeys(l, it.jc.lKeys, it.curL, it.jc.lKeys) != 0 {
+			if err := it.advanceGroup(l); err != nil {
+				return nil, false, err
+			}
+		}
+		it.curL = l
+		it.gpos = 0
+	}
+}
+
+func (it *mergeJoinIter) Close() error {
+	if it.opened {
+		it.l.Close()
+		it.r.Close()
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// sortIter sorts its input by the given column positions (ascending,
+// types.Compare order). Inputs within the memory budget sort in place;
+// larger inputs write sorted runs to spill files and k-way merge them.
+type sortIter struct {
+	exec *Executor
+	in   iterator
+	cols []int
+
+	out  iterator
+	runs []*spill
+}
+
+func newSortIter(e *Executor, in iterator, cols []int) *sortIter {
+	return &sortIter{exec: e, in: in, cols: cols}
+}
+
+func (it *sortIter) Open() error {
+	var buf []types.Row
+	bytes := 0
+	flushRun := func() {
+		sort.SliceStable(buf, func(i, j int) bool {
+			return types.CompareRows(buf[i], buf[j], it.cols) < 0
+		})
+		run := newSpill(it.exec.store, "sort-run")
+		for _, r := range buf {
+			run.add(r)
+		}
+		run.finish()
+		it.runs = append(it.runs, run)
+		buf = buf[:0]
+		bytes = 0
+	}
+
+	err := drain(it.in, func(row types.Row) error {
+		buf = append(buf, row)
+		bytes += row.DiskWidth()
+		if bytes > it.exec.budgetBytes {
+			flushRun()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if len(it.runs) == 0 {
+		sort.SliceStable(buf, func(i, j int) bool {
+			return types.CompareRows(buf[i], buf[j], it.cols) < 0
+		})
+		it.out = &sliceIter{rows: buf}
+		return it.out.Open()
+	}
+	if len(buf) > 0 {
+		flushRun()
+	}
+	merge, err := newMergeRuns(it.exec.store, it.runs, it.cols)
+	if err != nil {
+		return err
+	}
+	it.out = merge
+	return it.out.Open()
+}
+
+func (it *sortIter) Next() (types.Row, bool, error) { return it.out.Next() }
+
+func (it *sortIter) Close() error {
+	if it.out != nil {
+		it.out.Close()
+	}
+	for _, r := range it.runs {
+		r.drop()
+	}
+	it.runs = nil
+	return nil
+}
+
+// mergeRuns k-way merges sorted spill runs with a heap.
+type mergeRuns struct {
+	store *storage.Store
+	cols  []int
+	items mergeHeap
+}
+
+type mergeItem struct {
+	row types.Row
+	sc  *storage.Scanner
+}
+
+type mergeHeap struct {
+	items []*mergeItem
+	cols  []int
+}
+
+func (h mergeHeap) Len() int { return len(h.items) }
+func (h mergeHeap) Less(i, j int) bool {
+	return types.CompareRows(h.items[i].row, h.items[j].row, h.cols) < 0
+}
+func (h mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)   { h.items = append(h.items, x.(*mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+func newMergeRuns(store *storage.Store, runs []*spill, cols []int) (*mergeRuns, error) {
+	m := &mergeRuns{store: store, cols: cols, items: mergeHeap{cols: cols}}
+	for _, r := range runs {
+		sc := r.scan()
+		row, _, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.items.items = append(m.items.items, &mergeItem{row: row, sc: sc})
+		}
+	}
+	heap.Init(&m.items)
+	return m, nil
+}
+
+func (m *mergeRuns) Open() error { return nil }
+
+func (m *mergeRuns) Next() (types.Row, bool, error) {
+	if m.items.Len() == 0 {
+		return nil, false, nil
+	}
+	top := m.items.items[0]
+	out := top.row
+	row, _, ok, err := top.sc.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		top.row = row
+		heap.Fix(&m.items, 0)
+	} else {
+		heap.Pop(&m.items)
+	}
+	return out, true, nil
+}
+
+func (m *mergeRuns) Close() error { return nil }

@@ -1,0 +1,204 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"aggview/internal/schema"
+	"aggview/internal/types"
+)
+
+// Compiled is an expression resolved against a concrete schema: column
+// references have become row indexes, so evaluation allocates nothing.
+type Compiled func(row types.Row) (types.Value, error)
+
+// Compile resolves e against s. It fails if a referenced column is missing
+// or ambiguous. Division by zero is reported at evaluation time.
+func Compile(e Expr, s schema.Schema) (Compiled, error) {
+	switch n := e.(type) {
+	case *ColRef:
+		i, err := s.IndexOf(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("column %q not found in schema %s", n.ID, s)
+		}
+		return func(row types.Row) (types.Value, error) { return row[i], nil }, nil
+
+	case *Const:
+		v := n.Val
+		return func(types.Row) (types.Value, error) { return v, nil }, nil
+
+	case *Cmp:
+		l, err := Compile(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.NewBool(op.eval(lv, rv)), nil
+		}, nil
+
+	case *Arith:
+		l, err := Compile(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		intResult := n.Type(s) == types.KindInt
+		return func(row types.Row) (types.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
+			if intResult && lv.K == types.KindInt && rv.K == types.KindInt {
+				switch op {
+				case Add:
+					return types.NewInt(lv.I + rv.I), nil
+				case Sub:
+					return types.NewInt(lv.I - rv.I), nil
+				case Mul:
+					return types.NewInt(lv.I * rv.I), nil
+				}
+			}
+			lf, rf := lv.Float(), rv.Float()
+			switch op {
+			case Add:
+				return types.NewFloat(lf + rf), nil
+			case Sub:
+				return types.NewFloat(lf - rf), nil
+			case Mul:
+				return types.NewFloat(lf * rf), nil
+			case Div:
+				if rf == 0 {
+					return types.Null(), fmt.Errorf("division by zero")
+				}
+				return types.NewFloat(lf / rf), nil
+			}
+			return types.Null(), fmt.Errorf("unknown arithmetic operator %v", op)
+		}, nil
+
+	case *Logic:
+		terms := make([]Compiled, len(n.Terms))
+		for i, t := range n.Terms {
+			c, err := Compile(t, s)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = c
+		}
+		isOr := n.IsOr
+		return func(row types.Row) (types.Value, error) {
+			for _, t := range terms {
+				v, err := t(row)
+				if err != nil {
+					return types.Null(), err
+				}
+				if v.Bool() == isOr {
+					return types.NewBool(isOr), nil
+				}
+			}
+			return types.NewBool(!isOr), nil
+		}, nil
+
+	case *Fn:
+		return compileFn(n, s)
+
+	case *Not:
+		inner, err := Compile(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row) (types.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.NewBool(!v.Bool()), nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("cannot compile expression of type %T", e)
+	}
+}
+
+// CompilePredicate compiles a boolean expression into a row filter.
+// A nil expression compiles to an always-true filter.
+func CompilePredicate(e Expr, s schema.Schema) (func(types.Row) (bool, error), error) {
+	if e == nil {
+		return func(types.Row) (bool, error) { return true, nil }, nil
+	}
+	c, err := Compile(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return func(row types.Row) (bool, error) {
+		v, err := c(row)
+		if err != nil {
+			return false, err
+		}
+		return v.Bool(), nil
+	}, nil
+}
+
+// compileFn compiles scalar function applications.
+func compileFn(n *Fn, s schema.Schema) (Compiled, error) {
+	arg, err := Compile(n.Arg, s)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Name {
+	case "SQRT":
+		return func(row types.Row) (types.Value, error) {
+			v, err := arg(row)
+			if err != nil || v.IsNull() {
+				return types.Null(), err
+			}
+			f := v.Float()
+			if f < 0 {
+				return types.Null(), fmt.Errorf("SQRT of negative value %g", f)
+			}
+			return types.NewFloat(math.Sqrt(f)), nil
+		}, nil
+	case "ABS":
+		return func(row types.Row) (types.Value, error) {
+			v, err := arg(row)
+			if err != nil || v.IsNull() {
+				return types.Null(), err
+			}
+			if v.K == types.KindInt {
+				if v.I < 0 {
+					return types.NewInt(-v.I), nil
+				}
+				return v, nil
+			}
+			return types.NewFloat(math.Abs(v.Float())), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scalar function %q", n.Name)
+	}
+}

@@ -1,0 +1,232 @@
+package flatten
+
+import (
+	"strings"
+	"testing"
+
+	"aggview/internal/sql"
+)
+
+func parseSel(t *testing.T, src string) *sql.Select {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return stmt.(*sql.Select)
+}
+
+func TestRewriteLeavesPlainQueriesAlone(t *testing.T) {
+	sel := parseSel(t, `select a from t where b = 1 and c < 2`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 1 || out.Where == nil {
+		t.Fatalf("rewrite changed a plain query: %+v", out)
+	}
+}
+
+func TestRewriteTypeJA(t *testing.T) {
+	sel := parseSel(t, `
+		select e1.sal from emp e1
+		where e1.age < 22 and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("expected a derived table, from = %+v", out.From)
+	}
+	dt := out.From[1]
+	if dt.Subquery == nil || !strings.HasPrefix(dt.Alias, "q$") {
+		t.Fatalf("derived table = %+v", dt)
+	}
+	if len(dt.Subquery.GroupBy) != 1 || dt.Subquery.GroupBy[0].Col != "dno" {
+		t.Fatalf("group by = %+v", dt.Subquery.GroupBy)
+	}
+	// The inner WHERE lost the correlation predicate.
+	if dt.Subquery.Where != nil {
+		t.Fatalf("inner where should be empty, got %s", sql.ExprString(dt.Subquery.Where))
+	}
+	// The outer WHERE gained the join predicate.
+	w := sql.ExprString(out.Where)
+	if !strings.Contains(w, "q$1.c0") || !strings.Contains(w, "q$1.agg") {
+		t.Fatalf("outer where = %s", w)
+	}
+	// The original is untouched.
+	if len(sel.From) != 1 {
+		t.Fatalf("input mutated")
+	}
+}
+
+func TestRewriteTypeA(t *testing.T) {
+	sel := parseSel(t, `select eno from emp where sal > (select avg(sal) from emp)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("from = %+v", out.From)
+	}
+	if len(out.From[1].Subquery.GroupBy) != 0 {
+		t.Fatalf("uncorrelated subquery must have no group by")
+	}
+}
+
+func TestRewriteSubqueryOnLeft(t *testing.T) {
+	sel := parseSel(t, `select eno from emp e1 where (select min(sal) from emp e2 where e2.dno = e1.dno) < 500`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("from = %+v", out.From)
+	}
+}
+
+func TestRewriteIN(t *testing.T) {
+	sel := parseSel(t, `select eno from emp where dno in (select dno from dept where budget < 10)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := out.From[1]
+	if !dt.Subquery.Distinct {
+		t.Fatalf("IN rewrite must deduplicate")
+	}
+	if !strings.Contains(sql.ExprString(out.Where), "q$1.v") {
+		t.Fatalf("where = %s", sql.ExprString(out.Where))
+	}
+}
+
+func TestRewriteCorrelatedExists(t *testing.T) {
+	sel := parseSel(t, `select d.dno from dept d where exists (select e.eno from emp e where e.dno = d.dno)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 || !out.From[1].Subquery.Distinct {
+		t.Fatalf("exists rewrite = %+v", out.From)
+	}
+}
+
+func TestRewriteMultipleSubqueries(t *testing.T) {
+	sel := parseSel(t, `
+		select eno from emp e1
+		where e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
+		  and e1.dno in (select dno from dept where budget < 100)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 3 {
+		t.Fatalf("from = %+v", out.From)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	bad := map[string]string{
+		`select eno from emp where sal > (select count(*) from dept)`:                               "count bug",
+		`select eno from emp where dno not in (select dno from dept)`:                               "NOT IN",
+		`select eno from emp e where not exists (select * from dept d where d.dno = e.dno)`:         "antijoin",
+		`select eno from emp where sal > (select avg(sal) from emp) or age < 5`:                     "OR",
+		`select eno from emp e1 where sal > (select max(sal) from emp e2 where e2.dno < e1.dno)`:    "equality",
+		`select eno from emp where sal > (select sal from emp)`:                                     "aggregate",
+		`select eno from emp where sal > (select max(sal) from emp group by dno)`:                   "GROUP BY",
+		`select eno from emp e where exists (select 1 from dept d)`:                                 "uncorrelated EXISTS",
+		`select eno from emp where (select max(sal) from emp) > (select min(sal) from emp)`:         "two subqueries",
+		`select eno from emp e1 where e1.sal > (select max(x.s) from (select sal as s from emp) x)`: "nested derived",
+	}
+	for src, want := range bad {
+		sel := parseSel(t, src)
+		_, err := Rewrite(sel)
+		if err == nil {
+			t.Errorf("Rewrite(%q) succeeded, want error ~%q", src, want)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Rewrite(%q) error = %v, want substring %q", src, err, want)
+		}
+	}
+}
+
+func TestRewriteRecursesIntoDerivedTables(t *testing.T) {
+	sel := parseSel(t, `
+		select x.eno from (select eno from emp where sal > (select avg(sal) from emp)) x`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := out.From[0].Subquery
+	if len(inner.From) != 2 {
+		t.Fatalf("inner flatten failed: %+v", inner.From)
+	}
+}
+
+func TestRewriteStdDevSubquery(t *testing.T) {
+	sel := parseSel(t, `select eno from emp e1 where sal > (select stddev(e2.sal) from emp e2 where e2.dno = e1.dno)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatalf("stddev (user aggregate) should flatten: %v", err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("from = %+v", out.From)
+	}
+}
+
+func TestRewriteScaledSubqueryBothSides(t *testing.T) {
+	// Subquery under arithmetic on the LEFT side of the comparison.
+	sel := parseSel(t, `select eno from emp e1 where 0.5 * (select avg(e2.sal) from emp e2 where e2.dno = e1.dno) < sal`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("from = %+v", out.From)
+	}
+	w := sql.ExprString(out.Where)
+	if !strings.Contains(w, "q$1.agg") {
+		t.Fatalf("where = %s", w)
+	}
+}
+
+func TestRewriteNegatedSubqueryOperand(t *testing.T) {
+	sel := parseSel(t, `select eno from emp e1 where sal > -(select min(e2.sal) from emp e2 where e2.dno = e1.dno)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.From) != 2 {
+		t.Fatalf("from = %+v", out.From)
+	}
+}
+
+func TestRewriteCorrelatedSubqueryMultipleCorrelations(t *testing.T) {
+	sel := parseSel(t, `
+		select e1.sal from emp e1
+		where e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno and e2.age = e1.age)`)
+	out, err := Rewrite(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := out.From[1].Subquery
+	if len(dt.GroupBy) != 2 {
+		t.Fatalf("group by = %+v", dt.GroupBy)
+	}
+	w := sql.ExprString(out.Where)
+	if !strings.Contains(w, "c0") || !strings.Contains(w, "c1") {
+		t.Fatalf("where = %s", w)
+	}
+}
+
+func TestRewriteSubqueryInAggregateArgRejected(t *testing.T) {
+	sel := parseSel(t, `select eno from emp group by eno having max((select avg(sal) from emp)) > 1`)
+	// Having is not flattened (subqueries only handled in WHERE); the
+	// binder rejects the leftover subquery. Here the WHERE path:
+	sel2 := parseSel(t, `select eno from emp e1 where e1.sal > (select max(e2.sal + (select min(sal) from emp)) from emp e2 where e2.dno = e1.dno)`)
+	if _, err := Rewrite(sel2); err == nil {
+		t.Fatalf("nested subquery inside aggregate arg accepted")
+	}
+	_ = sel
+}

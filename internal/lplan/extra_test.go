@@ -1,0 +1,153 @@
+package lplan
+
+import (
+	"strings"
+	"testing"
+
+	"aggview/internal/expr"
+	"aggview/internal/schema"
+)
+
+func TestDescribeVariants(t *testing.T) {
+	c := empDept(t)
+	s := scan(t, c, "emp", "emp") // alias == table name: no AS
+	if got := s.Describe(); got != "Scan emp" {
+		t.Errorf("Describe = %q", got)
+	}
+	s2 := &Scan{Alias: "e", Table: mustTable(t, c, "emp"), WithTID: true,
+		Filter: []expr.Expr{expr.NewCmp(expr.GT, expr.Col("e", "sal"), expr.IntLit(1))}}
+	d := s2.Describe()
+	if !strings.Contains(d, "+tid") || !strings.Contains(d, "filter=") {
+		t.Errorf("Describe = %q", d)
+	}
+
+	cross := &Join{L: scan(t, c, "emp", "a"), R: scan(t, c, "dept", "b"), Method: JoinBlockNL}
+	if !strings.Contains(cross.Describe(), "cross") {
+		t.Errorf("cross describe = %q", cross.Describe())
+	}
+
+	g := &GroupBy{In: scan(t, c, "emp", "e"), Method: AggSort,
+		Aggs: []expr.Agg{{Kind: expr.AggCountStar, Out: schema.ColID{Rel: "g", Name: "n"}}}}
+	if !strings.Contains(g.Describe(), "(scalar)") {
+		t.Errorf("scalar describe = %q", g.Describe())
+	}
+	gh := &GroupBy{In: scan(t, c, "emp", "e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggCountStar, Out: schema.ColID{Rel: "g", Name: "n"}}},
+		Having:    []expr.Expr{expr.NewCmp(expr.GT, expr.Col("g", "n"), expr.IntLit(1))}}
+	if !strings.Contains(gh.Describe(), "having=") {
+		t.Errorf("having describe = %q", gh.Describe())
+	}
+
+	f := &Filter{In: scan(t, c, "emp", "e"),
+		Preds: []expr.Expr{expr.NewCmp(expr.GT, expr.Col("e", "sal"), expr.IntLit(1))}}
+	if !strings.HasPrefix(f.Describe(), "Filter ") {
+		t.Errorf("filter describe = %q", f.Describe())
+	}
+	so := &Sort{In: scan(t, c, "emp", "e"), By: []schema.ColID{{Rel: "e", Name: "dno"}}}
+	if so.Describe() != "Sort by e.dno" {
+		t.Errorf("sort describe = %q", so.Describe())
+	}
+	p := &Project{In: scan(t, c, "emp", "e"),
+		Items: []NamedExpr{{E: expr.Col("e", "sal"), As: schema.ColID{Name: "s"}}}}
+	if !strings.Contains(p.Describe(), "AS s") {
+		t.Errorf("project describe = %q", p.Describe())
+	}
+}
+
+func TestKeyProjectAndLoss(t *testing.T) {
+	c := empDept(t)
+	s := scan(t, c, "emp", "e")
+
+	// Project keeping the key under a new name.
+	p := &Project{In: s, Items: []NamedExpr{
+		{E: expr.Col("e", "eno"), As: schema.ColID{Rel: "p", Name: "id"}},
+		{E: expr.Col("e", "sal"), As: schema.ColID{Rel: "p", Name: "s"}},
+	}}
+	k, ok := Key(p)
+	if !ok || k[0] != (schema.ColID{Rel: "p", Name: "id"}) {
+		t.Fatalf("project key = %v %v", k, ok)
+	}
+
+	// Project dropping the key loses it.
+	p2 := &Project{In: s, Items: []NamedExpr{
+		{E: expr.Col("e", "sal"), As: schema.ColID{Rel: "p", Name: "s"}},
+	}}
+	if _, ok := Key(p2); ok {
+		t.Fatalf("dropped key still reported")
+	}
+
+	// Computed projection of the key column loses it too (not a bare ref).
+	p3 := &Project{In: s, Items: []NamedExpr{
+		{E: expr.NewArith(expr.Add, expr.Col("e", "eno"), expr.IntLit(0)), As: schema.ColID{Rel: "p", Name: "id"}},
+	}}
+	if _, ok := Key(p3); ok {
+		t.Fatalf("computed key still reported")
+	}
+
+	// GroupBy whose Outputs compute over the grouping column: key lost.
+	g := &GroupBy{In: s,
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggCountStar, Out: schema.ColID{Rel: "g", Name: "n"}}},
+		Outputs: []NamedExpr{
+			{E: expr.NewArith(expr.Mul, expr.Col("e", "dno"), expr.IntLit(2)), As: schema.ColID{Rel: "g", Name: "d2"}},
+		}}
+	if _, ok := Key(g); ok {
+		t.Fatalf("computed grouping output still keyed")
+	}
+
+	// Join where one side lacks a key.
+	noKey := &Scan{Alias: "x", Table: mustTable(t, c, "emp"),
+		Proj: []schema.ColID{{Rel: "x", Name: "sal"}}}
+	j := &Join{L: s, R: noKey}
+	if _, ok := Key(j); ok {
+		t.Fatalf("join with keyless side still keyed")
+	}
+}
+
+func TestValidateFilterAndProjectErrors(t *testing.T) {
+	c := empDept(t)
+	s := scan(t, c, "emp", "e")
+	f := &Filter{In: s, Preds: []expr.Expr{expr.NewCmp(expr.GT, expr.Col("zz", "q"), expr.IntLit(1))}}
+	if err := Validate(f); err == nil {
+		t.Errorf("bad filter accepted")
+	}
+	p := &Project{In: s, Items: []NamedExpr{{E: expr.Col("zz", "q"), As: schema.ColID{Name: "x"}}}}
+	if err := Validate(p); err == nil {
+		t.Errorf("bad project accepted")
+	}
+	// Invalid child is caught through any wrapper.
+	wrapped := &Sort{In: f, By: []schema.ColID{{Rel: "e", Name: "dno"}}}
+	if err := Validate(wrapped); err == nil {
+		t.Errorf("invalid child accepted")
+	}
+}
+
+func TestJoinProjValidation(t *testing.T) {
+	c := empDept(t)
+	j := &Join{
+		L:     scan(t, c, "emp", "e"),
+		R:     scan(t, c, "dept", "d"),
+		Preds: []expr.Expr{expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.Col("d", "dno"))},
+		Proj:  []schema.ColID{{Rel: "zz", Name: "nope"}},
+	}
+	if err := Validate(j); err == nil {
+		t.Errorf("bad join projection accepted")
+	}
+}
+
+func TestNamedExprString(t *testing.T) {
+	ne := NamedExpr{E: expr.Col("e", "sal"), As: schema.ColID{Rel: "o", Name: "s"}}
+	if ne.String() != "e.sal AS o.s" {
+		t.Errorf("NamedExpr.String = %q", ne.String())
+	}
+}
+
+func TestGroupByInnerSchemaExposed(t *testing.T) {
+	c := empDept(t)
+	g := exampleGroupBy(t, c)
+	inner := g.InnerSchema()
+	if len(inner) != 2 || inner[1].ID.Name != "asal" {
+		t.Fatalf("inner schema = %s", inner)
+	}
+}

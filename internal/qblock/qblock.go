@@ -1,0 +1,372 @@
+// Package qblock represents queries in the paper's canonical form
+// (Figure 3): a top block joining base relations B1..Bn and aggregate views
+// Q1..Qm, optionally followed by a group-by G0; each aggregate view
+// Qi = Gi(Vi) is a single-block SPJ query with a group-by.
+//
+// Blocks are the unit the optimization algorithms work on: the dynamic
+// program enumerates join orders of a block's relations, the minimal
+// invariant set is computed per view block, and the pull-up candidates
+// Φ(Vi′, Wi) are synthesized as new blocks.
+package qblock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aggview/internal/catalog"
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+)
+
+// Rel is one base-relation instance in a block.
+type Rel struct {
+	Alias string
+	Table *catalog.Table
+}
+
+// Schema returns the relation's schema under its alias.
+func (r *Rel) Schema() schema.Schema { return r.Table.Schema.Rename(r.Alias) }
+
+// Key returns the relation's primary key under its alias.
+func (r *Rel) Key() (schema.Key, bool) { return r.Table.Key(r.Alias) }
+
+// Block is a single-block query: an SPJ core over Rels and Conjs, an
+// optional group-by (GroupCols/Aggs/Having), and a select list (Outputs).
+type Block struct {
+	Rels      []*Rel
+	Conjs     []expr.Expr // WHERE conjuncts: local filters and join predicates
+	GroupCols []schema.ColID
+	Aggs      []expr.Agg
+	Having    []expr.Expr
+	Outputs   []lplan.NamedExpr
+}
+
+// HasGroupBy reports whether the block aggregates.
+func (b *Block) HasGroupBy() bool { return len(b.GroupCols) > 0 || len(b.Aggs) > 0 }
+
+// Rel returns the relation with the given alias.
+func (b *Block) Rel(alias string) (*Rel, bool) {
+	for _, r := range b.Rels {
+		if r.Alias == alias {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Aliases returns the relation aliases in declaration order.
+func (b *Block) Aliases() []string {
+	out := make([]string, len(b.Rels))
+	for i, r := range b.Rels {
+		out[i] = r.Alias
+	}
+	return out
+}
+
+// JoinSchema returns the concatenated schema of all relations.
+func (b *Block) JoinSchema() schema.Schema {
+	var s schema.Schema
+	for _, r := range b.Rels {
+		s = s.Concat(r.Schema())
+	}
+	return s
+}
+
+// InnerSchema returns the schema Having and Outputs resolve against:
+// the join schema for SPJ blocks, or grouping columns plus aggregate
+// outputs for aggregating blocks.
+func (b *Block) InnerSchema() schema.Schema {
+	js := b.JoinSchema()
+	if !b.HasGroupBy() {
+		return js
+	}
+	var s schema.Schema
+	for _, gc := range b.GroupCols {
+		i, err := js.IndexOf(gc)
+		if err != nil || i < 0 {
+			s = append(s, schema.Column{ID: gc})
+			continue
+		}
+		s = append(s, js[i])
+	}
+	for _, a := range b.Aggs {
+		s = append(s, schema.Column{ID: a.Out, Type: a.ResultType(js)})
+	}
+	return s
+}
+
+// OutputSchema returns the block's result schema.
+func (b *Block) OutputSchema() schema.Schema {
+	inner := b.InnerSchema()
+	out := make(schema.Schema, len(b.Outputs))
+	for i, ne := range b.Outputs {
+		out[i] = schema.Column{ID: ne.As, Type: ne.E.Type(inner)}
+	}
+	return out
+}
+
+// ConjRels returns the distinct block-relation aliases a conjunct touches.
+// Aliases not belonging to the block (e.g. view outputs in a top block) are
+// included too; callers filter as needed.
+func ConjRels(e expr.Expr) []string {
+	rels := expr.Rels(e)
+	sort.Strings(rels)
+	return rels
+}
+
+// LocalConjs partitions the block's conjuncts into per-relation local
+// filters and the rest (join predicates or multi-relation filters).
+func (b *Block) LocalConjs() (local map[string][]expr.Expr, rest []expr.Expr) {
+	local = map[string][]expr.Expr{}
+	for _, c := range b.Conjs {
+		rels := expr.Rels(c)
+		if len(rels) == 1 {
+			local[rels[0]] = append(local[rels[0]], c)
+			continue
+		}
+		rest = append(rest, c)
+	}
+	return local, rest
+}
+
+// Validate checks internal consistency: relation aliases unique, conjunct
+// and grouping columns resolvable, aggregate args resolvable, having over
+// the inner schema, outputs over the inner schema.
+func (b *Block) Validate() error {
+	seen := map[string]bool{}
+	for _, r := range b.Rels {
+		if seen[r.Alias] {
+			return fmt.Errorf("block: duplicate relation alias %q", r.Alias)
+		}
+		seen[r.Alias] = true
+	}
+	js := b.JoinSchema()
+	for _, c := range b.Conjs {
+		for _, col := range expr.Columns(c) {
+			i, err := js.IndexOf(col)
+			if err != nil {
+				return fmt.Errorf("block conjunct %s: %w", c, err)
+			}
+			if i < 0 {
+				return fmt.Errorf("block conjunct %s: column %s unknown", c, col)
+			}
+		}
+	}
+	for _, gc := range b.GroupCols {
+		i, err := js.IndexOf(gc)
+		if err != nil || i < 0 {
+			return fmt.Errorf("block: grouping column %s unknown", gc)
+		}
+	}
+	for _, a := range b.Aggs {
+		if a.Arg == nil {
+			if a.Kind != expr.AggCountStar {
+				return fmt.Errorf("block: aggregate %s lacks argument", a.Kind)
+			}
+			continue
+		}
+		for _, col := range expr.Columns(a.Arg) {
+			i, err := js.IndexOf(col)
+			if err != nil || i < 0 {
+				return fmt.Errorf("block aggregate %s: column %s unknown", a, col)
+			}
+		}
+	}
+	inner := b.InnerSchema()
+	for _, h := range b.Having {
+		for _, col := range expr.Columns(h) {
+			i, err := inner.IndexOf(col)
+			if err != nil || i < 0 {
+				return fmt.Errorf("block having %s: column %s not among grouping columns/aggregates", h, col)
+			}
+		}
+	}
+	if len(b.Outputs) == 0 {
+		return fmt.Errorf("block: no output columns")
+	}
+	for _, ne := range b.Outputs {
+		for _, col := range expr.Columns(ne.E) {
+			i, err := inner.IndexOf(col)
+			if err != nil || i < 0 {
+				return fmt.Errorf("block output %s: column %s unknown", ne, col)
+			}
+		}
+	}
+	if !b.HasGroupBy() && len(b.Having) > 0 {
+		return fmt.Errorf("block: HAVING without GROUP BY")
+	}
+	return nil
+}
+
+// String renders a compact description for debugging.
+func (b *Block) String() string {
+	var sb strings.Builder
+	sb.WriteString("Block{rels=[")
+	sb.WriteString(strings.Join(b.Aliases(), ", "))
+	sb.WriteString("]")
+	if len(b.Conjs) > 0 {
+		parts := make([]string, len(b.Conjs))
+		for i, c := range b.Conjs {
+			parts[i] = c.String()
+		}
+		sb.WriteString(" where=" + strings.Join(parts, " AND "))
+	}
+	if b.HasGroupBy() {
+		gcs := make([]string, len(b.GroupCols))
+		for i, g := range b.GroupCols {
+			gcs[i] = g.String()
+		}
+		sb.WriteString(" group=[" + strings.Join(gcs, ", ") + "]")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// AggView is one aggregate view joined in the top block. Its block's
+// Outputs name columns under Alias, so top-block conjuncts reference
+// Alias.col.
+type AggView struct {
+	Alias string
+	Block *Block
+}
+
+// OutputSchema returns the view's result schema (columns under Alias).
+func (v *AggView) OutputSchema() schema.Schema { return v.Block.OutputSchema() }
+
+// Query is the canonical multi-block form of Figure 3.
+type Query struct {
+	Views []*AggView
+	Top   *Block // Top.Rels are the base relations B; Top.Conjs may reference view aliases
+}
+
+// View returns the aggregate view with the given alias.
+func (q *Query) View(alias string) (*AggView, bool) {
+	for _, v := range q.Views {
+		if v.Alias == alias {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks the query's canonical-form invariants.
+func (q *Query) Validate() error {
+	seen := map[string]bool{}
+	for _, v := range q.Views {
+		if seen[v.Alias] {
+			return fmt.Errorf("query: duplicate view alias %q", v.Alias)
+		}
+		seen[v.Alias] = true
+		if !v.Block.HasGroupBy() {
+			return fmt.Errorf("query: view %q is not an aggregate view (SPJ views must be flattened into the parent)", v.Alias)
+		}
+		if err := v.Block.Validate(); err != nil {
+			return fmt.Errorf("view %q: %w", v.Alias, err)
+		}
+	}
+	// The top block's conjuncts/outputs may also reference view columns:
+	// validate against the join schema extended with view output schemas.
+	js := q.Top.JoinSchema()
+	for _, v := range q.Views {
+		js = js.Concat(v.OutputSchema())
+	}
+	for _, r := range q.Top.Rels {
+		if seen[r.Alias] {
+			return fmt.Errorf("query: alias %q used for both a view and a base relation", r.Alias)
+		}
+	}
+	check := func(e expr.Expr, what string) error {
+		for _, col := range expr.Columns(e) {
+			i, err := js.IndexOf(col)
+			if err != nil {
+				return fmt.Errorf("query %s %s: %w", what, e, err)
+			}
+			if i < 0 {
+				return fmt.Errorf("query %s %s: column %s unknown", what, e, col)
+			}
+		}
+		return nil
+	}
+	for _, c := range q.Top.Conjs {
+		if err := check(c, "conjunct"); err != nil {
+			return err
+		}
+	}
+	for _, gc := range q.Top.GroupCols {
+		i, err := js.IndexOf(gc)
+		if err != nil || i < 0 {
+			return fmt.Errorf("query: grouping column %s unknown", gc)
+		}
+	}
+	for _, a := range q.Top.Aggs {
+		if a.Arg != nil {
+			if err := check(a.Arg, "aggregate"); err != nil {
+				return err
+			}
+		}
+	}
+	// Having/Outputs resolve against the top block's inner schema, which
+	// for a grouped top block is grouping+aggs; for an SPJ top block it is
+	// the extended join schema.
+	inner := js
+	if q.Top.HasGroupBy() {
+		inner = nil
+		for _, gc := range q.Top.GroupCols {
+			i, err := js.IndexOf(gc)
+			if err != nil || i < 0 {
+				return fmt.Errorf("query: grouping column %s unknown", gc)
+			}
+			inner = append(inner, js[i])
+		}
+		for _, a := range q.Top.Aggs {
+			inner = append(inner, schema.Column{ID: a.Out, Type: a.ResultType(js)})
+		}
+	}
+	for _, h := range q.Top.Having {
+		for _, col := range expr.Columns(h) {
+			i, err := inner.IndexOf(col)
+			if err != nil || i < 0 {
+				return fmt.Errorf("query having %s: column %s unknown", h, col)
+			}
+		}
+	}
+	if len(q.Top.Outputs) == 0 {
+		return fmt.Errorf("query: no output columns")
+	}
+	for _, ne := range q.Top.Outputs {
+		for _, col := range expr.Columns(ne.E) {
+			i, err := inner.IndexOf(col)
+			if err != nil || i < 0 {
+				return fmt.Errorf("query output %s: column %s unknown", ne, col)
+			}
+		}
+	}
+	return nil
+}
+
+// OutputSchema returns the query's result schema.
+func (q *Query) OutputSchema() schema.Schema {
+	js := q.Top.JoinSchema()
+	for _, v := range q.Views {
+		js = js.Concat(v.OutputSchema())
+	}
+	inner := js
+	if q.Top.HasGroupBy() {
+		inner = nil
+		for _, gc := range q.Top.GroupCols {
+			if i, err := js.IndexOf(gc); err == nil && i >= 0 {
+				inner = append(inner, js[i])
+			}
+		}
+		for _, a := range q.Top.Aggs {
+			inner = append(inner, schema.Column{ID: a.Out, Type: a.ResultType(js)})
+		}
+	}
+	out := make(schema.Schema, len(q.Top.Outputs))
+	for i, ne := range q.Top.Outputs {
+		out[i] = schema.Column{ID: ne.As, Type: ne.E.Type(inner)}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       types.Kind
+	PrimaryKey bool // inline PRIMARY KEY
+}
+
+// ForeignKeyDef is a table-level FOREIGN KEY clause.
+type ForeignKeyDef struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// CreateTable is CREATE TABLE name (...).
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeyDef
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateView is CREATE VIEW name [(cols)] AS select. Text preserves the
+// defining SELECT verbatim for the catalog.
+type CreateView struct {
+	Name  string
+	Cols  []string
+	Query *Select
+	Text  string
+}
+
+func (*CreateView) stmt() {}
+
+// CreateIndex is CREATE INDEX name ON table (cols).
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// Insert is INSERT INTO table VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr // literal expressions only
+}
+
+func (*Insert) stmt() {}
+
+// Analyze is ANALYZE [table].
+type Analyze struct{ Table string }
+
+func (*Analyze) stmt() {}
+
+// Explain wraps a SELECT.
+type Explain struct{ Query *Select }
+
+func (*Explain) stmt() {}
+
+// Select is a query block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Name
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one projection: * or expr [AS alias].
+type SelectItem struct {
+	Star  bool
+	E     Expr
+	Alias string
+}
+
+// FromItem is a table reference or a derived table.
+type FromItem struct {
+	Table    string  // base table or view name ("" for derived tables)
+	Subquery *Select // derived table
+	Alias    string  // always set after parsing (defaults to the table name)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    Expr
+	Desc bool
+}
+
+// Expr is an unresolved scalar expression.
+type Expr interface{ expr() }
+
+// Name references a column, optionally qualified.
+type Name struct {
+	Qual string // table alias; "" if unqualified
+	Col  string
+}
+
+func (Name) expr() {}
+
+// String renders the reference.
+func (n Name) String() string {
+	if n.Qual == "" {
+		return n.Col
+	}
+	return n.Qual + "." + n.Col
+}
+
+// Lit is a literal value.
+type Lit struct{ Val types.Value }
+
+func (Lit) expr() {}
+
+// Bin is a binary operation; Op is one of = <> < <= > >= + - * / AND OR.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+func (Bin) expr() {}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (Not) expr() {}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+func (Neg) expr() {}
+
+// Call is an aggregate or function call; Star marks COUNT(*).
+type Call struct {
+	Func string // upper-cased
+	Star bool
+	Args []Expr
+}
+
+func (Call) expr() {}
+
+// Subquery is a scalar subquery used as an operand.
+type Subquery struct{ Sel *Select }
+
+func (Subquery) expr() {}
+
+// InSubquery is `expr [NOT] IN (select)`.
+type InSubquery struct {
+	L   Expr
+	Sel *Select
+	Neg bool
+}
+
+func (InSubquery) expr() {}
+
+// ExistsSubquery is `[NOT] EXISTS (select)`.
+type ExistsSubquery struct {
+	Sel *Select
+	Neg bool
+}
+
+func (ExistsSubquery) expr() {}
+
+// ExprString renders an AST expression for diagnostics.
+func ExprString(e Expr) string {
+	switch t := e.(type) {
+	case Name:
+		return t.String()
+	case Lit:
+		return t.Val.String()
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(t.L), t.Op, ExprString(t.R))
+	case Not:
+		return "NOT " + ExprString(t.E)
+	case Neg:
+		return "-" + ExprString(t.E)
+	case Call:
+		if t.Star {
+			return t.Func + "(*)"
+		}
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = ExprString(a)
+		}
+		return t.Func + "(" + strings.Join(args, ", ") + ")"
+	case Subquery:
+		return "(subquery)"
+	case InSubquery:
+		neg := ""
+		if t.Neg {
+			neg = "NOT "
+		}
+		return ExprString(t.L) + " " + neg + "IN (subquery)"
+	case ExistsSubquery:
+		neg := ""
+		if t.Neg {
+			neg = "NOT "
+		}
+		return neg + "EXISTS (subquery)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

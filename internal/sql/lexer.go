@@ -1,0 +1,196 @@
+// Package sql implements the SQL front end: a lexer, an AST, and a
+// recursive-descent parser for the dialect the engine supports —
+// CREATE TABLE / VIEW / INDEX, INSERT, ANALYZE, EXPLAIN, and SELECT
+// queries with joins, GROUP BY, HAVING, ORDER BY, derived tables, and
+// (correlated) subqueries in the WHERE clause.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, idents lower-cased, symbols verbatim
+	pos  int    // byte offset for error reporting
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case
+// insensitive) become tokKeyword with upper-case text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "EXISTS": true, "CREATE": true,
+	"TABLE": true, "VIEW": true, "INDEX": true, "ON": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "ANALYZE": true, "EXPLAIN": true,
+	"JOIN": true, "INNER": true, "DISTINCT": true, "ALL": true, "ASC": true,
+	"DESC": true, "TRUE": true, "FALSE": true, "NULL": true, "BETWEEN": true,
+	"DROP": true, "INT": true, "INTEGER": true, "BIGINT": true,
+	"FLOAT": true, "REAL": true, "DOUBLE": true, "PRECISION": true,
+	"VARCHAR": true, "CHAR": true, "TEXT": true, "BOOLEAN": true, "BOOL": true,
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if !l.lexSymbol() {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	seenExp := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "." {
+		return fmt.Errorf("sql: malformed number at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// twoCharSymbols in match priority order.
+var twoCharSymbols = []string{"<>", "<=", ">=", "!=", "=="}
+
+func (l *lexer) lexSymbol() bool {
+	rest := l.src[l.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: s, pos: l.pos})
+			l.pos += len(s)
+			return true
+		}
+	}
+	switch rest[0] {
+	case '(', ')', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: rest[:1], pos: l.pos})
+		l.pos++
+		return true
+	}
+	return false
+}

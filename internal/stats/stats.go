@@ -1,0 +1,257 @@
+// Package stats implements cardinality and selectivity estimation.
+//
+// The formulas are the classical System-R family the paper's optimizers
+// assume: uniform-value selectivities (1/NDV for equality, min/max
+// interpolation for ranges), 1/max(NDV) for equi-joins, and the
+// Cardenas/Yao formula for the number of distinct groups produced by a
+// group-by. They operate on a Relation summary (row count plus per-column
+// statistics) that the cost model propagates bottom-up through a plan.
+package stats
+
+import (
+	"math"
+
+	"aggview/internal/expr"
+	"aggview/internal/schema"
+	"aggview/internal/types"
+)
+
+// Default selectivities for predicates the estimator cannot analyse,
+// mirroring Selinger's catalog-free guesses.
+const (
+	DefaultEqSel    = 0.1
+	DefaultRangeSel = 1.0 / 3.0
+	DefaultSel      = 0.25
+)
+
+// ColInfo summarizes one column.
+type ColInfo struct {
+	NDV      float64
+	Min, Max types.Value // NULL when unknown
+}
+
+// Relation summarizes an intermediate result for estimation.
+type Relation struct {
+	Rows float64
+	Cols map[schema.ColID]ColInfo
+}
+
+// NewRelation creates an empty summary.
+func NewRelation(rows float64) *Relation {
+	return &Relation{Rows: rows, Cols: map[schema.ColID]ColInfo{}}
+}
+
+// Clone deep-copies the summary.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Rows)
+	for k, v := range r.Cols {
+		out.Cols[k] = v
+	}
+	return out
+}
+
+// Col returns the column summary, defaulting NDV to the row count (every
+// value distinct) when the column is unknown.
+func (r *Relation) Col(id schema.ColID) ColInfo {
+	if ci, ok := r.Cols[id]; ok {
+		return ci
+	}
+	return ColInfo{NDV: math.Max(r.Rows, 1)}
+}
+
+// ClampNDVs caps every column's NDV at the current row count; call after
+// reducing Rows.
+func (r *Relation) ClampNDVs() {
+	for k, v := range r.Cols {
+		if v.NDV > r.Rows {
+			v.NDV = math.Max(r.Rows, 1)
+			r.Cols[k] = v
+		}
+	}
+}
+
+// Selectivity estimates the fraction of rows satisfying the predicate.
+func Selectivity(e expr.Expr, r *Relation) float64 {
+	switch p := e.(type) {
+	case *expr.Cmp:
+		return cmpSelectivity(p, r)
+	case *expr.Logic:
+		if p.IsOr {
+			// Independence: 1 - prod(1 - s_i).
+			keep := 1.0
+			for _, t := range p.Terms {
+				keep *= 1 - Selectivity(t, r)
+			}
+			return clamp01(1 - keep)
+		}
+		s := 1.0
+		for _, t := range p.Terms {
+			s *= Selectivity(t, r)
+		}
+		return s
+	case *expr.Not:
+		return clamp01(1 - Selectivity(p.E, r))
+	case *expr.Const:
+		if p.Val.Bool() {
+			return 1
+		}
+		return 0
+	default:
+		return DefaultSel
+	}
+}
+
+func cmpSelectivity(p *expr.Cmp, r *Relation) float64 {
+	lc, lIsCol := p.L.(*expr.ColRef)
+	rc, rIsCol := p.R.(*expr.ColRef)
+	lk, lIsConst := p.L.(*expr.Const)
+	rk, rIsConst := p.R.(*expr.Const)
+
+	switch {
+	case lIsCol && rIsConst:
+		return colConstSelectivity(p.Op, r.Col(lc.ID), rk.Val)
+	case lIsConst && rIsCol:
+		return colConstSelectivity(p.Op.Flip(), r.Col(rc.ID), lk.Val)
+	case lIsCol && rIsCol:
+		li, ri := r.Col(lc.ID), r.Col(rc.ID)
+		switch p.Op {
+		case expr.EQ:
+			return 1 / math.Max(math.Max(li.NDV, ri.NDV), 1)
+		case expr.NE:
+			return clamp01(1 - 1/math.Max(math.Max(li.NDV, ri.NDV), 1))
+		default:
+			return DefaultRangeSel
+		}
+	default:
+		switch p.Op {
+		case expr.EQ:
+			return DefaultEqSel
+		case expr.NE:
+			return 1 - DefaultEqSel
+		default:
+			return DefaultRangeSel
+		}
+	}
+}
+
+func colConstSelectivity(op expr.CmpOp, ci ColInfo, v types.Value) float64 {
+	switch op {
+	case expr.EQ:
+		return 1 / math.Max(ci.NDV, 1)
+	case expr.NE:
+		return clamp01(1 - 1/math.Max(ci.NDV, 1))
+	}
+	// Range predicate: interpolate when the column range is known & numeric.
+	if ci.Min.IsNull() || ci.Max.IsNull() || !ci.Min.K.Numeric() || !v.K.Numeric() {
+		return DefaultRangeSel
+	}
+	lo, hi, x := ci.Min.Float(), ci.Max.Float(), v.Float()
+	if hi <= lo {
+		// Single-valued column.
+		switch op {
+		case expr.LT:
+			if lo < x {
+				return 1
+			}
+			return 0
+		case expr.LE:
+			if lo <= x {
+				return 1
+			}
+			return 0
+		case expr.GT:
+			if lo > x {
+				return 1
+			}
+			return 0
+		case expr.GE:
+			if lo >= x {
+				return 1
+			}
+			return 0
+		}
+		return DefaultRangeSel
+	}
+	frac := (x - lo) / (hi - lo)
+	switch op {
+	case expr.LT, expr.LE:
+		return clamp01(frac)
+	case expr.GT, expr.GE:
+		return clamp01(1 - frac)
+	default:
+		return DefaultRangeSel
+	}
+}
+
+// JoinSelectivity estimates the selectivity of a conjunct connecting two
+// relations, given both sides' summaries. Equi-joins use 1/max(NDV).
+func JoinSelectivity(e expr.Expr, l, r *Relation) float64 {
+	if lc, rc, ok := expr.EquiJoin(e); ok {
+		var lNDV, rNDV float64 = 1, 1
+		if _, have := l.Cols[lc]; have {
+			lNDV = l.Col(lc).NDV
+		} else if _, have := r.Cols[lc]; have {
+			lNDV = r.Col(lc).NDV
+		}
+		if _, have := r.Cols[rc]; have {
+			rNDV = r.Col(rc).NDV
+		} else if _, have := l.Cols[rc]; have {
+			rNDV = l.Col(rc).NDV
+		}
+		return 1 / math.Max(math.Max(lNDV, rNDV), 1)
+	}
+	// Fall back to single-relation analysis over the merged summary.
+	merged := MergeForJoin(l, r)
+	return Selectivity(e, merged)
+}
+
+// MergeForJoin builds the cross-product summary of two inputs.
+func MergeForJoin(l, r *Relation) *Relation {
+	out := NewRelation(l.Rows * r.Rows)
+	for k, v := range l.Cols {
+		out.Cols[k] = v
+	}
+	for k, v := range r.Cols {
+		out.Cols[k] = v
+	}
+	return out
+}
+
+// DistinctGroups applies the Cardenas formula: the expected number of
+// distinct groups when n rows fall uniformly into d possible group keys:
+//
+//	E[groups] = d * (1 - (1 - 1/d)^n)
+//
+// d is the product of the grouping columns' NDVs, capped at n.
+func DistinctGroups(r *Relation, groupCols []schema.ColID) float64 {
+	n := r.Rows
+	if n <= 0 {
+		return 0
+	}
+	if len(groupCols) == 0 {
+		return 1
+	}
+	d := 1.0
+	for _, c := range groupCols {
+		d *= math.Max(r.Col(c).NDV, 1)
+		if d > n {
+			d = n
+			break
+		}
+	}
+	if d >= n {
+		return n
+	}
+	// Cardenas; guard the power for huge n via the exp/log form.
+	return d * (1 - math.Exp(float64(n)*math.Log1p(-1/d)))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"aggview/internal/expr"
+	"aggview/internal/schema"
+	"aggview/internal/types"
+)
+
+func empRel() *Relation {
+	r := NewRelation(10000)
+	r.Cols[schema.ColID{Rel: "e", Name: "eno"}] = ColInfo{NDV: 10000, Min: types.NewInt(0), Max: types.NewInt(9999)}
+	r.Cols[schema.ColID{Rel: "e", Name: "dno"}] = ColInfo{NDV: 100, Min: types.NewInt(0), Max: types.NewInt(99)}
+	r.Cols[schema.ColID{Rel: "e", Name: "age"}] = ColInfo{NDV: 50, Min: types.NewInt(20), Max: types.NewInt(70)}
+	return r
+}
+
+func deptRel() *Relation {
+	r := NewRelation(100)
+	r.Cols[schema.ColID{Rel: "d", Name: "dno"}] = ColInfo{NDV: 100, Min: types.NewInt(0), Max: types.NewInt(99)}
+	return r
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestEqualityConstSelectivity(t *testing.T) {
+	r := empRel()
+	sel := Selectivity(expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.IntLit(5)), r)
+	approx(t, sel, 0.01, 1e-9, "dno=5")
+	sel = Selectivity(expr.NewCmp(expr.NE, expr.Col("e", "dno"), expr.IntLit(5)), r)
+	approx(t, sel, 0.99, 1e-9, "dno<>5")
+}
+
+func TestRangeSelectivityInterpolation(t *testing.T) {
+	r := empRel()
+	// age in [20,70]; age < 22 → 2/50.
+	sel := Selectivity(expr.NewCmp(expr.LT, expr.Col("e", "age"), expr.IntLit(22)), r)
+	approx(t, sel, 0.04, 1e-9, "age<22")
+	sel = Selectivity(expr.NewCmp(expr.GE, expr.Col("e", "age"), expr.IntLit(45)), r)
+	approx(t, sel, 0.5, 1e-9, "age>=45")
+	// Constant on the left flips the operator.
+	sel = Selectivity(expr.NewCmp(expr.GT, expr.IntLit(22), expr.Col("e", "age")), r)
+	approx(t, sel, 0.04, 1e-9, "22>age")
+	// Out-of-range constants clamp.
+	sel = Selectivity(expr.NewCmp(expr.LT, expr.Col("e", "age"), expr.IntLit(200)), r)
+	approx(t, sel, 1, 1e-9, "age<200")
+	sel = Selectivity(expr.NewCmp(expr.GT, expr.Col("e", "age"), expr.IntLit(200)), r)
+	approx(t, sel, 0, 1e-9, "age>200")
+}
+
+func TestRangeSelectivityUnknownColumn(t *testing.T) {
+	r := NewRelation(100)
+	sel := Selectivity(expr.NewCmp(expr.LT, expr.Col("x", "c"), expr.IntLit(5)), r)
+	approx(t, sel, DefaultRangeSel, 1e-9, "unknown range")
+	sel = Selectivity(expr.NewCmp(expr.EQ, expr.Col("x", "c"), expr.StrLit("q")), r)
+	approx(t, sel, 1.0/100, 1e-9, "unknown eq defaults to 1/rows NDV")
+}
+
+func TestSingleValuedColumnRange(t *testing.T) {
+	r := NewRelation(10)
+	id := schema.ColID{Rel: "t", Name: "c"}
+	r.Cols[id] = ColInfo{NDV: 1, Min: types.NewInt(5), Max: types.NewInt(5)}
+	if s := Selectivity(expr.NewCmp(expr.LT, expr.ColOf(id), expr.IntLit(9)), r); s != 1 {
+		t.Errorf("5<9 sel = %g", s)
+	}
+	if s := Selectivity(expr.NewCmp(expr.GT, expr.ColOf(id), expr.IntLit(9)), r); s != 0 {
+		t.Errorf("5>9 sel = %g", s)
+	}
+	if s := Selectivity(expr.NewCmp(expr.LE, expr.ColOf(id), expr.IntLit(5)), r); s != 1 {
+		t.Errorf("5<=5 sel = %g", s)
+	}
+	if s := Selectivity(expr.NewCmp(expr.GE, expr.ColOf(id), expr.IntLit(6)), r); s != 0 {
+		t.Errorf("5>=6 sel = %g", s)
+	}
+}
+
+func TestLogicSelectivity(t *testing.T) {
+	r := empRel()
+	eq := expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.IntLit(5))  // 0.01
+	lt := expr.NewCmp(expr.LT, expr.Col("e", "age"), expr.IntLit(45)) // 0.5
+	and := Selectivity(expr.And(eq, lt), r)
+	approx(t, and, 0.005, 1e-9, "AND")
+	or := Selectivity(expr.Or(eq, lt), r)
+	approx(t, or, 1-(1-0.01)*(1-0.5), 1e-9, "OR")
+	not := Selectivity(expr.NewNot(lt), r)
+	approx(t, not, 0.5, 1e-9, "NOT")
+}
+
+func TestConstPredicateSelectivity(t *testing.T) {
+	r := empRel()
+	if s := Selectivity(expr.BoolLit(true), r); s != 1 {
+		t.Errorf("TRUE = %g", s)
+	}
+	if s := Selectivity(expr.BoolLit(false), r); s != 0 {
+		t.Errorf("FALSE = %g", s)
+	}
+}
+
+func TestColColSelectivity(t *testing.T) {
+	r := empRel()
+	// Two columns of the same relation: EQ uses 1/max(NDV).
+	sel := Selectivity(expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.Col("e", "age")), r)
+	approx(t, sel, 1.0/100, 1e-9, "dno=age")
+	sel = Selectivity(expr.NewCmp(expr.GT, expr.Col("e", "dno"), expr.Col("e", "age")), r)
+	approx(t, sel, DefaultRangeSel, 1e-9, "dno>age")
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	e, d := empRel(), deptRel()
+	pred := expr.NewCmp(expr.EQ, expr.Col("e", "dno"), expr.Col("d", "dno"))
+	sel := JoinSelectivity(pred, e, d)
+	approx(t, sel, 1.0/100, 1e-9, "e.dno=d.dno")
+	// Result cardinality would be 10000*100/100 = 10000: every emp matches.
+	rows := e.Rows * d.Rows * sel
+	approx(t, rows, 10000, 1e-6, "join rows")
+	// Non-equi join predicates fall back to range defaults.
+	ne := expr.NewCmp(expr.LT, expr.Col("e", "dno"), expr.Col("d", "dno"))
+	approx(t, JoinSelectivity(ne, e, d), DefaultRangeSel, 1e-9, "e.dno<d.dno")
+}
+
+func TestMergeForJoin(t *testing.T) {
+	e, d := empRel(), deptRel()
+	m := MergeForJoin(e, d)
+	if m.Rows != 1e6 {
+		t.Fatalf("rows = %g", m.Rows)
+	}
+	if m.Col(schema.ColID{Rel: "d", Name: "dno"}).NDV != 100 {
+		t.Fatalf("lost right column stats")
+	}
+	if m.Col(schema.ColID{Rel: "e", Name: "age"}).NDV != 50 {
+		t.Fatalf("lost left column stats")
+	}
+}
+
+func TestDistinctGroupsSmallDomain(t *testing.T) {
+	r := empRel()
+	g := DistinctGroups(r, []schema.ColID{{Rel: "e", Name: "dno"}})
+	// 10000 rows into 100 groups: essentially all groups occupied.
+	if g < 99 || g > 100 {
+		t.Errorf("groups = %g, want ≈100", g)
+	}
+}
+
+func TestDistinctGroupsSparse(t *testing.T) {
+	// 10 rows into 1000 possible keys: nearly all rows form their own group.
+	r := NewRelation(10)
+	id := schema.ColID{Rel: "t", Name: "k"}
+	r.Cols[id] = ColInfo{NDV: 1000}
+	g := DistinctGroups(r, []schema.ColID{id})
+	if g < 9.9 || g > 10 {
+		t.Errorf("groups = %g, want ≈10", g)
+	}
+}
+
+func TestDistinctGroupsComposite(t *testing.T) {
+	r := empRel()
+	g := DistinctGroups(r, []schema.ColID{
+		{Rel: "e", Name: "dno"}, {Rel: "e", Name: "age"},
+	})
+	// Domain 100*50 = 5000 keys, 10000 rows: Cardenas ≈ 5000*(1-(1-1/5000)^10000) ≈ 4323.
+	if g < 4000 || g > 5000 {
+		t.Errorf("composite groups = %g", g)
+	}
+}
+
+func TestDistinctGroupsEdgeCases(t *testing.T) {
+	r := NewRelation(0)
+	if g := DistinctGroups(r, nil); g != 0 {
+		t.Errorf("empty input groups = %g", g)
+	}
+	r = NewRelation(50)
+	if g := DistinctGroups(r, nil); g != 1 {
+		t.Errorf("scalar agg groups = %g", g)
+	}
+	// Grouping by a key: every row its own group.
+	id := schema.ColID{Rel: "t", Name: "pk"}
+	r.Cols[id] = ColInfo{NDV: 50}
+	if g := DistinctGroups(r, []schema.ColID{id}); g != 50 {
+		t.Errorf("key-grouped = %g", g)
+	}
+}
+
+func TestCloneAndClamp(t *testing.T) {
+	r := empRel()
+	c := r.Clone()
+	c.Rows = 10
+	c.ClampNDVs()
+	if c.Col(schema.ColID{Rel: "e", Name: "eno"}).NDV != 10 {
+		t.Errorf("clamp failed: %g", c.Col(schema.ColID{Rel: "e", Name: "eno"}).NDV)
+	}
+	if r.Col(schema.ColID{Rel: "e", Name: "eno"}).NDV != 10000 {
+		t.Errorf("clone shares maps")
+	}
+}
+
+func TestColDefaultNDV(t *testing.T) {
+	r := NewRelation(42)
+	ci := r.Col(schema.ColID{Rel: "x", Name: "y"})
+	if ci.NDV != 42 {
+		t.Errorf("default NDV = %g", ci.NDV)
+	}
+}

@@ -1,0 +1,367 @@
+// Package storage implements the disk substrate of the engine: paged heap
+// files, an LRU buffer pool, and IO accounting.
+//
+// The paper optimizes IO cost over a disk-resident decision-support
+// database. This package simulates that substrate faithfully enough for the
+// cost model's trade-offs to be observable: every base-table and spill page
+// that is not resident in the buffer pool charges a read, every page flushed
+// to a file charges a write. "Disk" is process memory, so experiments run at
+// laptop scale, but the IO counters behave like a real buffer manager's.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aggview/internal/types"
+)
+
+// PageSize is the accounted page capacity in bytes.
+const PageSize = 4096
+
+// DefaultPoolPages is the default buffer pool size in pages. It is small
+// relative to the synthetic tables used by the experiments so that plan
+// choices (early vs. late aggregation) have visible IO consequences.
+const DefaultPoolPages = 128
+
+// page holds the rows of one on-disk page.
+type page struct {
+	rows []types.Row
+}
+
+// File is a sequence of pages. Heap tables and spill runs are files.
+type File struct {
+	id     int
+	name   string
+	pages  []*page
+	starts []int64 // page directory: rowid of the first row on each flushed page
+	rows   int64
+	bytes  int64
+
+	// write buffer: rows accumulate here until the page fills.
+	cur      *page
+	curBytes int
+}
+
+// ID returns the file's store-unique identifier.
+func (f *File) ID() int { return f.id }
+
+// Name returns the file's debug name.
+func (f *File) Name() string { return f.name }
+
+// Pages returns the number of complete pages plus any partial tail page.
+func (f *File) Pages() int {
+	n := len(f.pages)
+	if f.cur != nil && len(f.cur.rows) > 0 {
+		n++
+	}
+	return n
+}
+
+// Rows returns the number of rows appended to the file.
+func (f *File) Rows() int64 { return f.rows }
+
+// IOStats counts accounted page IO.
+type IOStats struct {
+	Reads  int64 // pages fetched into the pool from "disk"
+	Writes int64 // pages flushed from the pool or writer to "disk"
+	Hits   int64 // pool hits (no IO charged)
+}
+
+// Sub returns the delta s - t, for measuring an operation window.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+}
+
+// Total returns reads+writes.
+func (s IOStats) Total() int64 { return s.Reads + s.Writes }
+
+// String renders the counters.
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.Hits)
+}
+
+// Store owns files and the shared buffer pool.
+type Store struct {
+	mu     sync.Mutex
+	files  map[int]*File
+	nextID int
+	pool   *bufferPool
+	stats  IOStats
+}
+
+// NewStore creates a store with a buffer pool of poolPages pages
+// (DefaultPoolPages if poolPages <= 0).
+func NewStore(poolPages int) *Store {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &Store{
+		files: map[int]*File{},
+		pool:  newBufferPool(poolPages),
+	}
+}
+
+// PoolPages returns the buffer pool capacity in pages.
+func (s *Store) PoolPages() int { return s.pool.cap }
+
+// Stats returns the cumulative IO counters.
+func (s *Store) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the IO counters (the pool contents are kept).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = IOStats{}
+}
+
+// DropCaches empties the buffer pool so the next scan pays cold-cache IO.
+func (s *Store) DropCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.reset()
+}
+
+// CreateFile allocates a new empty file.
+func (s *Store) CreateFile(name string) *File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	f := &File{id: s.nextID, name: name}
+	s.files[f.id] = f
+	return f
+}
+
+// DropFile releases a file and evicts its pages from the pool.
+func (s *Store) DropFile(f *File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.evictFile(f.id)
+	delete(s.files, f.id)
+}
+
+// Append adds a row to the file's write buffer, flushing full pages to
+// "disk" (charging one write per flushed page). The row is not copied;
+// callers must not mutate it afterwards.
+func (s *Store) Append(f *File, row types.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := row.DiskWidth()
+	if f.cur == nil {
+		f.cur = &page{}
+	}
+	if f.curBytes > 0 && f.curBytes+w > PageSize {
+		s.flushLocked(f)
+	}
+	f.cur.rows = append(f.cur.rows, row)
+	f.curBytes += w
+	f.rows++
+	f.bytes += int64(w)
+}
+
+// Flush forces the partial tail page, if any, to disk.
+func (s *Store) Flush(f *File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.cur != nil && len(f.cur.rows) > 0 {
+		s.flushLocked(f)
+	}
+}
+
+func (s *Store) flushLocked(f *File) {
+	f.starts = append(f.starts, f.rows-int64(len(f.cur.rows)))
+	f.pages = append(f.pages, f.cur)
+	s.stats.Writes++
+	f.cur = &page{}
+	f.curBytes = 0
+}
+
+// ReadPage fetches page n of the file through the buffer pool, charging a
+// read on a miss. The returned rows must not be mutated.
+func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	flushed := len(f.pages)
+	if n < flushed {
+		if s.pool.touch(f.id, n) {
+			s.stats.Hits++
+		} else {
+			s.stats.Reads++
+			s.pool.insert(f.id, n)
+		}
+		return f.pages[n].rows, nil
+	}
+	if n == flushed && f.cur != nil && len(f.cur.rows) > 0 {
+		// The unflushed tail page lives in the writer's memory: no IO.
+		return f.cur.rows, nil
+	}
+	return nil, fmt.Errorf("file %q: page %d out of range (%d pages)", f.name, n, f.Pages())
+}
+
+// Scanner iterates a file's rows page by page through the buffer pool.
+type Scanner struct {
+	store *Store
+	file  *File
+	page  int
+	slot  int
+	rows  []types.Row
+	rid   int64
+}
+
+// NewScanner starts a scan of f.
+func (s *Store) NewScanner(f *File) *Scanner {
+	return &Scanner{store: s, file: f, page: -1}
+}
+
+// Next returns the next row and its rowid, or ok=false at end of file.
+func (sc *Scanner) Next() (row types.Row, rid int64, ok bool, err error) {
+	for {
+		if sc.page >= 0 && sc.slot < len(sc.rows) {
+			row = sc.rows[sc.slot]
+			rid = sc.rid
+			sc.slot++
+			sc.rid++
+			return row, rid, true, nil
+		}
+		sc.page++
+		if sc.page >= sc.file.Pages() {
+			return nil, 0, false, nil
+		}
+		sc.rows, err = sc.store.ReadPage(sc.file, sc.page)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		sc.slot = 0
+	}
+}
+
+// bufferPool is an LRU cache of page identities. It tracks only residency:
+// page contents live in the owning File, mirroring a cache simulator.
+type bufferPool struct {
+	cap   int
+	list  map[pageKey]*lruNode
+	head  *lruNode // most recently used
+	tail  *lruNode // least recently used
+	count int
+}
+
+type pageKey struct {
+	file int
+	page int
+}
+
+type lruNode struct {
+	key        pageKey
+	prev, next *lruNode
+}
+
+func newBufferPool(capPages int) *bufferPool {
+	return &bufferPool{cap: capPages, list: map[pageKey]*lruNode{}}
+}
+
+func (p *bufferPool) reset() {
+	p.list = map[pageKey]*lruNode{}
+	p.head, p.tail, p.count = nil, nil, 0
+}
+
+// touch reports whether the page is resident, promoting it to MRU.
+func (p *bufferPool) touch(file, page int) bool {
+	n, ok := p.list[pageKey{file, page}]
+	if !ok {
+		return false
+	}
+	p.unlink(n)
+	p.pushFront(n)
+	return true
+}
+
+// insert makes the page resident, evicting the LRU page if full.
+func (p *bufferPool) insert(file, page int) {
+	k := pageKey{file, page}
+	if _, ok := p.list[k]; ok {
+		return
+	}
+	if p.count >= p.cap {
+		lru := p.tail
+		p.unlink(lru)
+		delete(p.list, lru.key)
+		p.count--
+	}
+	n := &lruNode{key: k}
+	p.list[k] = n
+	p.pushFront(n)
+	p.count++
+}
+
+func (p *bufferPool) evictFile(file int) {
+	for k, n := range p.list {
+		if k.file == file {
+			p.unlink(n)
+			delete(p.list, k)
+			p.count--
+		}
+	}
+}
+
+func (p *bufferPool) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *bufferPool) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// FetchRID fetches the row with the given rowid through the buffer pool.
+func (s *Store) FetchRID(f *File, rid int64) (types.Row, error) {
+	if rid < 0 || rid >= f.rows {
+		return nil, fmt.Errorf("file %q: rowid %d out of range (%d rows)", f.name, rid, f.rows)
+	}
+	// Binary search the page directory for the last flushed page whose
+	// start is <= rid; rids past the flushed pages live on the tail page.
+	s.mu.Lock()
+	flushed := len(f.pages)
+	idx := sort.Search(flushed, func(i int) bool { return f.starts[i] > rid })
+	pageIdx := idx - 1 // last flushed page with start <= rid, or -1
+	inFlushed := pageIdx >= 0 && rid < f.starts[pageIdx]+int64(len(f.pages[pageIdx].rows))
+	var tailStart int64
+	if flushed > 0 {
+		tailStart = f.starts[flushed-1] + int64(len(f.pages[flushed-1].rows))
+	}
+	s.mu.Unlock()
+
+	if inFlushed {
+		rows, err := s.ReadPage(f, pageIdx)
+		if err != nil {
+			return nil, err
+		}
+		return rows[rid-f.starts[pageIdx]], nil
+	}
+	rows, err := s.ReadPage(f, flushed)
+	if err != nil {
+		return nil, err
+	}
+	return rows[rid-tailStart], nil
+}

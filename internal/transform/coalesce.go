@@ -1,0 +1,149 @@
+package transform
+
+import (
+	"fmt"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+)
+
+// Coalesce applies the simple coalescing grouping transformation (Section
+// 4.2): given G1(J(R1, R2)) it produces G1'(J(G2(R1), R2)) — a new
+// group-by G2 is *added* below the join to pre-aggregate R1, and the
+// original group-by becomes a coalescing step over partial aggregates.
+//
+// Applicability (paper: "the aggregating functions … must be
+// decomposable"):
+//
+//   - every aggregate of G1 is decomposable and its arguments reference
+//     only R1;
+//   - G2 groups by all R1 columns the rest of the query still needs
+//     (G1's R1-side grouping columns and the join predicates' R1-side
+//     columns), so every row of a G2 group joins exactly the same R2
+//     tuples and coalescing reproduces the original multiplicities.
+//
+// Both join sides are tried; the first applicable side wins.
+func Coalesce(g *lplan.GroupBy) (lplan.Node, error) {
+	j, ok := g.In.(*lplan.Join)
+	if !ok {
+		return nil, fmt.Errorf("coalescing: group-by input is not a join")
+	}
+	if n, err := coalesceSide(g, j, true); err == nil {
+		return n, nil
+	}
+	return coalesceSide(g, j, false)
+}
+
+func coalesceSide(g *lplan.GroupBy, j *lplan.Join, side bool) (lplan.Node, error) {
+	var r1, r2 lplan.Node
+	if side {
+		r1, r2 = j.L, j.R
+	} else {
+		r1, r2 = j.R, j.L
+	}
+	s1 := r1.Schema()
+
+	for _, a := range g.Aggs {
+		if !a.Decomposable() {
+			return nil, fmt.Errorf("coalescing: aggregate %s is not decomposable", a.Kind)
+		}
+		if a.Arg == nil {
+			continue
+		}
+		for _, c := range expr.Columns(a.Arg) {
+			if !s1.Contains(c) {
+				return nil, fmt.Errorf("coalescing: aggregate argument %s not from the pre-aggregated side", c)
+			}
+		}
+	}
+
+	// G2 grouping: R1-side final grouping columns plus every R1 column the
+	// join predicates mention.
+	var g2Group []schema.ColID
+	seen := map[schema.ColID]bool{}
+	add := func(c schema.ColID) {
+		if !seen[c] {
+			seen[c] = true
+			g2Group = append(g2Group, c)
+		}
+	}
+	for _, gc := range g.GroupCols {
+		if s1.Contains(gc) {
+			add(gc)
+		}
+	}
+	for _, p := range j.Preds {
+		for _, c := range expr.Columns(p) {
+			if s1.Contains(c) {
+				add(c)
+			}
+		}
+	}
+
+	// Decompose every aggregate: G2 computes the partials, the top
+	// group-by coalesces them under the same column names, and the rebuild
+	// expressions replace the original aggregate outputs above.
+	var g2Aggs, topAggs []expr.Agg
+	finalSub := map[schema.ColID]expr.Expr{}
+	for _, a := range g.Aggs {
+		parts, finalE, err := a.DecomposeAgg()
+		if err != nil {
+			return nil, fmt.Errorf("coalescing: %w", err)
+		}
+		for _, p := range parts {
+			g2Aggs = append(g2Aggs, p.Partial)
+			topAggs = append(topAggs, expr.Agg{
+				Kind: p.Coalesce,
+				Arg:  expr.ColOf(p.Partial.Out),
+				Out:  p.Partial.Out,
+			})
+		}
+		finalSub[a.Out] = finalE
+	}
+
+	g2 := &lplan.GroupBy{In: r1, GroupCols: g2Group, Aggs: g2Aggs, Method: g.Method}
+
+	var jl, jr lplan.Node
+	if side {
+		jl, jr = g2, r2
+	} else {
+		jl, jr = r2, g2
+	}
+	j2 := &lplan.Join{L: jl, R: jr, Preds: j.Preds, Method: j.Method}
+
+	// The top group-by keeps the original grouping columns, coalesces the
+	// partials, and applies Having/Outputs rewritten over the rebuilt
+	// aggregate values.
+	having := make([]expr.Expr, len(g.Having))
+	for i, h := range g.Having {
+		having[i] = expr.Substitute(h, finalSub)
+	}
+	var outputs []lplan.NamedExpr
+	if len(g.Outputs) == 0 {
+		for _, gc := range g.GroupCols {
+			outputs = append(outputs, lplan.NamedExpr{E: expr.ColOf(gc), As: gc})
+		}
+		for _, a := range g.Aggs {
+			outputs = append(outputs, lplan.NamedExpr{E: finalSub[a.Out], As: a.Out})
+		}
+	} else {
+		outputs = make([]lplan.NamedExpr, len(g.Outputs))
+		for i, ne := range g.Outputs {
+			outputs[i] = lplan.NamedExpr{E: expr.Substitute(ne.E, finalSub), As: ne.As}
+		}
+	}
+
+	top := &lplan.GroupBy{
+		In:        j2,
+		GroupCols: g.GroupCols,
+		Aggs:      topAggs,
+		Having:    having,
+		Outputs:   outputs,
+		Method:    g.Method,
+	}
+	if err := lplan.Validate(top); err != nil {
+		return nil, fmt.Errorf("coalescing: produced an illegal tree: %w", err)
+	}
+	return top, nil
+}

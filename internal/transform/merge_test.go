@@ -1,0 +1,148 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+)
+
+// chain builds G_outer(G_inner(emp)): inner sums salary per (dno, age),
+// outer re-aggregates per dno.
+func chain(e *env, outerKind, innerKind expr.AggKind) *lplan.GroupBy {
+	innerArg := expr.Expr(expr.Col("e", "sal"))
+	if innerKind == expr.AggCountStar {
+		innerArg = nil
+	}
+	inner := &lplan.GroupBy{
+		In:        e.scan(e.emp, "e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}, {Rel: "e", Name: "age"}},
+		Aggs:      []expr.Agg{{Kind: innerKind, Arg: innerArg, Out: schema.ColID{Rel: "i", Name: "v"}}},
+	}
+	return &lplan.GroupBy{
+		In:        inner,
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs: []expr.Agg{{Kind: outerKind, Arg: expr.Col("i", "v"),
+			Out: schema.ColID{Rel: "o", Name: "w"}}},
+	}
+}
+
+func TestMergeGroupBysEquivalence(t *testing.T) {
+	cases := []struct {
+		name         string
+		outer, inner expr.AggKind
+	}{
+		{"sum-of-sum", expr.AggSum, expr.AggSum},
+		{"sum-of-count", expr.AggSum, expr.AggCount},
+		{"sum-of-countstar", expr.AggSum, expr.AggCountStar},
+		{"min-of-min", expr.AggMin, expr.AggMin},
+		{"max-of-max", expr.AggMax, expr.AggMax},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newEnv(t, 31, 600, 7)
+			g := chain(e, c.outer, c.inner)
+			merged, err := MergeGroupBys(g)
+			if err != nil {
+				t.Fatalf("MergeGroupBys: %v", err)
+			}
+			// The merged tree must have a single group-by.
+			if _, stillNested := merged.In.(*lplan.GroupBy); stillNested {
+				t.Fatalf("still nested:\n%s", lplan.Format(merged))
+			}
+			mustEquiv(t, e, g, merged, c.name)
+		})
+	}
+}
+
+func TestMergeGroupBysWithHavingAndOutputs(t *testing.T) {
+	e := newEnv(t, 32, 500, 6)
+	g := chain(e, expr.AggSum, expr.AggSum)
+	g.Having = []expr.Expr{expr.NewCmp(expr.GT, expr.Col("o", "w"), expr.IntLit(100))}
+	g.Outputs = []lplan.NamedExpr{
+		{E: expr.Col("e", "dno"), As: schema.ColID{Rel: "r", Name: "dno"}},
+		{E: expr.NewArith(expr.Div, expr.Col("o", "w"), expr.IntLit(2)), As: schema.ColID{Rel: "r", Name: "half"}},
+	}
+	merged, err := MergeGroupBys(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEquiv(t, e, g, merged, "merge with having/outputs")
+}
+
+func TestMergeGroupBysRenamedInnerOutputs(t *testing.T) {
+	e := newEnv(t, 33, 400, 5)
+	inner := &lplan.GroupBy{
+		In:        e.scan(e.emp, "e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}, {Rel: "e", Name: "age"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggSum, Arg: expr.Col("e", "sal"), Out: schema.ColID{Rel: "i", Name: "v"}}},
+		Outputs: []lplan.NamedExpr{
+			{E: expr.Col("e", "dno"), As: schema.ColID{Rel: "x", Name: "d"}},
+			{E: expr.Col("i", "v"), As: schema.ColID{Rel: "x", Name: "s"}},
+		},
+	}
+	outer := &lplan.GroupBy{
+		In:        inner,
+		GroupCols: []schema.ColID{{Rel: "x", Name: "d"}},
+		Aggs: []expr.Agg{{Kind: expr.AggSum, Arg: expr.Col("x", "s"),
+			Out: schema.ColID{Rel: "o", Name: "w"}}},
+	}
+	merged, err := MergeGroupBys(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEquiv(t, e, outer, merged, "renamed inner outputs")
+}
+
+func TestMergeGroupBysRejections(t *testing.T) {
+	e := newEnv(t, 34, 100, 4)
+
+	// Not a group-by input.
+	plain := &lplan.GroupBy{
+		In:        e.scan(e.emp, "e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggSum, Arg: expr.Col("e", "sal"), Out: schema.ColID{Rel: "o", Name: "w"}}},
+	}
+	if _, err := MergeGroupBys(plain); err == nil {
+		t.Errorf("non-nested merge accepted")
+	}
+
+	// AVG of AVG is not a coalescing pair.
+	bad := chain(e, expr.AggAvg, expr.AggAvg)
+	if _, err := MergeGroupBys(bad); err == nil || !strings.Contains(err.Error(), "coalesce") {
+		t.Errorf("AVG∘AVG accepted: %v", err)
+	}
+
+	// SUM over an inner *grouping* column is not a coalescing chain.
+	inner := &lplan.GroupBy{
+		In:        e.scan(e.emp, "e"),
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}, {Rel: "e", Name: "sal"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggCountStar, Out: schema.ColID{Rel: "i", Name: "c"}}},
+	}
+	overGroup := &lplan.GroupBy{
+		In:        inner,
+		GroupCols: []schema.ColID{{Rel: "e", Name: "dno"}},
+		Aggs:      []expr.Agg{{Kind: expr.AggSum, Arg: expr.Col("e", "sal"), Out: schema.ColID{Rel: "o", Name: "w"}}},
+	}
+	if _, err := MergeGroupBys(overGroup); err == nil {
+		t.Errorf("sum over inner grouping column accepted (would change semantics)")
+	}
+
+	// Inner having blocks the merge.
+	withHaving := chain(e, expr.AggSum, expr.AggSum)
+	withHaving.In.(*lplan.GroupBy).Having = []expr.Expr{
+		expr.NewCmp(expr.GT, expr.Col("i", "v"), expr.IntLit(0)),
+	}
+	if _, err := MergeGroupBys(withHaving); err == nil {
+		t.Errorf("inner having accepted")
+	}
+
+	// Outer grouping over an inner aggregate output.
+	overAgg := chain(e, expr.AggSum, expr.AggSum)
+	overAgg.GroupCols = []schema.ColID{{Rel: "i", Name: "v"}}
+	if _, err := MergeGroupBys(overAgg); err == nil {
+		t.Errorf("grouping by inner aggregate accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package transform implements the paper's plan transformations: the
+// pull-up transformation (Definition 1, Section 3), the push-down
+// transformations — invariant grouping and simple coalescing grouping
+// (Section 4) — and the minimal invariant set computation (Section 4.1).
+//
+// Tree-level transformations rewrite lplan operator trees and are verified
+// equivalent by execution in the property tests; the set-level minimal
+// invariant set operates on qblock blocks and drives the optimizer's
+// enumeration.
+package transform
+
+import (
+	"fmt"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/schema"
+)
+
+// PullUp applies the pull-up transformation of Definition 1 to a join one
+// of whose inputs is a group-by: given P1 = J1(G1(V), R2) it produces the
+// equivalent P2 = G2(J2(V, R2)) in which the group-by is deferred until
+// after the join. Following the definition:
+//
+//  1. the projection (output) columns of G2 are those of J1;
+//  2. G2 groups by G1's grouping columns, J1's non-aggregated projection
+//     columns, and a primary key of R2 (skipped when the join covers R2's
+//     key — a foreign-key join); a scan without a declared key is re-read
+//     with its internal tuple id;
+//  3. G1's aggregates become G2's aggregates;
+//  4. join predicates over aggregated columns move to G2's Having;
+//  5. the remaining predicates become J2's predicates.
+//
+// G1's own Having conjuncts stay with the deferred group-by.
+func PullUp(j *lplan.Join) (*lplan.GroupBy, error) {
+	gLeft, lok := j.L.(*lplan.GroupBy)
+	gRight, rok := j.R.(*lplan.GroupBy)
+	switch {
+	case lok && rok:
+		return nil, fmt.Errorf("pull-up: both join inputs are group-bys; pull them one at a time")
+	case lok:
+		return pullUp(j, gLeft, j.R, true)
+	case rok:
+		return pullUp(j, gRight, j.L, false)
+	default:
+		return nil, fmt.Errorf("pull-up: neither join input is a group-by")
+	}
+}
+
+func pullUp(j *lplan.Join, g1 *lplan.GroupBy, r2 lplan.Node, groupOnLeft bool) (*lplan.GroupBy, error) {
+	// The substitution from G1's output names to the expressions defining
+	// them, and the set of aggregated output columns.
+	subMap := map[schema.ColID]expr.Expr{}
+	aggOuts := map[schema.ColID]bool{}
+	for _, a := range g1.Aggs {
+		aggOuts[a.Out] = true
+	}
+	isAggExpr := func(e expr.Expr) bool {
+		for _, c := range expr.Columns(e) {
+			if aggOuts[c] {
+				return true
+			}
+		}
+		return false
+	}
+	// outDef maps each G1 output column to its defining expression.
+	outDef := map[schema.ColID]expr.Expr{}
+	if len(g1.Outputs) == 0 {
+		for _, gc := range g1.GroupCols {
+			outDef[gc] = expr.ColOf(gc)
+		}
+		for _, a := range g1.Aggs {
+			outDef[a.Out] = expr.ColOf(a.Out)
+		}
+	} else {
+		for _, ne := range g1.Outputs {
+			outDef[ne.As] = ne.E
+			if ne.As != (schema.ColID{}) {
+				subMap[ne.As] = ne.E
+			}
+		}
+	}
+	g1Out := g1.Schema()
+
+	// Rewrite J1's predicates over the deferred space and split them.
+	var j2Preds, havingPreds []expr.Expr
+	for _, p := range j.Preds {
+		rewritten := expr.Substitute(p, subMap)
+		if isAggExpr(rewritten) {
+			havingPreds = append(havingPreds, rewritten)
+		} else {
+			j2Preds = append(j2Preds, rewritten)
+		}
+	}
+
+	// A primary key of R2 (or the tuple id for keyless scans).
+	r2Node := r2
+	r2Key, haveKey := lplan.Key(r2)
+	if !haveKey {
+		if sc, isScan := r2.(*lplan.Scan); isScan && !sc.WithTID {
+			withTID := &lplan.Scan{Alias: sc.Alias, Table: sc.Table,
+				Filter: sc.Filter, Proj: nil, WithTID: true}
+			r2Node = withTID
+			r2Key = schema.Key{{Rel: sc.Alias, Name: lplan.TIDColumn}}
+			haveKey = true
+		}
+	}
+	if !haveKey {
+		return nil, fmt.Errorf("pull-up: the non-aggregated input has no derivable key and is not a base scan")
+	}
+
+	// Foreign-key joins need no explicit key columns: the equi-join
+	// predicates already pin at most one R2 tuple per group.
+	r2Schema := r2Node.Schema()
+	if coversKey(j2Preds, r2Schema, r2Key) {
+		r2Key = nil
+	}
+
+	// G2's grouping columns (Definition 1, item 2), plus any non-aggregate
+	// columns referenced by the deferred Having predicates.
+	var groupCols []schema.ColID
+	seen := map[schema.ColID]bool{}
+	add := func(c schema.ColID) {
+		if !seen[c] {
+			seen[c] = true
+			groupCols = append(groupCols, c)
+		}
+	}
+	for _, gc := range g1.GroupCols {
+		add(gc)
+	}
+	for _, oc := range g1Out.ColIDs() {
+		def := outDef[oc]
+		if def == nil || isAggExpr(def) {
+			continue
+		}
+		cr, isCol := def.(*expr.ColRef)
+		if !isCol {
+			return nil, fmt.Errorf("pull-up: view output %s computes %s; only column outputs can be regrouped", oc, def)
+		}
+		add(cr.ID)
+	}
+	// J1's projection columns that come from R2.
+	for _, oc := range j.Schema().ColIDs() {
+		if r2Schema.Contains(oc) {
+			add(oc)
+		}
+	}
+	for _, kc := range r2Key {
+		add(kc)
+	}
+	for _, h := range havingPreds {
+		for _, c := range expr.Columns(h) {
+			if !aggOuts[c] {
+				add(c)
+			}
+		}
+	}
+
+	// G2's aggregates are G1's (their arguments reference V's columns,
+	// which J2 preserves), and its Having carries the deferred predicates
+	// plus G1's own Having.
+	g2Aggs := append([]expr.Agg{}, g1.Aggs...)
+	g2Having := append(append([]expr.Expr{}, havingPreds...), g1.Having...)
+
+	// J2 projects only what G2 consumes: grouping columns and aggregate
+	// arguments (the paper's "additional constraints" on legal plans).
+	needed := append([]schema.ColID{}, groupCols...)
+	for _, a := range g2Aggs {
+		if a.Arg != nil {
+			needed = append(needed, expr.Columns(a.Arg)...)
+		}
+	}
+	var l, r lplan.Node
+	if groupOnLeft {
+		l, r = g1.In, r2Node
+	} else {
+		l, r = r2Node, g1.In
+	}
+	j2 := &lplan.Join{L: l, R: r, Preds: j2Preds, Method: j.Method}
+	j2.Proj = dedupeInSchemaOrder(j2.Schema().ColIDs(), needed)
+	// Re-derive the schema with the projection applied.
+	j2 = &lplan.Join{L: l, R: r, Preds: j2Preds, Proj: j2.Proj, Method: j.Method}
+
+	// G2's outputs reproduce J1's output schema (Definition 1, item 1).
+	var outputs []lplan.NamedExpr
+	for _, oc := range j.Schema().ColIDs() {
+		if r2Schema.Contains(oc) {
+			outputs = append(outputs, lplan.NamedExpr{E: expr.ColOf(oc), As: oc})
+			continue
+		}
+		def, ok := outDef[oc]
+		if !ok {
+			return nil, fmt.Errorf("pull-up: output column %s is neither from R2 nor defined by the view", oc)
+		}
+		outputs = append(outputs, lplan.NamedExpr{E: def, As: oc})
+	}
+
+	g2 := &lplan.GroupBy{
+		In:        j2,
+		GroupCols: groupCols,
+		Aggs:      g2Aggs,
+		Having:    g2Having,
+		Outputs:   outputs,
+		Method:    g1.Method,
+	}
+	if err := lplan.Validate(g2); err != nil {
+		return nil, fmt.Errorf("pull-up: produced an illegal tree: %w", err)
+	}
+	return g2, nil
+}
+
+// coversKey reports whether the equi-join conjuncts bind every column of
+// the key on the keyed side.
+func coversKey(preds []expr.Expr, keyed schema.Schema, key schema.Key) bool {
+	if len(key) == 0 {
+		return false
+	}
+	bound := map[schema.ColID]bool{}
+	for _, p := range preds {
+		lc, rc, ok := expr.EquiJoin(p)
+		if !ok {
+			continue
+		}
+		if keyed.Contains(lc) {
+			bound[lc] = true
+		}
+		if keyed.Contains(rc) {
+			bound[rc] = true
+		}
+	}
+	for _, kc := range key {
+		if !bound[kc] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupeInSchemaOrder returns the members of want ordered as they appear
+// in full, without duplicates.
+func dedupeInSchemaOrder(full []schema.ColID, want []schema.ColID) []schema.ColID {
+	wanted := map[schema.ColID]bool{}
+	for _, c := range want {
+		wanted[c] = true
+	}
+	var out []schema.ColID
+	for _, c := range full {
+		if wanted[c] {
+			out = append(out, c)
+			wanted[c] = false
+		}
+	}
+	return out
+}

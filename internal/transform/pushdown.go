@@ -1,0 +1,224 @@
+package transform
+
+import (
+	"fmt"
+
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/qblock"
+	"aggview/internal/schema"
+)
+
+// PushInvariant applies the invariant grouping transformation (Section
+// 4.1): given G(J(R1, R2)) it produces J'(G'(R1), R2) — the group-by moves
+// below the join, Having and all. The transformation is sound when the
+// join is *invariant* for the groups:
+//
+//   - every aggregate argument references only R1;
+//   - every grouping column comes from R1;
+//   - every join predicate's R1-side columns are grouping columns (so all
+//     rows of a group behave identically under the join);
+//   - the equi-join predicates bind a key of R2 (so each group matches at
+//     most one R2 tuple and aggregate values are invariant).
+//
+// Both join sides are tried; the first applicable side wins.
+func PushInvariant(g *lplan.GroupBy) (lplan.Node, error) {
+	j, ok := g.In.(*lplan.Join)
+	if !ok {
+		return nil, fmt.Errorf("invariant grouping: group-by input is not a join")
+	}
+	if n, err := pushInvariantSide(g, j, true); err == nil {
+		return n, nil
+	}
+	return pushInvariantSide(g, j, false)
+}
+
+func pushInvariantSide(g *lplan.GroupBy, j *lplan.Join, pushLeft bool) (lplan.Node, error) {
+	var r1, r2 lplan.Node
+	if pushLeft {
+		r1, r2 = j.L, j.R
+	} else {
+		r1, r2 = j.R, j.L
+	}
+	s1, s2 := r1.Schema(), r2.Schema()
+
+	for _, a := range g.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		for _, c := range expr.Columns(a.Arg) {
+			if !s1.Contains(c) {
+				return nil, fmt.Errorf("invariant grouping: aggregate argument %s not from the pushed side", c)
+			}
+		}
+	}
+	grouping := map[schema.ColID]bool{}
+	for _, gc := range g.GroupCols {
+		if !s1.Contains(gc) {
+			return nil, fmt.Errorf("invariant grouping: grouping column %s not from the pushed side", gc)
+		}
+		grouping[gc] = true
+	}
+	for _, p := range j.Preds {
+		for _, c := range expr.Columns(p) {
+			if s1.Contains(c) && !grouping[c] {
+				return nil, fmt.Errorf("invariant grouping: predicate column %s is not a grouping column", c)
+			}
+		}
+	}
+	key, ok := lplan.Key(r2)
+	if !ok {
+		return nil, fmt.Errorf("invariant grouping: no key derivable for the other side")
+	}
+	if !coversKey(j.Preds, s2, key) {
+		return nil, fmt.Errorf("invariant grouping: join does not bind a key of the other side")
+	}
+
+	gPushed := &lplan.GroupBy{
+		In:        r1,
+		GroupCols: g.GroupCols,
+		Aggs:      g.Aggs,
+		Having:    g.Having,
+		Method:    g.Method,
+	}
+	var jl, jr lplan.Node
+	if pushLeft {
+		jl, jr = gPushed, r2
+	} else {
+		jl, jr = r2, gPushed
+	}
+	j2 := &lplan.Join{L: jl, R: jr, Preds: j.Preds, Method: j.Method}
+
+	var result lplan.Node
+	if len(g.Outputs) == 0 {
+		// Drop the R2 columns so the schema matches g's.
+		proj := make([]schema.ColID, 0, len(g.GroupCols)+len(g.Aggs))
+		proj = append(proj, g.GroupCols...)
+		for _, a := range g.Aggs {
+			proj = append(proj, a.Out)
+		}
+		result = &lplan.Join{L: jl, R: jr, Preds: j.Preds, Proj: proj, Method: j.Method}
+	} else {
+		result = &lplan.Project{In: j2, Items: g.Outputs}
+	}
+	if err := lplan.Validate(result); err != nil {
+		return nil, fmt.Errorf("invariant grouping: produced an illegal tree: %w", err)
+	}
+	return result, nil
+}
+
+// MinimalInvariantSet computes V′ for a view block (Section 4.1): the
+// smallest set of relations the group-by must wait for. Relations outside
+// V′ can be joined after the group-by (they are "invariant"), and the
+// optimizer treats them like top-block relations (Section 5.3's B′).
+//
+// A relation r is removable from the current set S when:
+//
+//   - no aggregate argument, grouping column, or output references r;
+//   - every conjunct touching r touches only r and S∖{r}, and its columns
+//     on the S side are all grouping columns;
+//   - the equi-join conjuncts between r and S∖{r} bind a key of r.
+//
+// Removal repeats to fixpoint. The block's last relation is never removed
+// (a group-by needs an input).
+func MinimalInvariantSet(b *qblock.Block) map[string]bool {
+	if !b.HasGroupBy() {
+		// No group-by: nothing constrains the join order.
+		return map[string]bool{}
+	}
+	s := map[string]bool{}
+	for _, r := range b.Rels {
+		s[r.Alias] = true
+	}
+
+	// Aliases pinned by aggregate arguments and grouping columns.
+	pinned := map[string]bool{}
+	for _, a := range b.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		for _, c := range expr.Columns(a.Arg) {
+			pinned[c.Rel] = true
+		}
+	}
+	grouping := map[schema.ColID]bool{}
+	for _, gc := range b.GroupCols {
+		grouping[gc] = true
+		pinned[gc.Rel] = true
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range b.Rels {
+			alias := r.Alias
+			if !s[alias] || pinned[alias] || countTrue(s) <= 1 {
+				continue
+			}
+			if removable(b, s, r, grouping) {
+				delete(s, alias)
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+func countTrue(m map[string]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func removable(b *qblock.Block, s map[string]bool, r *qblock.Rel, grouping map[schema.ColID]bool) bool {
+	key, hasKey := r.Key()
+	if !hasKey {
+		return false
+	}
+	bound := map[schema.ColID]bool{}
+	for _, c := range b.Conjs {
+		cols := expr.Columns(c)
+		touchesR := false
+		for _, col := range cols {
+			if col.Rel == r.Alias {
+				touchesR = true
+				break
+			}
+		}
+		if !touchesR {
+			continue
+		}
+		for _, col := range cols {
+			if col.Rel == r.Alias {
+				continue
+			}
+			// A predicate linking r to an already-removed relation is a
+			// three-way situation the pairwise transformation cannot
+			// reason about; keep r in the set.
+			if !s[col.Rel] {
+				return false
+			}
+			if !grouping[col] {
+				return false
+			}
+		}
+		if lc, rc, ok := expr.EquiJoin(c); ok {
+			if lc.Rel == r.Alias {
+				bound[lc] = true
+			}
+			if rc.Rel == r.Alias {
+				bound[rc] = true
+			}
+		}
+	}
+	for _, kc := range key {
+		if !bound[kc] {
+			return false
+		}
+	}
+	return true
+}

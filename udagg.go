@@ -1,0 +1,53 @@
+package aggview
+
+import (
+	"aggview/internal/expr"
+	"aggview/internal/types"
+)
+
+// The paper admits user-defined aggregate functions "without side-effects"
+// (Section 2, citing Standard_deviation as the example). This engine
+// supports them through a global registry: a registered aggregate is
+// callable from SQL by name, and — when it provides a decomposition into
+// built-in partials — participates fully in the coalescing and pull-up
+// machinery. STDDEV is pre-registered as the paper's own example.
+
+// Accumulator folds one group's values for an aggregate function.
+type Accumulator = expr.Accumulator
+
+// UserAggSpec describes a user-defined aggregate; see RegisterAggregate.
+type UserAggSpec = expr.UserAggSpec
+
+// Value kinds for UserAggSpec.ResultKind.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+)
+
+// RegisterAggregate adds a user-defined aggregate to the engine's global
+// registry, making it callable from SQL. Names clash-checked against the
+// built-ins.
+func RegisterAggregate(spec UserAggSpec) error { return expr.RegisterAggregate(spec) }
+
+// Value is the engine's scalar runtime value, needed to implement
+// Accumulator. Use the *Value constructors below; inspect with IsNull,
+// Float, Int, Bool and the K kind tag.
+type Value = types.Value
+
+// NullValue returns the NULL value (what most aggregates return over an
+// empty group).
+func NullValue() Value { return types.Null() }
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return types.NewInt(v) }
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return types.NewFloat(v) }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return types.NewString(v) }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value { return types.NewBool(v) }

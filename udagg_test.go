@@ -1,0 +1,194 @@
+package aggview
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aggview/internal/types"
+)
+
+func TestStdDevEndToEnd(t *testing.T) {
+	e := setupEmpDept(t)
+	res, err := e.Query(`select dno, stddev(sal) as sd from emp group by dno order by dno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 8 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	// Cross-check department 0 by hand.
+	raw, err := e.Query(`select sal from emp where dno = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, sum, sumsq float64
+	for _, r := range raw.Rows {
+		v := r[0].(float64)
+		n++
+		sum += v
+		sumsq += v * v
+	}
+	want := math.Sqrt(sumsq/n - (sum/n)*(sum/n))
+	got := res.Rows[0][1].(float64)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("stddev = %g, want %g", got, want)
+	}
+}
+
+// TestStdDevDecomposesThroughOptimizer: STDDEV is registered with a
+// decomposition, so the greedy conservative heuristic may pre-aggregate it
+// below a join — and the answer must not change.
+func TestStdDevDecomposesThroughOptimizer(t *testing.T) {
+	eng := Open(Config{PoolPages: 8, SystemRJoins: true})
+	spec := DefaultEmpDept()
+	spec.Employees, spec.Departments = 20000, 500
+	if err := eng.LoadEmpDept(spec); err != nil {
+		t.Fatal(err)
+	}
+	q := `select e.dno, stddev(e.sal) from emp e, dept d
+	      where e.dno = d.dno group by e.dno`
+
+	tradRes, tradInfo, _, err := eng.QueryWithMode(q, Traditional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushRes, pushInfo, _, err := eng.QueryWithMode(q, PushDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushInfo.EstimatedCost > tradInfo.EstimatedCost+1e-6 {
+		t.Fatalf("push-down regressed: %g vs %g", pushInfo.EstimatedCost, tradInfo.EstimatedCost)
+	}
+	if pushRes.Len() != tradRes.Len() {
+		t.Fatalf("row counts differ: %d vs %d", pushRes.Len(), tradRes.Len())
+	}
+	// The decomposed plan carries SUM/SUMSQ/COUNT partials when the early
+	// placement wins; verify values agree regardless of plan shape.
+	byDno := map[int64]float64{}
+	for _, r := range tradRes.Rows {
+		byDno[r[0].(int64)] = r[1].(float64)
+	}
+	for _, r := range pushRes.Rows {
+		want := byDno[r[0].(int64)]
+		got := r[1].(float64)
+		if math.Abs(got-want) > 1e-6*(want+1) {
+			t.Fatalf("dno %d: stddev %g vs %g", r[0].(int64), got, want)
+		}
+	}
+	if !strings.Contains(pushInfo.PlanText, "GroupBy") {
+		t.Fatalf("plan lost aggregation:\n%s", pushInfo.PlanText)
+	}
+}
+
+func TestRegisterAggregateCustom(t *testing.T) {
+	// A RANGE aggregate (max - min), non-decomposable.
+	err := RegisterAggregate(UserAggSpec{
+		Name:       "valrange",
+		ResultKind: KindFloat,
+		New:        func() Accumulator { return &rangeAcc{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := setupEmpDept(t)
+	res, err := e.Query(`select dno, valrange(sal) from emp group by dno order by dno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := e.Query(`select dno, max(sal), min(sal) from emp group by dno order by dno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		want := check.Rows[i][1].(float64) - check.Rows[i][2].(float64)
+		if got := res.Rows[i][1].(float64); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("row %d: range %g, want %g", i, got, want)
+		}
+	}
+}
+
+type rangeAcc struct {
+	seen     bool
+	min, max float64
+}
+
+func (a *rangeAcc) Add(v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	f := v.Float()
+	if !a.seen {
+		a.seen, a.min, a.max = true, f, f
+		return
+	}
+	if f < a.min {
+		a.min = f
+	}
+	if f > a.max {
+		a.max = f
+	}
+}
+
+func (a *rangeAcc) Result() types.Value {
+	if !a.seen {
+		return types.Null()
+	}
+	return types.NewFloat(a.max - a.min)
+}
+
+func TestRegisterAggregateRejections(t *testing.T) {
+	if err := RegisterAggregate(UserAggSpec{Name: "sum", New: func() Accumulator { return &rangeAcc{} }}); err == nil {
+		t.Errorf("built-in clash accepted")
+	}
+	if err := RegisterAggregate(UserAggSpec{Name: "sqrt", New: func() Accumulator { return &rangeAcc{} }}); err == nil {
+		t.Errorf("scalar-fn clash accepted")
+	}
+	if err := RegisterAggregate(UserAggSpec{Name: ""}); err == nil {
+		t.Errorf("empty spec accepted")
+	}
+}
+
+func TestScalarFunctionsInSQL(t *testing.T) {
+	e := Open(Config{})
+	e.MustExec(`create table t (a float)`)
+	e.MustExec(`insert into t values (9.0), (-4.0)`)
+	res, err := e.Query(`select sqrt(abs(a)) from t where a > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 3.0 {
+		t.Fatalf("sqrt(9) = %v", res.Rows[0][0])
+	}
+	res, err = e.Query(`select abs(a) from t where a < 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 4.0 {
+		t.Fatalf("abs(-4) = %v", res.Rows[0][0])
+	}
+}
+
+// TestStdDevNestedSubquery: the paper's Example 1 with STDDEV instead of
+// AVG — a user-defined aggregate flowing through Kim flattening and the
+// pull-up machinery.
+func TestStdDevNestedSubquery(t *testing.T) {
+	e := setupEmpDept(t)
+	q := `select e1.sal from emp e1
+	      where e1.sal > 2 * (select stddev(e2.sal) from emp e2 where e2.dno = e1.dno)`
+	var first *Result
+	for _, mode := range []OptimizerMode{Traditional, Full} {
+		res, _, _, err := e.QueryWithMode(q, mode)
+		if err != nil {
+			t.Fatalf("[%v] %v", mode, err)
+		}
+		if first == nil {
+			first = res
+		} else if res.Len() != first.Len() {
+			t.Fatalf("[%v] rows = %d, want %d", mode, res.Len(), first.Len())
+		}
+	}
+	if first.Len() == 0 {
+		t.Fatalf("query returned nothing")
+	}
+}
