@@ -1,0 +1,24 @@
+# aggview build/test targets. Pure Go, stdlib only.
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the tier-1 gate: static analysis plus the full test suite
+# (including the chaos fault sweeps) under the race detector.
+check: vet race

@@ -1,10 +1,12 @@
 package aggview
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"aggview/internal/binder"
 	"aggview/internal/catalog"
@@ -72,6 +74,25 @@ type Config struct {
 	// SystemRJoins restricts the plan space to nested-loops, sort-merge
 	// and index nested-loops joins — the repertoire of the paper's era.
 	SystemRJoins bool
+
+	// Timeout bounds each query's wall time (0 = none). It composes with
+	// any deadline already on the QueryContext/ExecContext context; the
+	// earlier one wins. Violations surface as ErrCanceled.
+	Timeout time.Duration
+	// MaxRowsOut caps the rows the executor may materialize per query
+	// (before ORDER BY/LIMIT presentation; 0 = unlimited). Violations
+	// surface as ErrRowLimit.
+	MaxRowsOut int64
+	// MaxIOPages caps accounted page IOs per query — pool-miss reads plus
+	// flushes, covering both scans and operator spills (0 = unlimited).
+	// Violations surface as ErrIOBudget.
+	MaxIOPages int64
+	// OptimizerBudget caps the candidate plans costed per optimization
+	// attempt (0 = unlimited). When the budget trips, the engine does not
+	// fail the query: it degrades Full → PushDown → Traditional (each rung
+	// with a fresh budget; the last rung runs unbudgeted), which is always
+	// safe because the chosen plan is never worse than the traditional one.
+	OptimizerBudget int
 }
 
 // Engine is a self-contained database instance: storage, catalog,
@@ -180,11 +201,18 @@ func (e *Engine) LoadTPCD(spec TPCDSpec) error { return datagen.LoadTPCD(e.cat, 
 // Exec parses and executes one statement. DDL and INSERT return an empty
 // result; SELECT returns rows; EXPLAIN returns the plan text as rows.
 func (e *Engine) Exec(src string) (*Result, error) {
+	return e.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec under a context: cancellation and deadlines abort a
+// running SELECT at page-IO granularity with ErrCanceled.
+func (e *Engine) ExecContext(ctx context.Context, src string) (res *Result, err error) {
+	defer recoverToError(&err, src)
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.execStmt(stmt)
+	return e.execStmt(ctx, stmt, src)
 }
 
 // MustExec is Exec for setup code; it panics on error.
@@ -198,14 +226,15 @@ func (e *Engine) MustExec(src string) *Result {
 
 // ExecScript executes a semicolon-separated statement sequence, returning
 // the last statement's result.
-func (e *Engine) ExecScript(src string) (*Result, error) {
+func (e *Engine) ExecScript(src string) (res *Result, err error) {
+	defer recoverToError(&err, src)
 	stmts, err := sql.ParseScript(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, stmt := range stmts {
-		last, err = e.execStmt(stmt)
+		last, err = e.execStmt(context.Background(), stmt, src)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +244,14 @@ func (e *Engine) ExecScript(src string) (*Result, error) {
 
 // Query executes a SELECT.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext executes a SELECT under a context. A canceled context or an
+// expired deadline stops execution at the next page IO (even mid-spill
+// inside a join) and returns an error wrapping ErrCanceled.
+func (e *Engine) QueryContext(ctx context.Context, src string) (res *Result, err error) {
+	defer recoverToError(&err, src)
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -223,13 +260,13 @@ func (e *Engine) Query(src string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
 	}
-	return e.runSelect(sel)
+	return e.runSelect(ctx, sel)
 }
 
-func (e *Engine) execStmt(stmt sql.Statement) (*Result, error) {
+func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.Select:
-		return e.runSelect(t)
+		return e.runSelect(ctx, t)
 
 	case *sql.Explain:
 		info, err := e.ExplainSelect(t.Query, e.cfg.Mode)
@@ -338,16 +375,20 @@ func evalLiteral(e sql.Expr) (types.Value, error) {
 	}
 }
 
-func (e *Engine) runSelect(sel *sql.Select) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
 	bound, err := binder.BindSelect(e.cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := core.Optimize(bound.Query, e.options())
+	gov, cancel := e.newGovernor(ctx)
+	defer cancel()
+	plan, _, err := e.optimizeLadder(bound.Query, e.cfg.Mode, gov)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := exec.New(e.store).Run(plan.Root)
+	restore := e.store.SetIOHook(ioHook(gov))
+	defer restore()
+	raw, err := exec.New(e.store).WithGovernor(gov).Run(plan.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +445,15 @@ func valueToGo(v types.Value) any {
 
 // PlanInfo describes an optimized plan without executing it.
 type PlanInfo struct {
-	Mode          OptimizerMode
+	// Mode is the mode that actually produced the plan. When the optimizer
+	// budget tripped and the ladder degraded, it is cheaper than
+	// RequestedMode.
+	Mode OptimizerMode
+	// RequestedMode is the mode the caller asked for.
+	RequestedMode OptimizerMode
+	// Degraded reports that the search budget forced a fallback to a
+	// cheaper mode (Full → PushDown → Traditional).
+	Degraded      bool
 	PlanText      string
 	EstimatedCost float64 // page IOs under the cost model
 	EstimatedRows float64
@@ -438,6 +487,7 @@ func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, 
 	}
 	return &PlanInfo{
 		Mode:          mode,
+		RequestedMode: mode,
 		PlanText:      lplan.Format(plan.Root),
 		EstimatedCost: plan.Cost,
 		EstimatedRows: plan.Info.Rows,
@@ -461,8 +511,11 @@ func (e *Engine) ExplainAll(src string) ([]*PlanInfo, error) {
 
 // QueryWithMode runs a SELECT under a specific optimizer mode, returning
 // the result, the plan, and the page IO the execution actually performed
-// (measured cold: the buffer pool is dropped first).
-func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanInfo, IOStats, error) {
+// (measured cold: the buffer pool is dropped first). Per-query limits
+// apply; if the optimizer budget trips, the plan degrades down the ladder
+// and the returned PlanInfo reports the fallback.
+func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (res *Result, info *PlanInfo, io IOStats, err error) {
+	defer recoverToError(&err, src)
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, nil, IOStats{}, err
@@ -475,21 +528,25 @@ func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanIn
 	if err != nil {
 		return nil, nil, IOStats{}, err
 	}
-	opts := e.options()
-	opts.Mode = mode
-	plan, err := core.Optimize(bound.Query, opts)
+	gov, cancel := e.newGovernor(context.Background())
+	defer cancel()
+	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov)
 	if err != nil {
 		return nil, nil, IOStats{}, err
 	}
 	e.store.DropCaches()
 	before := e.store.Stats()
-	raw, err := exec.New(e.store).Run(plan.Root)
+	restore := e.store.SetIOHook(ioHook(gov))
+	defer restore()
+	raw, err := exec.New(e.store).WithGovernor(gov).Run(plan.Root)
 	if err != nil {
 		return nil, nil, IOStats{}, err
 	}
-	io := e.store.Stats().Sub(before)
-	info := &PlanInfo{
-		Mode:          mode,
+	io = e.store.Stats().Sub(before)
+	info = &PlanInfo{
+		Mode:          usedMode,
+		RequestedMode: mode,
+		Degraded:      usedMode != mode,
 		PlanText:      lplan.Format(plan.Root),
 		EstimatedCost: plan.Cost,
 		EstimatedRows: plan.Info.Rows,

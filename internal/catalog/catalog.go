@@ -226,16 +226,17 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 		return fmt.Errorf("table %q column %q: cannot store %s into %s",
 			t.Name, t.Schema[i].ID.Name, v.K, want)
 	}
-	c.store.Append(t.File, row)
-	return nil
+	return c.store.Append(t.File, row)
 }
 
 // FlushTable flushes the table's partial tail page.
-func (c *Catalog) FlushTable(t *Table) { c.store.Flush(t.File) }
+func (c *Catalog) FlushTable(t *Table) error { return c.store.Flush(t.File) }
 
 // Analyze scans the table and recomputes statistics and all indexes.
 func (c *Catalog) Analyze(t *Table) error {
-	c.store.Flush(t.File)
+	if err := c.store.Flush(t.File); err != nil {
+		return err
+	}
 	stats := TableStats{Cols: map[string]ColStats{}}
 	distinct := make([]map[string]struct{}, len(t.Schema))
 	mins := make([]types.Value, len(t.Schema))

@@ -132,7 +132,9 @@ func (dp *blockDP) solve() (map[uint64][]*cand, error) {
 		if err != nil {
 			return nil, err
 		}
-		dp.stats.PlansConsidered++
+		if err := tickPlan(dp.stats, dp.opts); err != nil {
+			return nil, err
+		}
 		dp.best[dp.rels[i].mask] = []*cand{{node: dp.rels[i].node, info: info, mode: modeNone}}
 		dp.stats.States++
 	}
@@ -306,7 +308,9 @@ func (dp *blockDP) joinPlans(l, r lplan.Node, preds []expr.Expr, mode aggMode) (
 		if err != nil {
 			return nil, err
 		}
-		dp.stats.PlansConsidered++
+		if err := tickPlan(dp.stats, dp.opts); err != nil {
+			return nil, err
+		}
 		out = append(out, &cand{node: j, info: info, mode: mode})
 	}
 	return out, nil
@@ -430,7 +434,9 @@ func (dp *blockDP) finalize(c *cand) (*cand, error) {
 				if err != nil {
 					return nil, err
 				}
-				dp.stats.PlansConsidered++
+				if err := tickPlan(dp.stats, dp.opts); err != nil {
+					return nil, err
+				}
 				variants = append(variants, &cand{node: g, info: info, mode: modeFull})
 
 				// Successive group-bys (e.g. a top group-by directly over a
@@ -441,7 +447,9 @@ func (dp *blockDP) finalize(c *cand) (*cand, error) {
 					if err != nil {
 						return nil, err
 					}
-					dp.stats.PlansConsidered++
+					if err := tickPlan(dp.stats, dp.opts); err != nil {
+						return nil, err
+					}
 					variants = append(variants, &cand{node: merged, info: minfo, mode: modeFull})
 				}
 			}
@@ -456,7 +464,9 @@ func (dp *blockDP) finalize(c *cand) (*cand, error) {
 			if err != nil {
 				return nil, err
 			}
-			dp.stats.PlansConsidered++
+			if err := tickPlan(dp.stats, dp.opts); err != nil {
+				return nil, err
+			}
 			return &cand{node: top, info: info, mode: modeFull}, nil
 
 		case modeFull:

@@ -874,7 +874,9 @@ func (o *optimizer) buildPhi(vc *viewCtx, dp *blockDP, table map[uint64][]*cand,
 			if err != nil {
 				return nil, err
 			}
-			o.stats.PlansConsidered++
+			if err := tickPlan(o.stats, o.opts); err != nil {
+				return nil, err
+			}
 			if info.Cost < bestCost {
 				best, bestCost = g, info.Cost
 			}

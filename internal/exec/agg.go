@@ -146,7 +146,10 @@ type hashAggIter struct {
 	ctx  *groupByCtx
 	in   iterator
 
-	out *sliceIter
+	// parts holds the overflow partitions as a field (not an Open local) so
+	// Close drops them when Open fails after partitioning started.
+	parts []*spill
+	out   *sliceIter
 }
 
 const aggPartitions = 16
@@ -154,14 +157,13 @@ const aggPartitions = 16
 func (it *hashAggIter) Open() error {
 	groups := map[string]*groupState{}
 	bytes := 0
-	var parts []*spill
 	var buf []byte
 
-	spillAll := func(row types.Row) {
+	spillAll := func(row types.Row) error {
 		buf = row.AppendKey(buf[:0], it.ctx.groupPos)
 		h := fnv.New32a()
 		h.Write(buf)
-		parts[h.Sum32()%aggPartitions].add(row)
+		return it.parts[h.Sum32()%aggPartitions].add(row)
 	}
 
 	err := drain(it.in, func(row types.Row) error {
@@ -171,9 +173,8 @@ func (it *hashAggIter) Open() error {
 		if gs, ok := groups[string(buf)]; ok {
 			return it.ctx.add(gs, row)
 		}
-		if parts != nil {
-			spillAll(row)
-			return nil
+		if it.parts != nil {
+			return spillAll(row)
 		}
 		gs := it.ctx.newState(row)
 		groups[string(buf)] = gs
@@ -182,9 +183,9 @@ func (it *hashAggIter) Open() error {
 			// The group table is over budget: rows of *new* groups are
 			// partitioned to spill files from here on and aggregated
 			// shard by shard afterwards.
-			parts = make([]*spill, aggPartitions)
-			for i := range parts {
-				parts[i] = newSpill(it.exec.store, "agg-part")
+			it.parts = make([]*spill, aggPartitions)
+			for i := range it.parts {
+				it.parts[i] = newSpill(it.exec.store, "agg-part")
 			}
 		}
 		return it.ctx.add(gs, row)
@@ -216,8 +217,10 @@ func (it *hashAggIter) Open() error {
 	}
 
 	// Partitioned shards.
-	for _, p := range parts {
-		p.finish()
+	for _, p := range it.parts {
+		if err := p.finish(); err != nil {
+			return err
+		}
 		part := map[string]*groupState{}
 		sc := p.scan()
 		for {
@@ -247,7 +250,7 @@ func (it *hashAggIter) Open() error {
 	}
 
 	// SQL semantics: a scalar aggregate over an empty input yields one row.
-	if it.ctx.scalar && len(groups) == 0 && parts == nil {
+	if it.ctx.scalar && len(groups) == 0 && it.parts == nil {
 		gs := it.ctx.newState(types.Row{})
 		if err := emit(gs); err != nil {
 			return err
@@ -259,7 +262,15 @@ func (it *hashAggIter) Open() error {
 }
 
 func (it *hashAggIter) Next() (types.Row, bool, error) { return it.out.Next() }
-func (it *hashAggIter) Close() error                   { return nil }
+
+func (it *hashAggIter) Close() error {
+	it.in.Close() // drain already closed it on the Open path; idempotent
+	for _, p := range it.parts {
+		p.drop()
+	}
+	it.parts = nil
+	return nil
+}
 
 // sortAggIter aggregates an input sorted on the grouping columns by
 // streaming group boundaries.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"aggview/internal/expr"
+	"aggview/internal/govern"
 	"aggview/internal/lplan"
 	"aggview/internal/schema"
 	"aggview/internal/storage"
@@ -26,6 +27,10 @@ type Executor struct {
 	// budgetBytes is the memory an operator may hold before spilling,
 	// mirroring the cost model's PoolPages budget.
 	budgetBytes int
+	// gov, when set, is ticked once per output row (cancellation and row
+	// limits); page-IO granularity checks run inside the storage layer via
+	// the engine-installed IO hook. A nil governor means ungoverned.
+	gov *govern.Governor
 }
 
 // New creates an executor whose operators spill once they exceed the
@@ -35,6 +40,12 @@ func New(store *storage.Store) *Executor {
 		store:       store,
 		budgetBytes: store.PoolPages() * storage.PageSize,
 	}
+}
+
+// WithGovernor attaches a per-query governor and returns the executor.
+func (e *Executor) WithGovernor(g *govern.Governor) *Executor {
+	e.gov = g
+	return e
 }
 
 // Result is a fully materialized query result.
@@ -52,10 +63,13 @@ func (e *Executor) Run(n lplan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Close before checking the Open error: a partially opened operator tree
+	// (e.g. a grace join that spilled its build side before its probe failed)
+	// must still drop its spill files.
+	defer it.Close()
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
-	defer it.Close()
 	res := &Result{Schema: n.Schema()}
 	for {
 		row, ok, err := it.Next()
@@ -64,6 +78,9 @@ func (e *Executor) Run(n lplan.Node) (*Result, error) {
 		}
 		if !ok {
 			return res, nil
+		}
+		if err := e.gov.TickRow(); err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -291,12 +308,13 @@ func projRow(row types.Row, proj []int) types.Row {
 	return out
 }
 
-// drain reads an iterator to completion, invoking fn per row.
+// drain reads an iterator to completion, invoking fn per row. Close runs
+// even when Open fails, so a partially opened subtree releases its spills.
 func drain(it iterator, fn func(types.Row) error) error {
+	defer it.Close()
 	if err := it.Open(); err != nil {
 		return err
 	}
-	defer it.Close()
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
@@ -328,7 +346,8 @@ func (it *sliceIter) Next() (types.Row, bool, error) {
 }
 func (it *sliceIter) Close() error { return nil }
 
-// spill is a temporary file owned by an operator.
+// spill is a temporary file owned by an operator. It registers with the
+// store's temp-file census, so a leaked spill shows up in LiveTempFiles.
 type spill struct {
 	store *storage.Store
 	file  *storage.File
@@ -336,16 +355,24 @@ type spill struct {
 }
 
 func newSpill(store *storage.Store, name string) *spill {
-	return &spill{store: store, file: store.CreateFile(name)}
+	return &spill{store: store, file: store.CreateTemp(name)}
 }
 
-func (s *spill) add(row types.Row) {
+func (s *spill) add(row types.Row) error {
 	s.bytes += row.DiskWidth()
-	s.store.Append(s.file, row)
+	return s.store.Append(s.file, row)
 }
 
-func (s *spill) finish() { s.store.Flush(s.file) }
+func (s *spill) finish() error { return s.store.Flush(s.file) }
 
 func (s *spill) scan() *storage.Scanner { return s.store.NewScanner(s.file) }
 
-func (s *spill) drop() { s.store.DropFile(s.file) }
+// drop releases the file. It is idempotent and nil-safe so operator Close
+// methods can run unconditionally at any point of the iterator lifecycle.
+func (s *spill) drop() {
+	if s == nil || s.file == nil {
+		return
+	}
+	s.store.DropFile(s.file)
+	s.file = nil
+}

@@ -137,7 +137,6 @@ type hashJoinIter struct {
 
 	pending []types.Row // matches of the current probe row
 	curL    types.Row
-	open    bool
 	grace   bool
 }
 
@@ -166,14 +165,12 @@ func (it *hashJoinIter) Open() error {
 			buf = r.AppendKey(buf[:0], it.jc.rKeys)
 			it.table[string(buf)] = append(it.table[string(buf)], r)
 		}
-		if err := it.probe.Open(); err != nil {
-			return err
-		}
-		it.open = true
-		return nil
+		return it.probe.Open()
 	}
 
-	// Grace: write build rows to partitions, then probe rows.
+	// Grace: write build rows to partitions, then probe rows. The partition
+	// slices are assigned to the iterator before any write, so Close drops
+	// them even when a write below fails.
 	it.grace = true
 	it.rParts = make([]*spill, gracePartitions)
 	it.lParts = make([]*spill, gracePartitions)
@@ -184,22 +181,26 @@ func (it *hashJoinIter) Open() error {
 	var buf []byte
 	for _, r := range rows {
 		buf = r.AppendKey(buf[:0], it.jc.rKeys)
-		it.rParts[partitionOf(buf)].add(r)
+		if err := it.rParts[partitionOf(buf)].add(r); err != nil {
+			return err
+		}
 	}
 	rows = nil
 	if err := drain(it.probe, func(l types.Row) error {
 		buf = l.AppendKey(buf[:0], it.jc.lKeys)
-		it.lParts[partitionOf(buf)].add(l)
-		return nil
+		return it.lParts[partitionOf(buf)].add(l)
 	}); err != nil {
 		return err
 	}
 	for i := range it.rParts {
-		it.rParts[i].finish()
-		it.lParts[i].finish()
+		if err := it.rParts[i].finish(); err != nil {
+			return err
+		}
+		if err := it.lParts[i].finish(); err != nil {
+			return err
+		}
 	}
 	it.part = -1
-	it.open = true
 	return nil
 }
 
@@ -288,9 +289,10 @@ func (it *hashJoinIter) Next() (types.Row, bool, error) {
 }
 
 func (it *hashJoinIter) Close() error {
-	if !it.grace && it.open {
-		it.probe.Close()
-	}
+	// Unconditional cascade: Close is idempotent at every lifecycle point
+	// (before Open, after a failed Open, mid-Next). On the grace path the
+	// probe was already closed by drain; closing again is harmless.
+	it.probe.Close()
 	for _, p := range it.lParts {
 		p.drop()
 	}
@@ -310,6 +312,10 @@ type blockNLIter struct {
 	jc    *joinCommon
 	outer iterator
 	inner func() (iterator, error) // fresh inner scan per block
+	// matSrc is a non-base-table inner, materialized to a spill at Open
+	// (not at build time: build must not allocate resources, so an error
+	// while assembling the tree can never leak files).
+	matSrc iterator
 
 	spilled *spill
 	block   []types.Row
@@ -329,19 +335,11 @@ func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (iterator, error)
 		inner := j.R
 		it.inner = func() (iterator, error) { return e.build(inner) }
 	} else {
-		// Materialize once, then scan the spill per block.
 		in, err := e.build(j.R)
 		if err != nil {
 			return nil, err
 		}
-		sp := newSpill(e.store, "bnl-inner")
-		if err := drain(in, func(r types.Row) error { sp.add(r); return nil }); err != nil {
-			sp.drop()
-			return nil, err
-		}
-		sp.finish()
-		it.spilled = sp
-		it.inner = func() (iterator, error) { return &spillIter{sp: sp}, nil }
+		it.matSrc = in
 	}
 	return it, nil
 }
@@ -362,6 +360,19 @@ func (it *spillIter) Next() (types.Row, bool, error) {
 func (it *spillIter) Close() error { return nil }
 
 func (it *blockNLIter) Open() error {
+	if it.matSrc != nil && it.spilled == nil {
+		// Materialize the inner once, then scan the spill per block. The
+		// spill is assigned before writing so Close drops it on any error.
+		sp := newSpill(it.exec.store, "bnl-inner")
+		it.spilled = sp
+		if err := drain(it.matSrc, func(r types.Row) error { return sp.add(r) }); err != nil {
+			return err
+		}
+		if err := sp.finish(); err != nil {
+			return err
+		}
+		it.inner = func() (iterator, error) { return &spillIter{sp: sp}, nil }
+	}
 	if err := it.outer.Open(); err != nil {
 		return err
 	}
@@ -454,13 +465,14 @@ func keysEqual(l, r types.Row, lKeys, rKeys []int) bool {
 
 func (it *blockNLIter) Close() error {
 	it.outer.Close()
+	if it.matSrc != nil {
+		it.matSrc.Close()
+	}
 	if it.inIt != nil {
 		it.inIt.Close()
 	}
-	if it.spilled != nil {
-		it.spilled.drop()
-		it.spilled = nil
-	}
+	it.spilled.drop()
+	it.spilled = nil
 	return nil
 }
 
@@ -609,12 +621,11 @@ type mergeJoinIter struct {
 	jc   *joinCommon
 	l, r *sortIter
 
-	curL   types.Row
-	group  []types.Row // right rows equal to curL's key
-	gpos   int
-	rRow   types.Row // lookahead on the right
-	rDone  bool
-	opened bool
+	curL  types.Row
+	group []types.Row // right rows equal to curL's key
+	gpos  int
+	rRow  types.Row // lookahead on the right
+	rDone bool
 }
 
 func (it *mergeJoinIter) Open() error {
@@ -624,7 +635,6 @@ func (it *mergeJoinIter) Open() error {
 	if err := it.r.Open(); err != nil {
 		return err
 	}
-	it.opened = true
 	r, ok, err := it.r.Next()
 	if err != nil {
 		return err
@@ -695,9 +705,9 @@ func (it *mergeJoinIter) Next() (types.Row, bool, error) {
 }
 
 func (it *mergeJoinIter) Close() error {
-	if it.opened {
-		it.l.Close()
-		it.r.Close()
-	}
+	// Always cascade: if the left sort opened and spilled runs but the right
+	// sort's Open failed, the old opened-only guard leaked the left's runs.
+	it.l.Close()
+	it.r.Close()
 	return nil
 }

@@ -27,25 +27,32 @@ func newSortIter(e *Executor, in iterator, cols []int) *sortIter {
 func (it *sortIter) Open() error {
 	var buf []types.Row
 	bytes := 0
-	flushRun := func() {
+	flushRun := func() error {
 		sort.SliceStable(buf, func(i, j int) bool {
 			return types.CompareRows(buf[i], buf[j], it.cols) < 0
 		})
+		// Register the run before writing so Close drops it even when a
+		// write below fails.
 		run := newSpill(it.exec.store, "sort-run")
-		for _, r := range buf {
-			run.add(r)
-		}
-		run.finish()
 		it.runs = append(it.runs, run)
+		for _, r := range buf {
+			if err := run.add(r); err != nil {
+				return err
+			}
+		}
+		if err := run.finish(); err != nil {
+			return err
+		}
 		buf = buf[:0]
 		bytes = 0
+		return nil
 	}
 
 	err := drain(it.in, func(row types.Row) error {
 		buf = append(buf, row)
 		bytes += row.DiskWidth()
 		if bytes > it.exec.budgetBytes {
-			flushRun()
+			return flushRun()
 		}
 		return nil
 	})
@@ -61,7 +68,9 @@ func (it *sortIter) Open() error {
 		return it.out.Open()
 	}
 	if len(buf) > 0 {
-		flushRun()
+		if err := flushRun(); err != nil {
+			return err
+		}
 	}
 	merge, err := newMergeRuns(it.exec.store, it.runs, it.cols)
 	if err != nil {
@@ -74,6 +83,7 @@ func (it *sortIter) Open() error {
 func (it *sortIter) Next() (types.Row, bool, error) { return it.out.Next() }
 
 func (it *sortIter) Close() error {
+	it.in.Close() // drain already closed it on the Open path; idempotent
 	if it.out != nil {
 		it.out.Close()
 	}

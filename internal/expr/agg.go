@@ -217,9 +217,20 @@ func (k AggKind) NewAccumulator() Accumulator {
 	case AggMedian:
 		return &medianAcc{}
 	default:
-		panic(fmt.Sprintf("unknown aggregate kind %d", int(k)))
+		// Unknown kinds are rejected by Agg.Check before execution; degrade
+		// to an all-NULL accumulator so malformed plans cannot crash the
+		// process.
+		return nullAcc{}
 	}
 }
+
+// nullAcc is the accumulator of an unknown or unregistered aggregate: it
+// ignores every input and yields NULL. It exists only as a non-panicking
+// fallback; Agg.Check rejects such aggregates before any executor runs.
+type nullAcc struct{}
+
+func (nullAcc) Add(types.Value)     {}
+func (nullAcc) Result() types.Value { return types.Null() }
 
 type countAcc struct{ n int64 }
 
@@ -389,20 +400,38 @@ func LookupUserAggregate(name string) (UserAggSpec, bool) {
 	return spec, ok
 }
 
-// userSpec fetches the spec of a user aggregate, panicking on an
-// unregistered name (construction paths validate registration).
-func (a Agg) userSpec() UserAggSpec {
-	spec, ok := LookupUserAggregate(a.User)
-	if !ok {
-		panic(fmt.Sprintf("expr: user aggregate %q is not registered", a.User))
+// userSpec fetches the spec of a user aggregate. ok is false on an
+// unregistered name (an aggregate whose registration was dropped after the
+// statement was parsed, or a hand-built plan); callers degrade gracefully
+// and Agg.Check reports the error before execution.
+func (a Agg) userSpec() (UserAggSpec, bool) {
+	return LookupUserAggregate(a.User)
+}
+
+// Check reports whether the aggregate is executable: a known built-in kind,
+// or a user aggregate that is currently registered. lplan.Validate calls it
+// so an unregistered user aggregate surfaces as a returned error instead of
+// a panic deep inside the executor.
+func (a Agg) Check() error {
+	if a.Kind == AggUser {
+		if _, ok := a.userSpec(); !ok {
+			return fmt.Errorf("user aggregate %q is not registered", a.User)
+		}
+		return nil
 	}
-	return spec
+	switch a.Kind {
+	case AggCountStar, AggCount, AggSum, AggAvg, AggMin, AggMax, AggMedian:
+		return nil
+	default:
+		return fmt.Errorf("unknown aggregate kind %d", int(a.Kind))
+	}
 }
 
 // Decomposable reports whether the aggregate supports simple coalescing.
 func (a Agg) Decomposable() bool {
 	if a.Kind == AggUser {
-		return a.userSpec().Decompose != nil
+		spec, ok := a.userSpec()
+		return ok && spec.Decompose != nil
 	}
 	return a.Kind.Decomposable()
 }
@@ -410,7 +439,11 @@ func (a Agg) Decomposable() bool {
 // NewAccumulator returns a fresh accumulator for this aggregate.
 func (a Agg) NewAccumulator() Accumulator {
 	if a.Kind == AggUser {
-		return a.userSpec().New()
+		spec, ok := a.userSpec()
+		if !ok {
+			return nullAcc{}
+		}
+		return spec.New()
 	}
 	return a.Kind.NewAccumulator()
 }
@@ -418,7 +451,11 @@ func (a Agg) NewAccumulator() Accumulator {
 // ResultType infers the aggregate's output kind over an input schema.
 func (a Agg) ResultType(s schema.Schema) types.Kind {
 	if a.Kind == AggUser {
-		return a.userSpec().ResultKind
+		spec, ok := a.userSpec()
+		if !ok {
+			return types.KindNull
+		}
+		return spec.ResultKind
 	}
 	return a.Kind.ResultType(a.Arg, s)
 }
@@ -427,7 +464,10 @@ func (a Agg) ResultType(s schema.Schema) types.Kind {
 // user spec for user-defined aggregates.
 func (a Agg) DecomposeAgg() (parts []DecomposedPart, final Expr, err error) {
 	if a.Kind == AggUser {
-		spec := a.userSpec()
+		spec, ok := a.userSpec()
+		if !ok {
+			return nil, nil, fmt.Errorf("user aggregate %q is not registered", a.User)
+		}
 		if spec.Decompose == nil {
 			return nil, nil, fmt.Errorf("aggregate %s is not decomposable", a.User)
 		}

@@ -121,14 +121,39 @@ func TestUserAggDispatch(t *testing.T) {
 	}
 }
 
-func TestUserSpecPanicsOnUnregistered(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("unregistered user aggregate should panic on use")
-		}
-	}()
+func TestUnregisteredUserAggDegrades(t *testing.T) {
 	a := Agg{Kind: AggUser, User: "nosuch$agg", Out: schema.ColID{Rel: "g", Name: "x"}}
-	a.NewAccumulator()
+	if err := a.Check(); err == nil {
+		t.Fatalf("Check should reject an unregistered user aggregate")
+	}
+	// The non-validated paths must degrade, never panic: NULL accumulator,
+	// NULL result type, not decomposable, decompose error.
+	acc := a.NewAccumulator()
+	acc.Add(types.NewInt(1))
+	if got := acc.Result(); !got.IsNull() {
+		t.Errorf("fallback accumulator returned %v, want NULL", got)
+	}
+	if got := a.ResultType(nil); got != types.KindNull {
+		t.Errorf("ResultType = %v, want KindNull", got)
+	}
+	if a.Decomposable() {
+		t.Errorf("unregistered aggregate reported decomposable")
+	}
+	if _, _, err := a.DecomposeAgg(); err == nil {
+		t.Errorf("DecomposeAgg should fail for unregistered aggregate")
+	}
+}
+
+func TestUnknownAggKindDegrades(t *testing.T) {
+	a := Agg{Kind: AggKind(99), Out: schema.ColID{Rel: "g", Name: "x"}}
+	if err := a.Check(); err == nil {
+		t.Fatalf("Check should reject an unknown aggregate kind")
+	}
+	acc := a.NewAccumulator()
+	acc.Add(types.NewInt(1))
+	if got := acc.Result(); !got.IsNull() {
+		t.Errorf("fallback accumulator returned %v, want NULL", got)
+	}
 }
 
 func TestRegisterAggregateValidation(t *testing.T) {

@@ -1,0 +1,158 @@
+// Package govern implements per-query resource governance: cancellation,
+// deadlines, page-IO budgets, output-row limits, and optimizer search
+// budgets.
+//
+// A production optimizer bounds its own work ("Query Optimization in the
+// Wild": plan-search budgets and graceful fallback are table stakes) and a
+// production executor must stop promptly when the client goes away or a
+// runaway query exhausts its allowance. The Governor is the single object
+// every layer consults: the storage layer ticks it once per accounted page
+// IO, the executor once per output row, and the optimizer once per costed
+// plan. All violations surface as typed sentinel errors so callers can
+// distinguish "the user canceled" from "the query was too expensive" from
+// "the optimizer gave up searching".
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Sentinel errors. Every governance failure wraps exactly one of these, so
+// errors.Is works across the engine boundary.
+var (
+	// ErrCanceled reports context cancellation or an expired deadline.
+	ErrCanceled = errors.New("query canceled")
+	// ErrRowLimit reports that the query produced more rows than allowed.
+	ErrRowLimit = errors.New("row limit exceeded")
+	// ErrIOBudget reports that the query's page-IO allowance (scans plus
+	// spills) ran out.
+	ErrIOBudget = errors.New("page-IO budget exceeded")
+	// ErrOptimizerBudget reports that plan enumeration exceeded its search
+	// budget. The engine reacts by degrading to a cheaper optimizer mode,
+	// never by failing the query (the chosen-plan guarantee makes the
+	// traditional plan a safe floor).
+	ErrOptimizerBudget = errors.New("optimizer search budget exceeded")
+)
+
+// Limits bounds one query. Zero values mean "unlimited".
+type Limits struct {
+	// MaxRowsOut caps the rows the executor may materialize.
+	MaxRowsOut int64
+	// MaxIOPages caps accounted page reads plus writes (scan and spill IO).
+	MaxIOPages int64
+	// OptimizerPlans caps the number of candidate plans the optimizer may
+	// cost before ErrOptimizerBudget trips.
+	OptimizerPlans int
+}
+
+// Governor tracks one query's consumption against its limits. It is safe
+// for concurrent use; the IO and row counters are atomic.
+type Governor struct {
+	ctx     context.Context
+	limits  Limits
+	ioPages atomic.Int64
+	rowsOut atomic.Int64
+	plans   atomic.Int64
+}
+
+// New creates a governor for one query execution. A nil context is treated
+// as context.Background().
+func New(ctx context.Context, limits Limits) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Governor{ctx: ctx, limits: limits}
+}
+
+// Err polls cancellation: it returns a wrapped ErrCanceled when the
+// governor's context is done, nil otherwise. It is cheap enough to call at
+// page-IO granularity.
+func (g *Governor) Err() error {
+	if g == nil {
+		return nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}
+
+// TickIO accounts one page access. charged marks a real page IO (a pool
+// miss or a flush) counted against MaxIOPages; pool hits pass charged=false
+// and only poll cancellation, so a fully cached query still honors its
+// deadline at page granularity.
+func (g *Governor) TickIO(charged bool) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Err(); err != nil {
+		return err
+	}
+	if !charged {
+		return nil
+	}
+	n := g.ioPages.Add(1)
+	if g.limits.MaxIOPages > 0 && n > g.limits.MaxIOPages {
+		return fmt.Errorf("%w (limit %d pages)", ErrIOBudget, g.limits.MaxIOPages)
+	}
+	return nil
+}
+
+// TickRow accounts one executor output row.
+func (g *Governor) TickRow() error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Err(); err != nil {
+		return err
+	}
+	n := g.rowsOut.Add(1)
+	if g.limits.MaxRowsOut > 0 && n > g.limits.MaxRowsOut {
+		return fmt.Errorf("%w (limit %d rows)", ErrRowLimit, g.limits.MaxRowsOut)
+	}
+	return nil
+}
+
+// TickPlan accounts one costed candidate plan in the optimizer.
+func (g *Governor) TickPlan() error {
+	if g == nil {
+		return nil
+	}
+	if err := g.Err(); err != nil {
+		return err
+	}
+	n := g.plans.Add(1)
+	if g.limits.OptimizerPlans > 0 && n > int64(g.limits.OptimizerPlans) {
+		return fmt.Errorf("%w (limit %d plans)", ErrOptimizerBudget, g.limits.OptimizerPlans)
+	}
+	return nil
+}
+
+// IOPages returns the accounted page IOs so far.
+func (g *Governor) IOPages() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.ioPages.Load()
+}
+
+// RowsOut returns the accounted output rows so far.
+func (g *Governor) RowsOut() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.rowsOut.Load()
+}
+
+// ResetPlans zeroes the optimizer-plan counter. The engine's degradation
+// ladder calls it between attempts so each cheaper mode gets the full
+// search budget.
+func (g *Governor) ResetPlans() {
+	if g == nil {
+		return
+	}
+	g.plans.Store(0)
+}

@@ -1,0 +1,111 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilGovernorIsUnlimited(t *testing.T) {
+	var g *Governor
+	for i := 0; i < 100; i++ {
+		if g.TickIO(true) != nil || g.TickRow() != nil || g.TickPlan() != nil || g.Err() != nil {
+			t.Fatalf("nil governor must never trip")
+		}
+	}
+	if g.IOPages() != 0 || g.RowsOut() != 0 {
+		t.Fatalf("nil governor counters must read zero")
+	}
+	g.ResetPlans() // must not panic
+}
+
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	g := New(nil, Limits{})
+	for i := 0; i < 1000; i++ {
+		if g.TickIO(true) != nil || g.TickRow() != nil || g.TickPlan() != nil {
+			t.Fatalf("zero limits tripped at tick %d", i)
+		}
+	}
+	if g.IOPages() != 1000 || g.RowsOut() != 1000 {
+		t.Fatalf("counters = %d/%d, want 1000/1000", g.IOPages(), g.RowsOut())
+	}
+}
+
+func TestIOBudgetTripsPastLimit(t *testing.T) {
+	g := New(nil, Limits{MaxIOPages: 3})
+	for i := 0; i < 3; i++ {
+		if err := g.TickIO(true); err != nil {
+			t.Fatalf("tick %d within budget: %v", i, err)
+		}
+	}
+	if err := g.TickIO(true); !errors.Is(err, ErrIOBudget) {
+		t.Fatalf("err = %v, want ErrIOBudget", err)
+	}
+	// Uncharged ticks (pool hits) never consume budget.
+	g2 := New(nil, Limits{MaxIOPages: 1})
+	for i := 0; i < 10; i++ {
+		if err := g2.TickIO(false); err != nil {
+			t.Fatalf("uncharged tick tripped: %v", err)
+		}
+	}
+	if g2.IOPages() != 0 {
+		t.Fatalf("uncharged ticks counted: %d", g2.IOPages())
+	}
+}
+
+func TestRowLimitTripsPastLimit(t *testing.T) {
+	g := New(nil, Limits{MaxRowsOut: 2})
+	if g.TickRow() != nil || g.TickRow() != nil {
+		t.Fatalf("rows within limit tripped")
+	}
+	if err := g.TickRow(); !errors.Is(err, ErrRowLimit) {
+		t.Fatalf("err = %v, want ErrRowLimit", err)
+	}
+}
+
+func TestPlanBudgetAndReset(t *testing.T) {
+	g := New(nil, Limits{OptimizerPlans: 2})
+	if g.TickPlan() != nil || g.TickPlan() != nil {
+		t.Fatalf("plans within budget tripped")
+	}
+	if err := g.TickPlan(); !errors.Is(err, ErrOptimizerBudget) {
+		t.Fatalf("err = %v, want ErrOptimizerBudget", err)
+	}
+	// The ladder grants each rung a fresh budget.
+	g.ResetPlans()
+	if g.TickPlan() != nil || g.TickPlan() != nil {
+		t.Fatalf("budget not restored after ResetPlans")
+	}
+	if err := g.TickPlan(); !errors.Is(err, ErrOptimizerBudget) {
+		t.Fatalf("err after reset = %v, want ErrOptimizerBudget", err)
+	}
+}
+
+func TestCancellationWinsOverBudgets(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{MaxIOPages: 1, MaxRowsOut: 1, OptimizerPlans: 1})
+	if g.Err() != nil {
+		t.Fatalf("live context reported done")
+	}
+	cancel()
+	for _, err := range []error{g.Err(), g.TickIO(true), g.TickIO(false), g.TickRow(), g.TickPlan()} {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	}
+	// Canceled ticks must not consume budget either.
+	if g.IOPages() != 0 || g.RowsOut() != 0 {
+		t.Fatalf("canceled ticks were charged: io=%d rows=%d", g.IOPages(), g.RowsOut())
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrCanceled, ErrRowLimit, ErrIOBudget, ErrOptimizerBudget}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken for %v vs %v", a, b)
+			}
+		}
+	}
+}

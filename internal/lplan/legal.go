@@ -67,6 +67,9 @@ func Validate(n Node) error {
 		}
 		seenOut := map[schema.ColID]bool{}
 		for _, a := range t.Aggs {
+			if err := a.Check(); err != nil {
+				return fmt.Errorf("group-by: aggregate %s: %w", a, err)
+			}
 			if a.Arg == nil && a.Kind != expr.AggCountStar {
 				return fmt.Errorf("group-by: aggregate %s lacks an argument", a.Kind)
 			}

@@ -128,11 +128,11 @@ func (s *Scan) Schema() schema.Schema {
 		})
 	}
 	if s.Proj != nil {
-		out, err := base.Project(s.Proj)
-		if err != nil {
-			panic(fmt.Sprintf("scan %s: invalid projection: %v", s.Alias, err))
+		// An invalid projection is reported by Validate; Schema degrades to
+		// the unprojected base so callers on the error path never panic.
+		if out, err := base.Project(s.Proj); err == nil {
+			base = out
 		}
-		base = out
 	}
 	s.schemaOnce = base
 	return base
@@ -175,11 +175,10 @@ func (j *Join) Schema() schema.Schema {
 	}
 	base := j.L.Schema().Concat(j.R.Schema())
 	if j.Proj != nil {
-		out, err := base.Project(j.Proj)
-		if err != nil {
-			panic(fmt.Sprintf("join: invalid projection: %v", err))
+		// See Scan.Schema: Validate reports the error, Schema never panics.
+		if out, err := base.Project(j.Proj); err == nil {
+			base = out
 		}
-		base = out
 	}
 	j.schemaOnce = base
 	return base
@@ -224,7 +223,10 @@ func (g *GroupBy) innerSchema() schema.Schema {
 	for _, c := range g.GroupCols {
 		i, err := in.IndexOf(c)
 		if err != nil || i < 0 {
-			panic(fmt.Sprintf("group-by: grouping column %s not in input %s", c, in))
+			// Validate reports missing grouping columns; degrade to a
+			// null-typed placeholder so Schema never panics on bad input.
+			s = append(s, schema.Column{ID: c, Type: types.KindNull})
+			continue
 		}
 		s = append(s, in[i])
 	}

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrInjected is the base error of every injected storage fault; callers
+// detect simulated disk errors with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("injected storage fault")
+
+// FaultPlan configures deterministic or seeded-probabilistic IO fault
+// injection. Faults fire on accounted page IOs (reads on pool misses and
+// page flushes); pool hits never fault, matching a disk whose errors occur
+// on real transfers.
+//
+// The deterministic trigger is the workhorse of the chaos harness: a sweep
+// runs the same query once per IO index with FailAt = 0, 1, 2, …, proving
+// that an IO error at *every* point of a query's life yields a clean error
+// and no leaked state.
+type FaultPlan struct {
+	// FailAt fails the Nth accounted IO after injection (0-based).
+	// Negative disables the deterministic trigger.
+	FailAt int64
+	// Prob, when positive, fails each accounted IO independently with this
+	// probability, drawn from a generator seeded with Seed (deterministic
+	// for a fixed seed and IO sequence).
+	Prob float64
+	// Seed seeds the probabilistic generator.
+	Seed int64
+	// Err, when non-nil, is wrapped alongside ErrInjected in the returned
+	// error, letting tests assert on a custom cause.
+	Err error
+}
+
+// faultState is the live injector: the plan plus the IO counter.
+type faultState struct {
+	plan  FaultPlan
+	count int64
+	rng   *rand.Rand
+}
+
+// tick observes one accounted IO and decides whether it fails.
+func (f *faultState) tick() error {
+	n := f.count
+	f.count++
+	if f.plan.FailAt >= 0 && n == f.plan.FailAt {
+		return f.fail(n)
+	}
+	if f.plan.Prob > 0 && f.rng.Float64() < f.plan.Prob {
+		return f.fail(n)
+	}
+	return nil
+}
+
+func (f *faultState) fail(n int64) error {
+	if f.plan.Err != nil {
+		return fmt.Errorf("%w at IO #%d: %w", ErrInjected, n, f.plan.Err)
+	}
+	return fmt.Errorf("%w at IO #%d", ErrInjected, n)
+}
+
+// InjectFault arms fault injection for subsequent accounted IOs, replacing
+// any previous plan and resetting the IO counter.
+func (s *Store) InjectFault(p FaultPlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = &faultState{plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// ClearFault disarms fault injection.
+func (s *Store) ClearFault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = nil
+}
+
+// FaultIOCount returns the number of accounted IOs observed since the last
+// InjectFault, for sizing deterministic sweeps.
+func (s *Store) FaultIOCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault == nil {
+		return 0
+	}
+	return s.fault.count
+}

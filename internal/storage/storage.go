@@ -34,6 +34,7 @@ type page struct {
 type File struct {
 	id     int
 	name   string
+	temp   bool // query-temporary file (spill run, partition); see CreateTemp
 	pages  []*page
 	starts []int64 // page directory: rowid of the first row on each flushed page
 	rows   int64
@@ -82,6 +83,27 @@ func (s IOStats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.Hits)
 }
 
+// IOOp classifies one buffer-pool page access.
+type IOOp int
+
+// Page access kinds passed to an IOHook.
+const (
+	// OpRead is a page fetched from "disk" on a pool miss (charged).
+	OpRead IOOp = iota
+	// OpWrite is a page flushed to "disk" (charged).
+	OpWrite
+	// OpHit is a pool hit: no IO is charged, but the hook still observes it
+	// so cancellation stays responsive on fully cached queries.
+	OpHit
+)
+
+// IOHook observes every page access before it is performed. Returning a
+// non-nil error aborts the access and propagates to the caller — this is
+// how per-query governors impose deadlines and IO budgets at page
+// granularity. The hook runs with the store lock held; it must be fast and
+// must not call back into the store.
+type IOHook func(op IOOp) error
+
 // Store owns files and the shared buffer pool.
 type Store struct {
 	mu     sync.Mutex
@@ -89,6 +111,8 @@ type Store struct {
 	nextID int
 	pool   *bufferPool
 	stats  IOStats
+	hook   IOHook
+	fault  *faultState
 }
 
 // NewStore creates a store with a buffer pool of poolPages pages
@@ -127,6 +151,47 @@ func (s *Store) DropCaches() {
 	s.pool.reset()
 }
 
+// SetIOHook installs the per-query IO hook and returns a function that
+// restores the previous hook. Queries are expected to run one at a time per
+// store; the restore function makes nesting (and defer-based cleanup) safe.
+func (s *Store) SetIOHook(h IOHook) (restore func()) {
+	s.mu.Lock()
+	prev := s.hook
+	s.hook = h
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.hook = prev
+		s.mu.Unlock()
+	}
+}
+
+// chargeLocked accounts one page access. Real IOs (OpRead/OpWrite) pass
+// through fault injection first — the simulated disk error — then the query
+// hook (cancellation, budgets), then the counters. Pool hits skip fault
+// injection and charging but still reach the hook.
+func (s *Store) chargeLocked(op IOOp) error {
+	if op != OpHit && s.fault != nil {
+		if err := s.fault.tick(); err != nil {
+			return err
+		}
+	}
+	if s.hook != nil {
+		if err := s.hook(op); err != nil {
+			return err
+		}
+	}
+	switch op {
+	case OpRead:
+		s.stats.Reads++
+	case OpWrite:
+		s.stats.Writes++
+	case OpHit:
+		s.stats.Hits++
+	}
+	return nil
+}
+
 // CreateFile allocates a new empty file.
 func (s *Store) CreateFile(name string) *File {
 	s.mu.Lock()
@@ -135,6 +200,41 @@ func (s *Store) CreateFile(name string) *File {
 	f := &File{id: s.nextID, name: name}
 	s.files[f.id] = f
 	return f
+}
+
+// CreateTemp allocates a query-temporary file (a spill run or partition).
+// Temp files appear in the LiveTempFiles census: a robust executor drops
+// every one of them by the time a query ends, successful or not.
+func (s *Store) CreateTemp(name string) *File {
+	f := s.CreateFile(name)
+	s.mu.Lock()
+	f.temp = true
+	s.mu.Unlock()
+	return f
+}
+
+// LiveFiles returns the number of files (tables and temporaries) currently
+// registered with the store.
+func (s *Store) LiveFiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}
+
+// LiveTempFiles returns the names of query-temporary files still live, in
+// sorted order. A non-empty census after a query — even a failed one — is a
+// spill-file leak.
+func (s *Store) LiveTempFiles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, f := range s.files {
+		if f.temp {
+			out = append(out, fmt.Sprintf("%s#%d", f.name, f.id))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DropFile releases a file and evicts its pages from the pool.
@@ -147,8 +247,9 @@ func (s *Store) DropFile(f *File) {
 
 // Append adds a row to the file's write buffer, flushing full pages to
 // "disk" (charging one write per flushed page). The row is not copied;
-// callers must not mutate it afterwards.
-func (s *Store) Append(f *File, row types.Row) {
+// callers must not mutate it afterwards. A non-nil error (injected fault,
+// tripped budget, cancellation) means the row was not appended.
+func (s *Store) Append(f *File, row types.Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w := row.DiskWidth()
@@ -156,29 +257,36 @@ func (s *Store) Append(f *File, row types.Row) {
 		f.cur = &page{}
 	}
 	if f.curBytes > 0 && f.curBytes+w > PageSize {
-		s.flushLocked(f)
+		if err := s.flushLocked(f); err != nil {
+			return err
+		}
 	}
 	f.cur.rows = append(f.cur.rows, row)
 	f.curBytes += w
 	f.rows++
 	f.bytes += int64(w)
+	return nil
 }
 
 // Flush forces the partial tail page, if any, to disk.
-func (s *Store) Flush(f *File) {
+func (s *Store) Flush(f *File) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f.cur != nil && len(f.cur.rows) > 0 {
-		s.flushLocked(f)
+		return s.flushLocked(f)
 	}
+	return nil
 }
 
-func (s *Store) flushLocked(f *File) {
+func (s *Store) flushLocked(f *File) error {
+	if err := s.chargeLocked(OpWrite); err != nil {
+		return fmt.Errorf("file %q: write: %w", f.name, err)
+	}
 	f.starts = append(f.starts, f.rows-int64(len(f.cur.rows)))
 	f.pages = append(f.pages, f.cur)
-	s.stats.Writes++
 	f.cur = &page{}
 	f.curBytes = 0
+	return nil
 }
 
 // ReadPage fetches page n of the file through the buffer pool, charging a
@@ -188,16 +296,27 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 	defer s.mu.Unlock()
 	flushed := len(f.pages)
 	if n < flushed {
+		op := OpRead
 		if s.pool.touch(f.id, n) {
-			s.stats.Hits++
-		} else {
-			s.stats.Reads++
+			op = OpHit
+		}
+		if err := s.chargeLocked(op); err != nil {
+			return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
+		}
+		if op == OpRead {
 			s.pool.insert(f.id, n)
 		}
 		return f.pages[n].rows, nil
 	}
 	if n == flushed && f.cur != nil && len(f.cur.rows) > 0 {
-		// The unflushed tail page lives in the writer's memory: no IO.
+		// The unflushed tail page lives in the writer's memory: no IO is
+		// charged, but the hook still observes the access so cancellation
+		// reaches queries running out of the write buffer.
+		if s.hook != nil {
+			if err := s.hook(OpHit); err != nil {
+				return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
+			}
+		}
 		return f.cur.rows, nil
 	}
 	return nil, fmt.Errorf("file %q: page %d out of range (%d pages)", f.name, n, f.Pages())

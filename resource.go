@@ -1,0 +1,144 @@
+package aggview
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"aggview/internal/core"
+	"aggview/internal/govern"
+	"aggview/internal/qblock"
+	"aggview/internal/storage"
+)
+
+// Typed sentinel errors for resource-governance failures. Every violation
+// returned by the engine wraps exactly one of these; test with errors.Is.
+var (
+	// ErrCanceled reports context cancellation or an expired deadline
+	// (including Config.Timeout).
+	ErrCanceled = govern.ErrCanceled
+	// ErrRowLimit reports that a query produced more rows than
+	// Config.MaxRowsOut allows.
+	ErrRowLimit = govern.ErrRowLimit
+	// ErrIOBudget reports that a query exceeded Config.MaxIOPages accounted
+	// page IOs (scans plus operator spills).
+	ErrIOBudget = govern.ErrIOBudget
+	// ErrOptimizerBudget reports that plan enumeration exceeded
+	// Config.OptimizerBudget. Callers normally never see it: the engine
+	// degrades to a cheaper mode instead of failing.
+	ErrOptimizerBudget = govern.ErrOptimizerBudget
+	// ErrInjected is the base error of storage faults armed via InjectFault.
+	ErrInjected = storage.ErrInjected
+	// ErrInternal wraps a recovered internal panic; the error text carries
+	// the statement being executed. A query returning ErrInternal leaves
+	// the engine usable.
+	ErrInternal = errors.New("internal error")
+)
+
+// FaultPlan configures deterministic or probabilistic storage fault
+// injection; see InjectFault.
+type FaultPlan = storage.FaultPlan
+
+// InjectFault arms storage-level fault injection for subsequent queries:
+// the chosen accounted page IO (FailAt, 0-based) or a seeded random subset
+// (Prob/Seed) fails with an error wrapping ErrInjected. The chaos-test
+// harness sweeps FailAt across every IO of a query to prove that a disk
+// error at any moment yields a clean error and no leaked spill files.
+func (e *Engine) InjectFault(p FaultPlan) { e.store.InjectFault(p) }
+
+// ClearFault disarms fault injection.
+func (e *Engine) ClearFault() { e.store.ClearFault() }
+
+// FaultIOCount reports the accounted page IOs observed since InjectFault,
+// for sizing deterministic fault sweeps.
+func (e *Engine) FaultIOCount() int64 { return e.store.FaultIOCount() }
+
+// LiveTempFiles returns the names of live operator spill files. It must be
+// empty between queries — anything else is a resource leak (asserted by the
+// chaos tests after every injected failure).
+func (e *Engine) LiveTempFiles() []string { return e.store.LiveTempFiles() }
+
+// recoverToError converts a panic into an error wrapping ErrInternal and
+// the statement text. It is installed at every public query entry point,
+// the last line of defense behind the returned-error paths: user input must
+// never crash the process.
+func recoverToError(err *error, src string) {
+	if p := recover(); p != nil {
+		*err = fmt.Errorf("aggview: %w: %v (executing %q)", ErrInternal, p, src)
+	}
+}
+
+// newGovernor builds the per-query governor from the engine config,
+// layering Config.Timeout onto the caller's context.
+func (e *Engine) newGovernor(ctx context.Context) (*govern.Governor, context.CancelFunc) {
+	cancel := func() {}
+	if e.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+	}
+	g := govern.New(ctx, govern.Limits{
+		MaxRowsOut:     e.cfg.MaxRowsOut,
+		MaxIOPages:     e.cfg.MaxIOPages,
+		OptimizerPlans: e.cfg.OptimizerBudget,
+	})
+	return g, cancel
+}
+
+// ioHook adapts a governor to the storage layer's IO hook: charged IOs
+// (pool misses and flushes) count against the page budget, pool hits only
+// poll cancellation. The indirection keeps storage free of a govern import.
+func ioHook(g *govern.Governor) storage.IOHook {
+	return func(op storage.IOOp) error {
+		return g.TickIO(op != storage.OpHit)
+	}
+}
+
+// ladderModes returns the degradation ladder starting at the requested
+// mode. The paper's guarantee — the chosen plan is never worse than the
+// traditional plan — makes each cheaper mode a safe substitute, so the
+// engine can always trade search effort for plan quality instead of
+// failing the query.
+func ladderModes(m OptimizerMode) []OptimizerMode {
+	switch m {
+	case Full:
+		return []OptimizerMode{Full, PushDown, Traditional}
+	case PushDown:
+		return []OptimizerMode{PushDown, Traditional}
+	default:
+		return []OptimizerMode{Traditional}
+	}
+}
+
+// optimizeLadder optimizes under the governor's search budget, degrading
+// Full → PushDown → Traditional when the budget trips. Each rung gets a
+// fresh plan budget; the final rung runs with the budget disabled (but
+// still polls cancellation), so a finite ladder always produces a plan.
+// The returned mode is the rung that succeeded; the plan's SearchStats
+// records how many rungs were skipped.
+func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, gov *govern.Governor) (*core.Plan, OptimizerMode, error) {
+	modes := ladderModes(mode)
+	degradations := 0
+	for i, m := range modes {
+		opts := e.options()
+		opts.Mode = m
+		last := i == len(modes)-1
+		if last {
+			opts.Tick = gov.Err // cancellation only: the floor must succeed
+		} else {
+			opts.Tick = gov.TickPlan
+		}
+		plan, err := core.Optimize(q, opts)
+		if err != nil {
+			if !last && errors.Is(err, govern.ErrOptimizerBudget) {
+				degradations++
+				gov.ResetPlans()
+				continue
+			}
+			return nil, m, err
+		}
+		plan.Stats.Degradations = degradations
+		return plan, m, nil
+	}
+	// Unreachable: ladderModes always ends in Traditional, whose rung never
+	// returns ErrOptimizerBudget.
+	return nil, mode, fmt.Errorf("aggview: optimizer ladder exhausted")
+}
