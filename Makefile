@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench gobench check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench emits a machine-readable benchmark snapshot: the paper's example
+# queries per optimizer mode, estimated cost next to measured cold page IO.
+# Committing the dated file makes plan-quality regressions show up as diffs.
 bench:
+	$(GO) run ./cmd/aggbench -snapshot BENCH_$(shell date +%Y%m%d).json
+
+# gobench runs the Go micro/macro benchmarks.
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # check is the tier-1 gate: static analysis plus the full test suite

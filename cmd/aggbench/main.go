@@ -7,6 +7,8 @@
 //	aggbench -quick          # run every experiment at reduced size
 //	aggbench -exp E1,E5      # run selected experiments
 //	aggbench -list           # list experiment ids and titles
+//	aggbench -snapshot F     # write a per-mode page-IO snapshot to F as JSON
+//	                           ("-" for stdout) instead of the experiments
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	list := flag.Bool("list", false, "list experiments and exit")
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	snapFlag := flag.String("snapshot", "", "write a benchmark snapshot (JSON) to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -30,6 +33,29 @@ func main() {
 			title, _ := experiments.Title(id)
 			fmt.Printf("%-4s %s\n", id, title)
 		}
+		return
+	}
+
+	if *snapFlag != "" {
+		snap, err := experiments.NewSnapshot(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if *snapFlag == "-" {
+			os.Stdout.Write(out)
+			return
+		}
+		if err := os.WriteFile(*snapFlag, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *snapFlag, len(snap.Results))
 		return
 	}
 

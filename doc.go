@@ -33,4 +33,24 @@
 //
 // Use Explain to inspect the chosen plan under each optimizer mode
 // (traditional, push-down, full) and compare estimated costs.
+//
+// # Observability
+//
+// ExplainAnalyze (or the SQL form EXPLAIN ANALYZE) executes a SELECT cold
+// and annotates every operator with the cost model's estimates next to the
+// measured actuals — rows, self-attributed page IO, spill traffic, and wall
+// time; summing the per-operator page counters reproduces the engine's
+// IOStats delta exactly. Materializing queries attach the same data to the
+// Result (Plan, IO, Ops); QueryRows streams results through a cursor with
+// per-row governance instead of materializing. Engine.Metrics returns the
+// engine-wide cumulative rollup of every governed query, and
+// Engine.SetMetricsSink installs a per-query export hook.
+//
+// # Governance
+//
+// Queries run under a per-query governor: context cancellation, Timeout,
+// MaxRowsOut and MaxIOPages abort execution at page-IO granularity with
+// typed sentinel errors (ErrCanceled, ErrRowLimit, ErrIOBudget). A tripped
+// OptimizerBudget never fails the query — the engine degrades
+// Full → PushDown → Traditional and reports the fallback in PlanInfo.
 package aggview

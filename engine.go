@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"time"
 
@@ -12,8 +11,8 @@ import (
 	"aggview/internal/catalog"
 	"aggview/internal/core"
 	"aggview/internal/datagen"
-	"aggview/internal/exec"
 	"aggview/internal/lplan"
+	"aggview/internal/obs"
 	"aggview/internal/schema"
 	"aggview/internal/sql"
 	"aggview/internal/storage"
@@ -26,6 +25,11 @@ type OptimizerMode = core.Mode
 
 // Optimizer modes.
 const (
+	// ModeDefault is the zero value; Open resolves it to Full with the
+	// paper's practical restrictions (k=2 pull-up, predicate sharing).
+	// Because the zero value is its own constant, Config{Mode: Traditional}
+	// means Traditional — it is never silently rewritten.
+	ModeDefault OptimizerMode = core.ModeDefault
 	// Traditional optimizes each view locally and joins with group-bys
 	// last (the Section 5.1 baseline).
 	Traditional OptimizerMode = core.ModeTraditional
@@ -54,13 +58,35 @@ type IOStats = storage.IOStats
 // SearchStats mirrors the optimizer's enumeration counters.
 type SearchStats = core.SearchStats
 
+// SearchTrace is the optimizer's search decision log (EXPLAIN paths only);
+// see PlanInfo.Trace.
+type SearchTrace = core.SearchTrace
+
+// OpMetrics holds one operator's measured runtime metrics: rows out, page
+// reads/writes/hits (self-only), spill subsets, and wall times (inclusive
+// of children).
+type OpMetrics = obs.OpStats
+
+// QueryMetrics is the per-query rollup delivered to the metrics sink.
+type QueryMetrics = obs.QueryMetrics
+
+// Metrics is the engine-wide cumulative metrics snapshot; see
+// Engine.Metrics.
+type Metrics = obs.Metrics
+
+// MetricsSink receives every query's rollup synchronously as it completes;
+// see Engine.SetMetricsSink.
+type MetricsSink = obs.Sink
+
 // Config tunes an Engine.
 type Config struct {
 	// PoolPages is the buffer pool budget in 4 KiB pages (default 128).
 	// It bounds both the executor's spill thresholds and the cost model's
 	// memory assumptions.
 	PoolPages int
-	// Mode selects the optimizer algorithm (default Full).
+	// Mode selects the optimizer algorithm. The zero value ModeDefault
+	// resolves to Full (with KLevelPullUp defaulting to 2); any explicit
+	// mode — including Traditional — is honored as given.
 	Mode OptimizerMode
 	// KLevelPullUp caps relations pulled through one view (default 2;
 	// 0 = unlimited). Ignored outside Full mode.
@@ -101,21 +127,31 @@ type Engine struct {
 	store *storage.Store
 	cat   *catalog.Catalog
 	cfg   Config
+	// reg accumulates per-query metrics engine-wide; engines derived via
+	// WithConfig share it, so Metrics() covers the whole instance.
+	reg *obs.Registry
+}
+
+// resolveConfig fills in the defaults: the pool size, and the explicit
+// ModeDefault constant resolving to Full with the paper's restrictions.
+func resolveConfig(cfg Config) Config {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = storage.DefaultPoolPages
+	}
+	if cfg.Mode == ModeDefault {
+		cfg.Mode = Full
+		if cfg.KLevelPullUp == 0 {
+			cfg.KLevelPullUp = 2
+		}
+	}
+	return cfg
 }
 
 // Open creates an empty engine.
 func Open(cfg Config) *Engine {
-	if cfg.PoolPages <= 0 {
-		cfg.PoolPages = storage.DefaultPoolPages
-	}
-	if cfg.Mode == Traditional && cfg.KLevelPullUp == 0 {
-		// Zero-value config means "defaults", and the zero Mode is
-		// Traditional; keep it honest: zero-value Config selects Full.
-		cfg.Mode = Full
-		cfg.KLevelPullUp = 2
-	}
+	cfg = resolveConfig(cfg)
 	st := storage.NewStore(cfg.PoolPages)
-	return &Engine{store: st, cat: catalog.New(st), cfg: cfg}
+	return &Engine{store: st, cat: catalog.New(st), cfg: cfg, reg: obs.NewRegistry()}
 }
 
 // OpenWithMode creates an engine pinned to a specific optimizer mode.
@@ -125,17 +161,26 @@ func OpenWithMode(cfg Config, mode OptimizerMode) *Engine {
 	return e
 }
 
-// WithConfig returns an engine sharing this engine's storage and catalog
-// but optimizing under a different configuration. PoolPages is taken from
-// the receiver (the buffer pool is shared and cannot be resized).
+// WithConfig returns an engine sharing this engine's storage, catalog and
+// metrics registry but optimizing under a different configuration.
+// PoolPages is taken from the receiver (the buffer pool is shared and
+// cannot be resized).
 func (e *Engine) WithConfig(cfg Config) *Engine {
 	cfg.PoolPages = e.cfg.PoolPages
-	if cfg.Mode == Traditional && cfg.KLevelPullUp == 0 {
-		cfg.Mode = Full
-		cfg.KLevelPullUp = 2
-	}
-	return &Engine{store: e.store, cat: e.cat, cfg: cfg}
+	cfg = resolveConfig(cfg)
+	return &Engine{store: e.store, cat: e.cat, cfg: cfg, reg: e.reg}
 }
+
+// Metrics returns the engine-wide cumulative metrics snapshot: queries run,
+// failures by class, rows produced, page IO (with spill subsets), optimizer
+// effort, and phase wall times. Engines derived via WithConfig contribute
+// to the same snapshot.
+func (e *Engine) Metrics() Metrics { return e.reg.Snapshot() }
+
+// SetMetricsSink installs a hook receiving every query's rollup as it
+// completes (nil disables). The sink runs synchronously on the query's
+// goroutine; it should hand off quickly. Returns the previous sink.
+func (e *Engine) SetMetricsSink(s MetricsSink) MetricsSink { return e.reg.SetSink(s) }
 
 func (e *Engine) options() core.Options {
 	opts := core.DefaultOptions()
@@ -152,9 +197,27 @@ func (e *Engine) options() core.Options {
 
 // Result is a materialized query result. Row values are native Go values:
 // int64, float64, string, bool, or nil.
+//
+// SELECTs executed through Query/QueryContext/QueryWithMode also attach the
+// execution's observability: the plan (with estimates and search stats),
+// the measured page IO, and per-operator runtime metrics. DDL and INSERT
+// leave those fields zero.
 type Result struct {
 	Columns []string
 	Rows    [][]any
+
+	// Plan describes the optimized plan that ran: the mode that produced it
+	// (after any budget degradation), the plan text, the cost model's
+	// estimates, and the optimizer's search statistics. Nil for non-SELECT
+	// statements.
+	Plan *PlanInfo
+	// IO is the page IO this query performed (a delta over the engine
+	// counters, so concurrent queries measure independently).
+	IO IOStats
+	// Ops holds the per-operator runtime metrics in operator-registration
+	// order. Summing the page counters (plus nothing else — attribution is
+	// exact) reproduces IO's Reads/Writes/Hits.
+	Ops []OpMetrics
 }
 
 // Len returns the number of rows.
@@ -260,24 +323,41 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (res *Result, err
 	if !ok {
 		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
 	}
-	return e.runSelect(ctx, sel)
+	return e.runSelect(ctx, sel, src)
 }
 
 func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.Select:
-		return e.runSelect(ctx, t)
+		return e.runSelect(ctx, t, src)
 
 	case *sql.Explain:
+		if t.Analyze {
+			a, err := e.explainAnalyzeSelect(ctx, t.Query, src)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Columns: []string{"plan"}, Plan: a.Plan, IO: a.IO}
+			walkOps(a.Root, func(n *OpNode) {
+				if n.Actual != nil {
+					res.Ops = append(res.Ops, *n.Actual)
+				}
+			})
+			for _, line := range strings.Split(strings.TrimRight(a.String(), "\n"), "\n") {
+				res.Rows = append(res.Rows, []any{line})
+			}
+			return res, nil
+		}
 		info, err := e.ExplainSelect(t.Query, e.cfg.Mode)
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Columns: []string{"plan"}}
+		res := &Result{Columns: []string{"plan"}, Plan: info}
 		for _, line := range strings.Split(strings.TrimRight(info.PlanText, "\n"), "\n") {
 			res.Rows = append(res.Rows, []any{line})
 		}
 		res.Rows = append(res.Rows, []any{fmt.Sprintf("estimated cost: %.1f page IOs", info.EstimatedCost)})
+		res.Rows = append(res.Rows, []any{fmt.Sprintf("search: %s", info.Search)})
 		return res, nil
 
 	case *sql.CreateTable:
@@ -375,57 +455,12 @@ func evalLiteral(e sql.Expr) (types.Value, error) {
 	}
 }
 
-func (e *Engine) runSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
-	bound, err := binder.BindSelect(e.cat, sel)
+func (e *Engine) runSelect(ctx context.Context, sel *sql.Select, src string) (*Result, error) {
+	rows, err := e.openRows(ctx, sel, src, rowsOptions{})
 	if err != nil {
 		return nil, err
 	}
-	gov, cancel := e.newGovernor(ctx)
-	defer cancel()
-	plan, _, err := e.optimizeLadder(bound.Query, e.cfg.Mode, gov)
-	if err != nil {
-		return nil, err
-	}
-	restore := e.store.SetIOHook(ioHook(gov))
-	defer restore()
-	raw, err := exec.New(e.store).WithGovernor(gov).Run(plan.Root)
-	if err != nil {
-		return nil, err
-	}
-	return presentResult(bound, raw), nil
-}
-
-// presentResult applies ORDER BY and LIMIT and converts values.
-func presentResult(bound *binder.Bound, raw *exec.Result) *Result {
-	rows := raw.Rows
-	if len(bound.OrderBy) > 0 {
-		rows = append([]types.Row{}, rows...)
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range bound.OrderBy {
-				c := types.Compare(rows[i][k.Col], rows[j][k.Col])
-				if c == 0 {
-					continue
-				}
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-	}
-	if bound.Limit >= 0 && len(rows) > bound.Limit {
-		rows = rows[:bound.Limit]
-	}
-	out := &Result{Columns: bound.ColNames}
-	for _, r := range rows {
-		row := make([]any, len(r))
-		for i, v := range r {
-			row[i] = valueToGo(v)
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out
+	return rows.materialize()
 }
 
 func valueToGo(v types.Value) any {
@@ -443,7 +478,7 @@ func valueToGo(v types.Value) any {
 	}
 }
 
-// PlanInfo describes an optimized plan without executing it.
+// PlanInfo describes an optimized plan.
 type PlanInfo struct {
 	// Mode is the mode that actually produced the plan. When the optimizer
 	// budget tripped and the ladder degraded, it is cheaper than
@@ -458,6 +493,13 @@ type PlanInfo struct {
 	EstimatedCost float64 // page IOs under the cost model
 	EstimatedRows float64
 	Search        SearchStats
+	// Trace is the optimizer's decision log; populated on the EXPLAIN and
+	// EXPLAIN ANALYZE paths, nil on the normal query path (tracing is not
+	// free).
+	Trace *SearchTrace
+
+	// root retains the plan tree for EXPLAIN ANALYZE annotation.
+	root lplan.Node
 }
 
 // Explain optimizes a SELECT under the given mode and returns the plan.
@@ -473,7 +515,8 @@ func (e *Engine) Explain(src string, mode OptimizerMode) (*PlanInfo, error) {
 	return e.ExplainSelect(sel, mode)
 }
 
-// ExplainSelect is Explain over an already-parsed statement.
+// ExplainSelect is Explain over an already-parsed statement. The returned
+// PlanInfo carries the optimizer's search trace.
 func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, error) {
 	bound, err := binder.BindSelect(e.cat, sel)
 	if err != nil {
@@ -481,6 +524,7 @@ func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, 
 	}
 	opts := e.options()
 	opts.Mode = mode
+	opts.Trace = core.NewSearchTrace()
 	plan, err := core.Optimize(bound.Query, opts)
 	if err != nil {
 		return nil, err
@@ -492,6 +536,8 @@ func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, 
 		EstimatedCost: plan.Cost,
 		EstimatedRows: plan.Info.Rows,
 		Search:        plan.Stats,
+		Trace:         opts.Trace,
+		root:          plan.Root,
 	}, nil
 }
 
@@ -509,50 +555,40 @@ func (e *Engine) ExplainAll(src string) ([]*PlanInfo, error) {
 	return out, nil
 }
 
-// QueryWithMode runs a SELECT under a specific optimizer mode, returning
-// the result, the plan, and the page IO the execution actually performed
-// (measured cold: the buffer pool is dropped first). Per-query limits
-// apply; if the optimizer budget trips, the plan degrades down the ladder
-// and the returned PlanInfo reports the fallback.
-func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (res *Result, info *PlanInfo, io IOStats, err error) {
+// QueryMode runs a SELECT under a specific optimizer mode with the buffer
+// pool dropped first, so Result.IO reflects a cold cache — the paper's
+// measurement setting. The plan, IO and per-operator metrics ride on the
+// Result. Per-query limits apply; if the optimizer budget trips, the plan
+// degrades down the ladder and Result.Plan reports the fallback.
+func (e *Engine) QueryMode(ctx context.Context, src string, mode OptimizerMode) (res *Result, err error) {
 	defer recoverToError(&err, src)
 	stmt, err := sql.Parse(src)
 	if err != nil {
-		return nil, nil, IOStats{}, err
+		return nil, err
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return nil, nil, IOStats{}, fmt.Errorf("aggview: QueryWithMode requires a SELECT")
+		return nil, fmt.Errorf("aggview: QueryMode requires a SELECT")
 	}
-	bound, err := binder.BindSelect(e.cat, sel)
+	rows, err := e.openRows(ctx, sel, src, rowsOptions{mode: mode, cold: true})
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryWithMode runs a SELECT under a specific optimizer mode, returning
+// the result, the plan, and the page IO the execution actually performed
+// (measured cold: the buffer pool is dropped first).
+//
+// Deprecated: the plan and IO now ride on the Result; use QueryMode. This
+// wrapper remains for the experiment harness and older callers.
+func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanInfo, IOStats, error) {
+	res, err := e.QueryMode(context.Background(), src, mode)
 	if err != nil {
 		return nil, nil, IOStats{}, err
 	}
-	gov, cancel := e.newGovernor(context.Background())
-	defer cancel()
-	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov)
-	if err != nil {
-		return nil, nil, IOStats{}, err
-	}
-	e.store.DropCaches()
-	before := e.store.Stats()
-	restore := e.store.SetIOHook(ioHook(gov))
-	defer restore()
-	raw, err := exec.New(e.store).WithGovernor(gov).Run(plan.Root)
-	if err != nil {
-		return nil, nil, IOStats{}, err
-	}
-	io = e.store.Stats().Sub(before)
-	info = &PlanInfo{
-		Mode:          usedMode,
-		RequestedMode: mode,
-		Degraded:      usedMode != mode,
-		PlanText:      lplan.Format(plan.Root),
-		EstimatedCost: plan.Cost,
-		EstimatedRows: plan.Info.Rows,
-		Search:        plan.Stats,
-	}
-	return presentResult(bound, raw), info, io, nil
+	return res, res.Plan, res.IO, nil
 }
 
 // WriteCSV streams a base table as CSV (see cmd/datagen).

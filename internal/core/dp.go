@@ -159,6 +159,7 @@ func (dp *blockDP) solve() (map[uint64][]*cand, error) {
 // heuristic at each extension.
 func (dp *blockDP) buildState(s uint64) error {
 	var retained []*cand
+	generated := 0
 	for i := range dp.rels {
 		r := &dp.rels[i]
 		if s&r.mask == 0 {
@@ -175,12 +176,14 @@ func (dp *blockDP) buildState(s uint64) error {
 			if err != nil {
 				return err
 			}
+			generated += len(ext)
 			retained = dp.merge(retained, ext)
 		}
 	}
 	if len(retained) > 0 {
 		dp.best[s] = retained
 		dp.stats.States++
+		dp.opts.Trace.State(bits.OnesCount64(s), generated, len(retained))
 	}
 	return nil
 }
@@ -259,8 +262,29 @@ func (dp *blockDP) extend(c *cand, r *dpRel, preds []expr.Expr, s uint64) ([]*ca
 	if plainBest == nil {
 		return aggAlts, nil
 	}
+	lvl := bits.OnesCount64(s)
 	if aggBest != nil && aggBest.info.Cost < plainBest.info.Cost && aggBest.info.Width <= plainBest.info.Width {
+		dp.opts.Trace.Greedy(lvl, true)
+		if dp.opts.Trace != nil {
+			dp.opts.Trace.Event("greedy-accept", lvl, "%s: cost %.1f < %.1f, width %dB <= %dB",
+				aggBest.node.Describe(), aggBest.info.Cost, plainBest.info.Cost,
+				aggBest.info.Width, plainBest.info.Width)
+		}
 		return append(plain, aggBest), nil
+	}
+	dp.opts.Trace.Greedy(lvl, false)
+	if dp.opts.Trace != nil && aggBest != nil {
+		reason := ""
+		if aggBest.info.Cost >= plainBest.info.Cost {
+			reason = fmt.Sprintf("not cheaper (%.1f >= %.1f)", aggBest.info.Cost, plainBest.info.Cost)
+		}
+		if aggBest.info.Width > plainBest.info.Width {
+			if reason != "" {
+				reason += ", "
+			}
+			reason += fmt.Sprintf("wider (%dB > %dB)", aggBest.info.Width, plainBest.info.Width)
+		}
+		dp.opts.Trace.Event("greedy-reject", lvl, "early aggregation rejected: %s", reason)
 	}
 	return plain, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"aggview/internal/cost"
 	"aggview/internal/expr"
@@ -25,6 +26,9 @@ func (p *Plan) Explain() string { return lplan.Format(p.Root) }
 
 // Optimize chooses an execution plan for a canonical-form query.
 func Optimize(q *qblock.Query, opts Options) (*Plan, error) {
+	if opts.Mode == ModeDefault {
+		opts.Mode = ModeFull
+	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("optimize: %w", err)
 	}
@@ -502,6 +506,18 @@ func (o *optimizer) optimizeWithViews() (lplan.Node, *cost.Info, error) {
 			if err != nil {
 				return err
 			}
+			if o.opts.Trace != nil {
+				var ws []string
+				for _, c := range chosen {
+					ws = append(ws, fmt.Sprintf("%s:{%s}", c.vc.view.Alias, strings.TrimSuffix(setKey(c.wAliases), ",")))
+				}
+				verdict := "kept"
+				if info.Cost >= bestCost {
+					verdict = fmt.Sprintf("rejected (%.1f >= best %.1f)", info.Cost, bestCost)
+				}
+				o.opts.Trace.Event("phase2", 0, "combination [%s]: cost %.1f, %s",
+					strings.Join(ws, " "), info.Cost, verdict)
+			}
 			if info.Cost < bestCost {
 				bestNode, bestInfo, bestCost = node, info, info.Cost
 			}
@@ -601,9 +617,19 @@ func (o *optimizer) phaseOne(vc *viewCtx) ([]wCandidate, error) {
 		if err != nil {
 			return nil, err
 		}
-		if cand != nil {
-			out = append(out, *cand)
+		if cand == nil {
+			o.opts.Trace.Event("pull-up", 0, "view %s, W={%s}: rejected (no connected plan for V' ∪ W)",
+				vc.view.Alias, strings.TrimSuffix(setKey(w), ","))
+			continue
 		}
+		if o.opts.Trace != nil {
+			info, err := o.model.Info(cand.phi)
+			if err == nil {
+				o.opts.Trace.Event("pull-up", 0, "view %s, W={%s}: Φ cost %.1f",
+					vc.view.Alias, strings.TrimSuffix(setKey(w), ","), info.Cost)
+			}
+		}
+		out = append(out, *cand)
 	}
 	return out, nil
 }

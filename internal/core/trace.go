@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// traceEventCap bounds the retained event list; events beyond the cap are
+// counted in Dropped instead of stored, so tracing a huge search cannot
+// exhaust memory.
+const traceEventCap = 512
+
+// SearchTrace records the optimizer's search as it runs: which candidate
+// plans the greedy conservative heuristic accepted or rejected (and why),
+// which pull-up alternatives Φ(V′, W) were enumerated, how many plans each
+// DP level generated and retained, and the degradation steps the engine's
+// ladder took. A nil *SearchTrace is valid everywhere and records nothing,
+// so the hot path pays one nil check when tracing is off.
+type SearchTrace struct {
+	// Events is the decision log, in search order, capped at traceEventCap.
+	Events []TraceEvent
+	// Dropped counts events beyond the cap.
+	Dropped int
+	// levels accumulates per-DP-level pruning statistics, keyed by the
+	// number of relations joined at that level.
+	levels map[int]*LevelTrace
+}
+
+// TraceEvent is one search decision.
+type TraceEvent struct {
+	// Kind classifies the event: "greedy-accept", "greedy-reject",
+	// "pull-up", "phase2", or "degrade".
+	Kind string
+	// Level is the DP level (relations joined) for greedy events; zero
+	// when not applicable.
+	Level int
+	// Detail is the human-readable explanation (costs, widths, reasons).
+	Detail string
+}
+
+// LevelTrace aggregates one DP level's enumeration effort.
+type LevelTrace struct {
+	// Level is the number of relations joined.
+	Level int
+	// States is the count of subsets with at least one retained plan.
+	States int
+	// Candidates is the count of plans generated for the level's states.
+	Candidates int
+	// Retained is the count of plans kept after the dominance merge
+	// (cheapest per interesting order and aggregation mode).
+	Retained int
+	// Pruned is Candidates − Retained: plans discarded by dominance.
+	Pruned int
+	// GreedyAccepts and GreedyRejects count the heuristic's decisions on
+	// early-aggregation alternatives at this level.
+	GreedyAccepts, GreedyRejects int
+}
+
+// NewSearchTrace creates an empty trace.
+func NewSearchTrace() *SearchTrace {
+	return &SearchTrace{levels: map[int]*LevelTrace{}}
+}
+
+// Event appends one decision; nil-safe.
+func (t *SearchTrace) Event(kind string, level int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if len(t.Events) >= traceEventCap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{Kind: kind, Level: level, Detail: fmt.Sprintf(format, args...)})
+}
+
+// level returns the accumulator for a DP level, creating it on first use.
+func (t *SearchTrace) level(lvl int) *LevelTrace {
+	if t.levels == nil {
+		t.levels = map[int]*LevelTrace{}
+	}
+	lt, ok := t.levels[lvl]
+	if !ok {
+		lt = &LevelTrace{Level: lvl}
+		t.levels[lvl] = lt
+	}
+	return lt
+}
+
+// State records one DP state's outcome at a level; nil-safe.
+func (t *SearchTrace) State(lvl, candidates, retained int) {
+	if t == nil {
+		return
+	}
+	lt := t.level(lvl)
+	lt.States++
+	lt.Candidates += candidates
+	lt.Retained += retained
+	lt.Pruned += candidates - retained
+}
+
+// Greedy records one greedy conservative decision at a level; nil-safe.
+func (t *SearchTrace) Greedy(lvl int, accepted bool) {
+	if t == nil {
+		return
+	}
+	lt := t.level(lvl)
+	if accepted {
+		lt.GreedyAccepts++
+	} else {
+		lt.GreedyRejects++
+	}
+}
+
+// Levels returns the per-level statistics in ascending level order.
+func (t *SearchTrace) Levels() []LevelTrace {
+	if t == nil {
+		return nil
+	}
+	out := make([]LevelTrace, 0, len(t.levels))
+	for _, lt := range t.levels {
+		out = append(out, *lt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+	return out
+}
+
+// String renders the trace as an indented report for EXPLAIN output.
+func (t *SearchTrace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, lt := range t.Levels() {
+		fmt.Fprintf(&b, "level %d: states=%d candidates=%d retained=%d pruned=%d",
+			lt.Level, lt.States, lt.Candidates, lt.Retained, lt.Pruned)
+		if lt.GreedyAccepts+lt.GreedyRejects > 0 {
+			fmt.Fprintf(&b, " greedy=%d/%d accepted", lt.GreedyAccepts, lt.GreedyAccepts+lt.GreedyRejects)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ev := range t.Events {
+		fmt.Fprintf(&b, "%s: %s\n", ev.Kind, ev.Detail)
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d events dropped)\n", t.Dropped)
+	}
+	return b.String()
+}

@@ -12,10 +12,12 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"aggview/internal/expr"
 	"aggview/internal/govern"
 	"aggview/internal/lplan"
+	"aggview/internal/obs"
 	"aggview/internal/schema"
 	"aggview/internal/storage"
 	"aggview/internal/types"
@@ -31,6 +33,9 @@ type Executor struct {
 	// limits); page-IO granularity checks run inside the storage layer via
 	// the engine-installed IO hook. A nil governor means ungoverned.
 	gov *govern.Governor
+	// col, when set, receives per-operator runtime metrics: every operator
+	// is wrapped in a metering iterator registered against its plan node.
+	col *obs.Collector
 }
 
 // New creates an executor whose operators spill once they exceed the
@@ -48,6 +53,14 @@ func (e *Executor) WithGovernor(g *govern.Governor) *Executor {
 	return e
 }
 
+// WithCollector attaches a per-query metrics collector and returns the
+// executor. Every operator built afterwards is wrapped in a metering
+// iterator keyed by its plan node.
+func (e *Executor) WithCollector(c *obs.Collector) *Executor {
+	e.col = c
+	return e
+}
+
 // Result is a fully materialized query result.
 type Result struct {
 	Schema schema.Schema
@@ -56,6 +69,39 @@ type Result struct {
 
 // Run executes the plan and materializes its output.
 func (e *Executor) Run(n lplan.Node) (*Result, error) {
+	cur, err := e.OpenCursor(n)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	res := &Result{Schema: cur.Schema()}
+	for {
+		row, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// Cursor is a streaming handle over an open operator tree. Next pulls one
+// row at a time, ticking the governor (cancellation, row limits) per row.
+// Close releases operator resources (spill files) and is idempotent; it
+// must be called even when Next returns an error.
+type Cursor struct {
+	it     iterator
+	ex     *Executor
+	sch    schema.Schema
+	closed bool
+}
+
+// OpenCursor validates and compiles the plan, opens the operator tree, and
+// returns a streaming cursor. On Open failure the partially opened tree is
+// closed before returning, so spill files never leak.
+func (e *Executor) OpenCursor(n lplan.Node) (*Cursor, error) {
 	if err := lplan.Validate(n); err != nil {
 		return nil, fmt.Errorf("exec: invalid plan: %w", err)
 	}
@@ -63,27 +109,37 @@ func (e *Executor) Run(n lplan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Close before checking the Open error: a partially opened operator tree
-	// (e.g. a grace join that spilled its build side before its probe failed)
-	// must still drop its spill files.
-	defer it.Close()
 	if err := it.Open(); err != nil {
+		// A partially opened operator tree (e.g. a grace join that spilled
+		// its build side before its probe failed) must still drop its spills.
+		it.Close()
 		return nil, err
 	}
-	res := &Result{Schema: n.Schema()}
-	for {
-		row, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return res, nil
-		}
-		if err := e.gov.TickRow(); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	return &Cursor{it: it, ex: e, sch: n.Schema()}, nil
+}
+
+// Schema returns the output schema of the plan.
+func (c *Cursor) Schema() schema.Schema { return c.sch }
+
+// Next returns the next row. ok is false at end of stream.
+func (c *Cursor) Next() (types.Row, bool, error) {
+	row, ok, err := c.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
 	}
+	if err := c.ex.gov.TickRow(); err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Close releases the operator tree's resources. Safe to call repeatedly.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.it.Close()
 }
 
 // iterator is the Volcano operator interface.
@@ -93,8 +149,19 @@ type iterator interface {
 	Close() error
 }
 
-// build compiles a plan node into an iterator tree.
+// build compiles a plan node into an iterator tree, wrapping every operator
+// in a metering iterator when a collector is attached.
 func (e *Executor) build(n lplan.Node) (iterator, error) {
+	it, err := e.buildOp(n)
+	if err != nil || e.col == nil {
+		return it, err
+	}
+	return &meteredIter{in: it, st: e.col.Register(n, n.Describe()), col: e.col}, nil
+}
+
+// buildOp compiles a single plan node (children recurse through build, so
+// they pick up their own metering wrappers).
+func (e *Executor) buildOp(n lplan.Node) (iterator, error) {
 	switch t := n.(type) {
 	case *lplan.Scan:
 		return e.buildScan(t)
@@ -375,4 +442,46 @@ func (s *spill) drop() {
 	}
 	s.store.DropFile(s.file)
 	s.file = nil
+}
+
+// meteredIter wraps one operator with runtime accounting. It pushes the
+// operator's attribution frame around every lifecycle call, so page IO
+// charged by the storage hook lands on the innermost active operator:
+// children are wrapped too, making the page counters exclusive (self-only)
+// while the wall times stay inclusive of children.
+type meteredIter struct {
+	in  iterator
+	st  *obs.OpStats
+	col *obs.Collector
+}
+
+func (m *meteredIter) Open() error {
+	m.col.Enter(m.st)
+	start := time.Now()
+	err := m.in.Open()
+	m.st.OpenNS += time.Since(start).Nanoseconds()
+	m.col.Leave()
+	return err
+}
+
+func (m *meteredIter) Next() (types.Row, bool, error) {
+	m.col.Enter(m.st)
+	start := time.Now()
+	row, ok, err := m.in.Next()
+	m.st.NextNS += time.Since(start).Nanoseconds()
+	m.col.Leave()
+	m.st.NextCalls++
+	if ok && err == nil {
+		m.st.RowsOut++
+	}
+	return row, ok, err
+}
+
+func (m *meteredIter) Close() error {
+	m.col.Enter(m.st)
+	start := time.Now()
+	err := m.in.Close()
+	m.st.CloseNS += time.Since(start).Nanoseconds()
+	m.col.Leave()
+	return err
 }

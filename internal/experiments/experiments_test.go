@@ -83,3 +83,37 @@ func TestE5AllShapesAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotQuick: the bench snapshot covers every query × mode, measures
+// real page IO, and honors the paper's never-worse guarantee — full mode's
+// estimated cost never exceeds traditional's for the same query.
+func TestSnapshotQuick(t *testing.T) {
+	snap, err := NewSnapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 12 { // 4 queries × 3 modes
+		t.Fatalf("results = %d, want 12", len(snap.Results))
+	}
+	est := map[string]map[string]float64{}
+	for _, r := range snap.Results {
+		if r.Reads == 0 {
+			t.Errorf("%s/%s: cold run charged no reads", r.Name, r.Mode)
+		}
+		if r.EstimatedCost <= 0 || r.PlansConsidered <= 0 {
+			t.Errorf("%s/%s: missing optimizer stats: %+v", r.Name, r.Mode, r)
+		}
+		if est[r.Name] == nil {
+			est[r.Name] = map[string]float64{}
+		}
+		est[r.Name][r.Mode] = r.EstimatedCost
+	}
+	for name, byMode := range est {
+		if byMode["full"] > byMode["traditional"] {
+			t.Errorf("%s: full cost %.1f exceeds traditional %.1f", name, byMode["full"], byMode["traditional"])
+		}
+	}
+	if _, err := snap.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"aggview"
+)
+
+// BenchResult is one query × optimizer-mode measurement in a benchmark
+// snapshot: the cost model's estimate next to the page IO the execution
+// actually performed on a cold buffer pool.
+type BenchResult struct {
+	Name            string  `json:"name"`
+	Mode            string  `json:"mode"`
+	EstimatedCost   float64 `json:"estimated_cost"`
+	Rows            int64   `json:"rows"`
+	Reads           int64   `json:"reads"`
+	Writes          int64   `json:"writes"`
+	Hits            int64   `json:"hits"`
+	SpillReads      int64   `json:"spill_reads"`
+	SpillWrites     int64   `json:"spill_writes"`
+	PlansConsidered int     `json:"plans_considered"`
+	OptimizeUS      int64   `json:"optimize_us"`
+}
+
+// Snapshot is a machine-readable benchmark record: the paper's example
+// queries run under every optimizer mode, with per-mode page IO. `make
+// bench` writes one as BENCH_<date>.json so regressions in plan quality
+// show up as diffs.
+type Snapshot struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Quick       bool          `json:"quick"`
+	Results     []BenchResult `json:"results"`
+}
+
+// JSON renders the snapshot with stable indentation for committing.
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// benchCase is one named query bound to the engine that can run it.
+type benchCase struct {
+	name string
+	sql  string
+	eng  *aggview.Engine
+}
+
+// benchCases builds the snapshot's engines and query set: the paper's
+// Example 1 over emp/dept, and the warehouse (TPC-D-like) view queries the
+// integration suite measures.
+func benchCases(quick bool) ([]benchCase, error) {
+	nEmp, nDept, nLine := 5000, 100, 1500
+	if quick {
+		nEmp, nDept, nLine = 1000, 40, 400
+	}
+
+	emp := aggview.Open(aggview.Config{PoolPages: 32})
+	espec := aggview.DefaultEmpDept()
+	espec.Employees, espec.Departments = nEmp, nDept
+	if err := emp.LoadEmpDept(espec); err != nil {
+		return nil, err
+	}
+
+	wh := aggview.Open(aggview.Config{PoolPages: 8})
+	wspec := aggview.DefaultTPCD()
+	wspec.Lineitems = nLine
+	if err := wh.LoadTPCD(wspec); err != nil {
+		return nil, err
+	}
+	if _, err := wh.Exec(`create view part_qty (partkey, aqty) as
+		select partkey, avg(qty) from lineitem group by partkey`); err != nil {
+		return nil, err
+	}
+	if _, err := wh.Exec(`create view order_value (orderkey, value) as
+		select orderkey, sum(price) from lineitem group by orderkey`); err != nil {
+		return nil, err
+	}
+
+	return []benchCase{
+		{"example1-nested", `
+			select e1.sal from emp e1
+			where e1.age < 22
+			  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`, emp},
+		{"view-join-filter", `
+			select p.brand, l.qty from lineitem l, part p, part_qty v
+			where l.partkey = p.partkey and v.partkey = p.partkey
+			  and p.brand < 5 and l.qty < v.aqty`, wh},
+		{"two-views-join", `
+			select v.aqty, o.value from part_qty v, order_value o, lineitem l
+			where l.partkey = v.partkey and l.orderkey = o.orderkey and l.qty > 45`, wh},
+		{"grouped-having-over-view", `
+			select p.brand, max(v.aqty) from part p, part_qty v
+			where v.partkey = p.partkey group by p.brand having max(v.aqty) > 10`, wh},
+	}, nil
+}
+
+// NewSnapshot runs every snapshot query under every optimizer mode, cold,
+// and records estimates next to measured page IO.
+func NewSnapshot(quick bool) (*Snapshot, error) {
+	cases, err := benchCases(quick)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+	}
+	modes := []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full}
+	for _, c := range cases {
+		for _, mode := range modes {
+			m0 := c.eng.Metrics()
+			res, err := c.eng.QueryMode(context.Background(), c.sql, mode)
+			if err != nil {
+				return nil, err
+			}
+			d := c.eng.Metrics().Sub(m0)
+			var spillR, spillW int64
+			for i := range res.Ops {
+				spillR += res.Ops[i].SpillReads
+				spillW += res.Ops[i].SpillWrites
+			}
+			snap.Results = append(snap.Results, BenchResult{
+				Name:            c.name,
+				Mode:            mode.String(),
+				EstimatedCost:   res.Plan.EstimatedCost,
+				Rows:            int64(res.Len()),
+				Reads:           res.IO.Reads,
+				Writes:          res.IO.Writes,
+				Hits:            res.IO.Hits,
+				SpillReads:      spillR,
+				SpillWrites:     spillW,
+				PlansConsidered: res.Plan.Search.PlansConsidered,
+				OptimizeUS:      d.OptimizeTime.Microseconds(),
+			})
+		}
+	}
+	return snap, nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryMetrics is the per-query rollup delivered to the registry (and to
+// the sink, when one is installed) after every governed query execution,
+// successful or not.
+type QueryMetrics struct {
+	// Statement is the SQL text that ran.
+	Statement string
+	// Mode is the optimizer mode that produced the plan (after any
+	// degradation); empty when optimization itself failed.
+	Mode string
+	// Degraded reports that the optimizer budget forced a cheaper mode.
+	Degraded bool
+	// Err is the error class of a failed query ("" on success).
+	Err string
+	// Rows is the number of rows the executor produced.
+	Rows int64
+	// Reads, Writes and Hits are the query's page accesses.
+	Reads, Writes, Hits int64
+	// SpillReads and SpillWrites are the temp-file subsets of Reads/Writes.
+	SpillReads, SpillWrites int64
+	// PlansConsidered is the optimizer's candidate count for this query.
+	PlansConsidered int
+	// Degradations counts optimizer-ladder fallbacks.
+	Degradations int
+	// Optimize and Execute are the phase wall times; Total covers the whole
+	// query including parse and bind.
+	Optimize, Execute, Total time.Duration
+}
+
+// Metrics is the engine-wide cumulative snapshot returned by
+// Engine.Metrics().
+type Metrics struct {
+	// Queries counts governed query executions (Failures included).
+	Queries int64
+	// Failures counts queries that returned an error (cancellation, budget
+	// violations, injected faults, internal errors).
+	Failures int64
+	// Rows is the total rows produced by the executor.
+	Rows int64
+	// PageReads, PageWrites and PageHits accumulate the per-query IO.
+	PageReads, PageWrites, PageHits int64
+	// SpillPageReads and SpillPageWrites are the temp-file subsets.
+	SpillPageReads, SpillPageWrites int64
+	// PlansConsidered accumulates optimizer search effort.
+	PlansConsidered int64
+	// Degradations counts optimizer-ladder fallbacks.
+	Degradations int64
+	// OptimizeTime and ExecuteTime accumulate phase wall times; QueryTime
+	// accumulates total query wall time.
+	OptimizeTime, ExecuteTime, QueryTime time.Duration
+}
+
+// Sub returns the delta m - o, for measuring a window of queries.
+func (m Metrics) Sub(o Metrics) Metrics {
+	return Metrics{
+		Queries:         m.Queries - o.Queries,
+		Failures:        m.Failures - o.Failures,
+		Rows:            m.Rows - o.Rows,
+		PageReads:       m.PageReads - o.PageReads,
+		PageWrites:      m.PageWrites - o.PageWrites,
+		PageHits:        m.PageHits - o.PageHits,
+		SpillPageReads:  m.SpillPageReads - o.SpillPageReads,
+		SpillPageWrites: m.SpillPageWrites - o.SpillPageWrites,
+		PlansConsidered: m.PlansConsidered - o.PlansConsidered,
+		Degradations:    m.Degradations - o.Degradations,
+		OptimizeTime:    m.OptimizeTime - o.OptimizeTime,
+		ExecuteTime:     m.ExecuteTime - o.ExecuteTime,
+		QueryTime:       m.QueryTime - o.QueryTime,
+	}
+}
+
+// Sink receives every query's rollup as it completes. Sinks run
+// synchronously on the query's goroutine; an exporter that buffers or
+// ships metrics elsewhere should hand off quickly.
+type Sink func(QueryMetrics)
+
+// Registry accumulates query rollups into an engine-wide snapshot and
+// forwards each rollup to the optional sink. It is safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	snap Metrics
+	sink Sink
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// SetSink installs the exporter hook (nil disables it) and returns the
+// previous one.
+func (r *Registry) SetSink(s Sink) Sink {
+	r.mu.Lock()
+	prev := r.sink
+	r.sink = s
+	r.mu.Unlock()
+	return prev
+}
+
+// Observe folds one query's rollup into the snapshot and forwards it to the
+// sink.
+func (r *Registry) Observe(q QueryMetrics) {
+	r.mu.Lock()
+	r.snap.Queries++
+	if q.Err != "" {
+		r.snap.Failures++
+	}
+	r.snap.Rows += q.Rows
+	r.snap.PageReads += q.Reads
+	r.snap.PageWrites += q.Writes
+	r.snap.PageHits += q.Hits
+	r.snap.SpillPageReads += q.SpillReads
+	r.snap.SpillPageWrites += q.SpillWrites
+	r.snap.PlansConsidered += int64(q.PlansConsidered)
+	r.snap.Degradations += int64(q.Degradations)
+	r.snap.OptimizeTime += q.Optimize
+	r.snap.ExecuteTime += q.Execute
+	r.snap.QueryTime += q.Total
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(q)
+	}
+}
+
+// Snapshot returns the cumulative metrics.
+func (r *Registry) Snapshot() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snap
+}

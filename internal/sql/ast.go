@@ -72,8 +72,12 @@ type Analyze struct{ Table string }
 
 func (*Analyze) stmt() {}
 
-// Explain wraps a SELECT.
-type Explain struct{ Query *Select }
+// Explain wraps a SELECT. Analyze marks EXPLAIN ANALYZE: the query is
+// executed and the plan annotated with measured per-operator metrics.
+type Explain struct {
+	Query   *Select
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 

@@ -111,11 +111,12 @@ func (p *parser) statement() (Statement, error) {
 		return p.analyzeStmt()
 	case p.at(tokKeyword, "EXPLAIN"):
 		p.pos++
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel}, nil
+		return &Explain{Query: sel, Analyze: analyze}, nil
 	default:
 		return nil, p.errf("unexpected statement start %q", p.cur().text)
 	}

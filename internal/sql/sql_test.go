@@ -271,8 +271,21 @@ func TestParseCreateIndexInsertAnalyzeExplainDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stmt.(*Explain).Query == nil {
+	if ex := stmt.(*Explain); ex.Query == nil || ex.Analyze {
 		t.Fatalf("explain = %+v", stmt)
+	}
+
+	stmt, err = Parse(`explain analyze select * from emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := stmt.(*Explain); ex.Query == nil || !ex.Analyze {
+		t.Fatalf("explain analyze = %+v", stmt)
+	}
+
+	// EXPLAIN ANALYZE needs a SELECT: the table form is still plain ANALYZE.
+	if _, err := Parse(`explain analyze emp`); err == nil {
+		t.Fatal("explain analyze emp parsed")
 	}
 
 	stmt, err = Parse(`drop table emp`)

@@ -275,7 +275,7 @@ func TestIOHookObservesAndAborts(t *testing.T) {
 	s.DropCaches()
 
 	var reads, writes, hits int
-	restore := s.SetIOHook(func(op IOOp) error {
+	restore := s.SetIOHook(func(op IOOp, _ bool) error {
 		switch op {
 		case OpRead:
 			reads++
@@ -300,7 +300,7 @@ func TestIOHookObservesAndAborts(t *testing.T) {
 
 	// An erroring hook aborts the access before it is charged.
 	stop := errors.New("budget")
-	inner := s.SetIOHook(func(IOOp) error { return stop })
+	inner := s.SetIOHook(func(IOOp, bool) error { return stop })
 	s.DropCaches()
 	before := s.Stats()
 	if _, err := s.ReadPage(f, 1); !errors.Is(err, stop) {
@@ -332,7 +332,7 @@ func TestHookSeesUnflushedTailRead(t *testing.T) {
 	}
 	var hits int
 	stop := errors.New("canceled")
-	restore := s.SetIOHook(func(op IOOp) error {
+	restore := s.SetIOHook(func(op IOOp, _ bool) error {
 		if op == OpHit {
 			hits++
 			return stop

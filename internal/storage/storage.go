@@ -97,12 +97,14 @@ const (
 	OpHit
 )
 
-// IOHook observes every page access before it is performed. Returning a
-// non-nil error aborts the access and propagates to the caller — this is
-// how per-query governors impose deadlines and IO budgets at page
-// granularity. The hook runs with the store lock held; it must be fast and
-// must not call back into the store.
-type IOHook func(op IOOp) error
+// IOHook observes every page access before it is performed. temp reports
+// whether the access hits a query-temporary file (an operator spill run or
+// partition), so observers can attribute spill IO separately from base-table
+// IO. Returning a non-nil error aborts the access and propagates to the
+// caller — this is how per-query governors impose deadlines and IO budgets
+// at page granularity. The hook runs with the store lock held; it must be
+// fast and must not call back into the store.
+type IOHook func(op IOOp, temp bool) error
 
 // Store owns files and the shared buffer pool.
 type Store struct {
@@ -170,14 +172,14 @@ func (s *Store) SetIOHook(h IOHook) (restore func()) {
 // through fault injection first — the simulated disk error — then the query
 // hook (cancellation, budgets), then the counters. Pool hits skip fault
 // injection and charging but still reach the hook.
-func (s *Store) chargeLocked(op IOOp) error {
+func (s *Store) chargeLocked(op IOOp, f *File) error {
 	if op != OpHit && s.fault != nil {
 		if err := s.fault.tick(); err != nil {
 			return err
 		}
 	}
 	if s.hook != nil {
-		if err := s.hook(op); err != nil {
+		if err := s.hook(op, f != nil && f.temp); err != nil {
 			return err
 		}
 	}
@@ -279,7 +281,7 @@ func (s *Store) Flush(f *File) error {
 }
 
 func (s *Store) flushLocked(f *File) error {
-	if err := s.chargeLocked(OpWrite); err != nil {
+	if err := s.chargeLocked(OpWrite, f); err != nil {
 		return fmt.Errorf("file %q: write: %w", f.name, err)
 	}
 	f.starts = append(f.starts, f.rows-int64(len(f.cur.rows)))
@@ -300,7 +302,7 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 		if s.pool.touch(f.id, n) {
 			op = OpHit
 		}
-		if err := s.chargeLocked(op); err != nil {
+		if err := s.chargeLocked(op, f); err != nil {
 			return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 		}
 		if op == OpRead {
@@ -313,7 +315,7 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 		// charged, but the hook still observes the access so cancellation
 		// reaches queries running out of the write buffer.
 		if s.hook != nil {
-			if err := s.hook(OpHit); err != nil {
+			if err := s.hook(OpHit, f.temp); err != nil {
 				return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 			}
 		}

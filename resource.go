@@ -7,6 +7,7 @@ import (
 
 	"aggview/internal/core"
 	"aggview/internal/govern"
+	"aggview/internal/obs"
 	"aggview/internal/qblock"
 	"aggview/internal/storage"
 )
@@ -83,12 +84,35 @@ func (e *Engine) newGovernor(ctx context.Context) (*govern.Governor, context.Can
 	return g, cancel
 }
 
-// ioHook adapts a governor to the storage layer's IO hook: charged IOs
-// (pool misses and flushes) count against the page budget, pool hits only
-// poll cancellation. The indirection keeps storage free of a govern import.
-func ioHook(g *govern.Governor) storage.IOHook {
-	return func(op storage.IOOp) error {
-		return g.TickIO(op != storage.OpHit)
+// ioHook adapts a governor and an optional per-query collector to the
+// storage layer's IO hook: charged IOs (pool misses and flushes) count
+// against the page budget, pool hits only poll cancellation. The governor
+// ticks before the collector records, so an aborted access (budget trip,
+// cancellation — and injected faults, which fire before the hook) is never
+// counted by either side: per-operator sums stay exactly equal to the
+// store's IOStats delta even on error paths. The indirection keeps storage
+// free of govern and obs imports.
+func ioHook(g *govern.Governor, col *obs.Collector) storage.IOHook {
+	return func(op storage.IOOp, temp bool) error {
+		if err := g.TickIO(op != storage.OpHit); err != nil {
+			return err
+		}
+		if col != nil {
+			col.RecordIO(ioKind(op), temp)
+		}
+		return nil
+	}
+}
+
+// ioKind maps a storage IO op to its obs attribution kind.
+func ioKind(op storage.IOOp) obs.IOKind {
+	switch op {
+	case storage.OpRead:
+		return obs.IORead
+	case storage.OpWrite:
+		return obs.IOWrite
+	default:
+		return obs.IOHit
 	}
 }
 
@@ -114,12 +138,13 @@ func ladderModes(m OptimizerMode) []OptimizerMode {
 // still polls cancellation), so a finite ladder always produces a plan.
 // The returned mode is the rung that succeeded; the plan's SearchStats
 // records how many rungs were skipped.
-func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, gov *govern.Governor) (*core.Plan, OptimizerMode, error) {
+func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*core.Plan, OptimizerMode, error) {
 	modes := ladderModes(mode)
 	degradations := 0
 	for i, m := range modes {
 		opts := e.options()
 		opts.Mode = m
+		opts.Trace = trace
 		last := i == len(modes)-1
 		if last {
 			opts.Tick = gov.Err // cancellation only: the floor must succeed
@@ -130,6 +155,7 @@ func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, gov *govern
 		if err != nil {
 			if !last && errors.Is(err, govern.ErrOptimizerBudget) {
 				degradations++
+				trace.Event("degrade", 0, "mode %s exceeded the plan budget; retrying as %s", m, modes[i+1])
 				gov.ResetPlans()
 				continue
 			}

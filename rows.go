@@ -1,0 +1,439 @@
+package aggview
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"aggview/internal/binder"
+	"aggview/internal/core"
+	"aggview/internal/exec"
+	"aggview/internal/obs"
+	"aggview/internal/sql"
+	"aggview/internal/types"
+)
+
+// Rows is a streaming query result: a cursor over the executing plan.
+// Iterate with Next/Scan, check Err after the loop, and always Close (it is
+// idempotent and also runs automatically when Next exhausts the stream).
+// Resource governance applies per row pulled: cancellation, Timeout,
+// MaxRowsOut and MaxIOPages abort a partially consumed stream with the same
+// sentinel errors the materializing APIs return.
+//
+// A query with ORDER BY cannot stream: its rows are materialized and sorted
+// when the Rows is opened, and iteration walks the sorted buffer. Without
+// ORDER BY, rows flow straight from the executor, and a LIMIT stops
+// execution as soon as enough rows were pulled.
+type Rows struct {
+	cols  []string
+	plan  *PlanInfo
+	query *queryRun
+
+	cur     *exec.Cursor // streaming path; nil on the buffered path
+	buf     [][]any      // ORDER BY path: sorted, limited, converted rows
+	bufPos  int
+	current []any
+	remain  int // rows still allowed out (-1 = no LIMIT)
+	err     error
+	done    bool
+}
+
+// queryRun carries one query's execution state from open to finish: the
+// governor, the metrics collector, the IO baseline, and the idempotent
+// finish hook that restores the engine and publishes metrics.
+type queryRun struct {
+	engine   *Engine
+	src      string
+	bound    *binder.Bound
+	col      *obs.Collector
+	planInfo *PlanInfo
+	before   IOStats
+	start    time.Time
+	cancel   context.CancelFunc
+	restore  func()
+	rowsOut  int64
+	io       IOStats
+	finished bool
+
+	// Phase wall times, fixed at finish: optimizeDur comes from the
+	// collector's "optimize" span; executeDur is everything after it.
+	optimizeDur time.Duration
+	executeDur  time.Duration
+	totalDur    time.Duration
+}
+
+// finish tears the run down exactly once: restores the IO hook, releases
+// the governor, computes the IO delta, and publishes the per-query rollup
+// to the engine's metrics registry (and sink). Safe to call repeatedly.
+func (qr *queryRun) finish(execErr error) {
+	if qr.finished {
+		return
+	}
+	qr.finished = true
+	qr.io = qr.engine.store.Stats().Sub(qr.before)
+	qr.restore()
+	qr.cancel()
+
+	qr.totalDur = time.Since(qr.start)
+	qr.optimizeDur = qr.col.SpanDur("optimize")
+	qr.executeDur = qr.totalDur - qr.optimizeDur
+
+	qm := obs.QueryMetrics{
+		Statement: qr.src,
+		Err:       errClass(execErr),
+		Rows:      qr.rowsOut,
+		Reads:     qr.io.Reads,
+		Writes:    qr.io.Writes,
+		Hits:      qr.io.Hits,
+		Optimize:  qr.optimizeDur,
+		Execute:   qr.executeDur,
+		Total:     qr.totalDur,
+	}
+	tot := qr.col.Totals()
+	qm.SpillReads, qm.SpillWrites = tot.SpillReads, tot.SpillWrites
+	if qr.planInfo != nil {
+		qm.Mode = qr.planInfo.Mode.String()
+		qm.Degraded = qr.planInfo.Degraded
+		qm.PlansConsidered = qr.planInfo.Search.PlansConsidered
+		qm.Degradations = qr.planInfo.Search.Degradations
+	}
+	qr.engine.reg.Observe(qm)
+}
+
+// errClass maps an error to the short class recorded in QueryMetrics.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrRowLimit):
+		return "row-limit"
+	case errors.Is(err, ErrIOBudget):
+		return "io-budget"
+	case errors.Is(err, ErrInjected):
+		return "injected-fault"
+	case errors.Is(err, ErrOptimizerBudget):
+		return "optimizer-budget"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
+// rowsOptions tunes openRows for its different entry points.
+type rowsOptions struct {
+	// mode overrides the engine mode when non-default.
+	mode OptimizerMode
+	// cold drops the buffer pool before executing, so the measured IO
+	// reflects a cold cache (the paper's experimental setting).
+	cold bool
+	// trace enables the optimizer search trace (EXPLAIN paths).
+	trace bool
+}
+
+// openRows binds, optimizes and opens a SELECT as a streaming cursor. Every
+// error path after the governor exists still publishes query metrics.
+func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (*Rows, error) {
+	bound, err := binder.BindSelect(e.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	mode := e.cfg.Mode
+	if opt.mode != ModeDefault {
+		mode = opt.mode
+	}
+	gov, cancel := e.newGovernor(ctx)
+	col := obs.NewCollector()
+	qr := &queryRun{
+		engine:  e,
+		src:     src,
+		bound:   bound,
+		col:     col,
+		start:   time.Now(),
+		cancel:  cancel,
+		restore: func() {},
+		before:  e.store.Stats(),
+	}
+
+	var trace *core.SearchTrace
+	if opt.trace {
+		trace = core.NewSearchTrace()
+	}
+	endOpt := col.Time("optimize")
+	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov, trace)
+	endOpt()
+	if err != nil {
+		qr.finish(err)
+		return nil, err
+	}
+	qr.planInfo = &PlanInfo{
+		Mode:          usedMode,
+		RequestedMode: mode,
+		Degraded:      usedMode != mode,
+		PlanText:      plan.Explain(),
+		EstimatedCost: plan.Cost,
+		EstimatedRows: plan.Info.Rows,
+		Search:        plan.Stats,
+		Trace:         trace,
+		root:          plan.Root,
+	}
+
+	if opt.cold {
+		e.store.DropCaches()
+	}
+	qr.before = e.store.Stats()
+	qr.restore = e.store.SetIOHook(ioHook(gov, col))
+	cur, err := exec.New(e.store).WithGovernor(gov).WithCollector(col).OpenCursor(plan.Root)
+	if err != nil {
+		qr.finish(err)
+		return nil, err
+	}
+
+	r := &Rows{cols: bound.ColNames, plan: qr.planInfo, query: qr, cur: cur, remain: -1}
+	if bound.Limit >= 0 {
+		r.remain = bound.Limit
+	}
+	if len(bound.OrderBy) > 0 {
+		if err := r.materializeSorted(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// materializeSorted drains the cursor, sorts per ORDER BY, applies LIMIT,
+// and finishes the run — iteration then reads the in-memory buffer.
+func (r *Rows) materializeSorted() error {
+	qr := r.query
+	bound := qr.bound
+	var raw []types.Row
+	for {
+		row, ok, err := r.cur.Next()
+		if err != nil {
+			r.closeWith(err)
+			return err
+		}
+		if !ok {
+			break
+		}
+		qr.rowsOut++
+		raw = append(raw, row)
+	}
+	sort.SliceStable(raw, func(i, j int) bool {
+		for _, k := range bound.OrderBy {
+			c := types.Compare(raw[i][k.Col], raw[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if r.remain >= 0 && len(raw) > r.remain {
+		raw = raw[:r.remain]
+	}
+	r.buf = make([][]any, len(raw))
+	for i, row := range raw {
+		r.buf[i] = rowToGo(row)
+	}
+	r.closeWith(nil)
+	r.done = false // buffer iteration still pending
+	return nil
+}
+
+// closeWith closes the cursor and finishes the run with the given error.
+func (r *Rows) closeWith(err error) {
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	r.query.finish(err)
+	r.done = true
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Plan describes the executed plan: mode (after any degradation),
+// estimates, and search statistics.
+func (r *Rows) Plan() *PlanInfo { return r.plan }
+
+// Next advances to the next row, returning false at end of stream or on
+// error (check Err). When the stream ends — including via LIMIT — the
+// underlying cursor is closed and engine metrics are published.
+func (r *Rows) Next() bool {
+	if r.buf != nil {
+		if r.bufPos >= len(r.buf) {
+			r.current = nil
+			return false
+		}
+		r.current = r.buf[r.bufPos]
+		r.bufPos++
+		return true
+	}
+	if r.done || r.cur == nil {
+		return false
+	}
+	if r.remain == 0 {
+		r.closeWith(nil)
+		return false
+	}
+	row, ok, err := r.cur.Next()
+	if err != nil {
+		r.current = nil
+		r.closeWith(err)
+		return false
+	}
+	if !ok {
+		r.current = nil
+		r.closeWith(nil)
+		return false
+	}
+	r.query.rowsOut++
+	if r.remain > 0 {
+		r.remain--
+	}
+	r.current = rowToGo(row)
+	return true
+}
+
+// Scan copies the current row into dest: *int64, *float64, *string, *bool,
+// or *any per column (an *any accepts every type, including NULL as nil).
+func (r *Rows) Scan(dest ...any) error {
+	if r.current == nil {
+		return fmt.Errorf("aggview: Scan called without a row (check Next)")
+	}
+	if len(dest) != len(r.current) {
+		return fmt.Errorf("aggview: Scan expects %d destinations, got %d", len(r.current), len(dest))
+	}
+	for i, d := range dest {
+		v := r.current[i]
+		switch p := d.(type) {
+		case *any:
+			*p = v
+		case *int64:
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("aggview: Scan column %d: cannot assign %T to *int64", i, v)
+			}
+			*p = x
+		case *float64:
+			switch x := v.(type) {
+			case float64:
+				*p = x
+			case int64:
+				*p = float64(x)
+			default:
+				return fmt.Errorf("aggview: Scan column %d: cannot assign %T to *float64", i, v)
+			}
+		case *string:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("aggview: Scan column %d: cannot assign %T to *string", i, v)
+			}
+			*p = x
+		case *bool:
+			x, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("aggview: Scan column %d: cannot assign %T to *bool", i, v)
+			}
+			*p = x
+		default:
+			return fmt.Errorf("aggview: Scan column %d: unsupported destination %T", i, d)
+		}
+	}
+	return nil
+}
+
+// Value returns the current row as converted Go values (shared slice; copy
+// before retaining).
+func (r *Rows) Value() []any { return r.current }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor and publishes metrics. It is idempotent and
+// safe after exhaustion; a partially consumed stream is abandoned cleanly
+// (spill files dropped, IO hook restored).
+func (r *Rows) Close() error {
+	if !r.done || r.cur != nil {
+		r.closeWith(nil)
+	}
+	r.buf = nil
+	r.current = nil
+	return r.err
+}
+
+// Ops returns the per-operator runtime metrics (available in full once the
+// stream is finished or closed).
+func (r *Rows) Ops() []OpMetrics {
+	ops := r.query.col.Ops()
+	out := make([]OpMetrics, len(ops))
+	for i, op := range ops {
+		out[i] = *op
+	}
+	return out
+}
+
+// IO returns the page IO performed by this query (final once the stream is
+// finished or closed).
+func (r *Rows) IO() IOStats {
+	if r.query.finished {
+		return r.query.io
+	}
+	return r.query.engine.store.Stats().Sub(r.query.before)
+}
+
+// rowToGo converts an executor row to native Go values.
+func rowToGo(row types.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = valueToGo(v)
+	}
+	return out
+}
+
+// QueryRows executes a SELECT and returns a streaming iterator over its
+// result. The context governs the whole iteration: cancellation aborts the
+// next page IO or row pull. The caller must Close the Rows (or drain it).
+func (e *Engine) QueryRows(ctx context.Context, src string) (r *Rows, err error) {
+	defer recoverToError(&err, src)
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("aggview: QueryRows requires a SELECT statement")
+	}
+	return e.openRows(ctx, sel, src, rowsOptions{})
+}
+
+// materialize drains a Rows into a Result, attaching the plan, the measured
+// IO, and the per-operator metrics.
+func (r *Rows) materialize() (*Result, error) {
+	defer r.Close()
+	out := &Result{Columns: r.cols}
+	for r.Next() {
+		row := make([]any, len(r.current))
+		copy(row, r.current)
+		out.Rows = append(out.Rows, row)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out.Plan = r.plan
+	out.IO = r.IO()
+	out.Ops = r.Ops()
+	return out, nil
+}
