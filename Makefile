@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench gobench check
+.PHONY: build vet test race stress bench gobench check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# stress runs the engine-level concurrency suite (mixed-mode queries,
+# budget isolation, racing cursors, DDL vs readers) twice under the race
+# detector, so flaky interleavings get a second chance to surface.
+stress:
+	$(GO) test -race -count=2 -run 'TestConcurrent' .
+
 # bench emits a machine-readable benchmark snapshot: the paper's example
 # queries per optimizer mode, estimated cost next to measured cold page IO.
 # Committing the dated file makes plan-quality regressions show up as diffs.
@@ -27,5 +33,6 @@ gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # check is the tier-1 gate: static analysis plus the full test suite
-# (including the chaos fault sweeps) under the race detector.
-check: vet race
+# (including the chaos fault sweeps) under the race detector, then the
+# doubled concurrency stress pass.
+check: vet race stress

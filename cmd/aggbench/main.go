@@ -9,12 +9,16 @@
 //	aggbench -list           # list experiment ids and titles
 //	aggbench -snapshot F     # write a per-mode page-IO snapshot to F as JSON
 //	                           ("-" for stdout) instead of the experiments
+//	aggbench -snapshot F -concurrency 1,4,16
+//	                         # also measure concurrent throughput (qps) at
+//	                           the given worker counts (the default levels)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,7 +30,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	snapFlag := flag.String("snapshot", "", "write a benchmark snapshot (JSON) to this file and exit")
+	concFlag := flag.String("concurrency", "", "comma-separated worker counts for the snapshot's throughput section (default 1,4,16)")
 	flag.Parse()
+
+	var levels []int
+	if *concFlag != "" {
+		for _, s := range strings.Split(*concFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -concurrency value %q: want positive integers\n", s)
+				os.Exit(2)
+			}
+			levels = append(levels, n)
+		}
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -37,7 +54,7 @@ func main() {
 	}
 
 	if *snapFlag != "" {
-		snap, err := experiments.NewSnapshot(*quick)
+		snap, err := experiments.NewSnapshot(*quick, levels...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
 			os.Exit(1)
@@ -56,6 +73,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d results)\n", *snapFlag, len(snap.Results))
+		for _, tr := range snap.Throughput {
+			fmt.Printf("throughput: N=%-3d %6.1f qps (%d queries in %.1fms)\n",
+				tr.Concurrency, tr.QPS, tr.Queries, tr.ElapsedMS)
+		}
 		return
 	}
 

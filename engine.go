@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"aggview/internal/binder"
@@ -123,6 +124,16 @@ type Config struct {
 
 // Engine is a self-contained database instance: storage, catalog,
 // optimizer and executor.
+//
+// Engines are safe for concurrent use: any number of goroutines may run
+// Query/QueryContext/QueryMode/QueryRows/Exec/ExplainAnalyze at once. Each
+// query is accounted through its own storage session, so Result.IO, the
+// per-operator metrics, and the MaxIOPages/MaxRowsOut budgets see only that
+// query's pages; Engine.IOStats remains the store-global sum. Statements
+// that mutate shared state (CREATE/DROP/INSERT/ANALYZE, LoadEmpDept,
+// LoadTPCD, DropCaches, ResetIOStats) take an exclusive engine lock and
+// wait for in-flight queries to finish; do not issue them from a goroutine
+// that still holds an open Rows cursor, or the two will deadlock.
 type Engine struct {
 	store *storage.Store
 	cat   *catalog.Catalog
@@ -130,6 +141,12 @@ type Engine struct {
 	// reg accumulates per-query metrics engine-wide; engines derived via
 	// WithConfig share it, so Metrics() covers the whole instance.
 	reg *obs.Registry
+	// mu orders queries (readers) against single-writer operations — DDL,
+	// INSERT, dataset loads, DropCaches, ResetIOStats (writers). It is
+	// shared by engines derived via WithConfig, which alias the same store
+	// and catalog. Queries hold the read side from openRows until
+	// queryRun.finish.
+	mu *sync.RWMutex
 }
 
 // resolveConfig fills in the defaults: the pool size, and the explicit
@@ -151,7 +168,7 @@ func resolveConfig(cfg Config) Config {
 func Open(cfg Config) *Engine {
 	cfg = resolveConfig(cfg)
 	st := storage.NewStore(cfg.PoolPages)
-	return &Engine{store: st, cat: catalog.New(st), cfg: cfg, reg: obs.NewRegistry()}
+	return &Engine{store: st, cat: catalog.New(st), cfg: cfg, reg: obs.NewRegistry(), mu: &sync.RWMutex{}}
 }
 
 // OpenWithMode creates an engine pinned to a specific optimizer mode.
@@ -168,7 +185,7 @@ func OpenWithMode(cfg Config, mode OptimizerMode) *Engine {
 func (e *Engine) WithConfig(cfg Config) *Engine {
 	cfg.PoolPages = e.cfg.PoolPages
 	cfg = resolveConfig(cfg)
-	return &Engine{store: e.store, cat: e.cat, cfg: cfg, reg: e.reg}
+	return &Engine{store: e.store, cat: e.cat, cfg: cfg, reg: e.reg, mu: e.mu}
 }
 
 // Metrics returns the engine-wide cumulative metrics snapshot: queries run,
@@ -239,27 +256,56 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// IOStats returns the cumulative page-IO counters.
+// IOStats returns the cumulative page-IO counters: the store-global sum
+// over all queries (plus unattributed catalog IO such as dataset loads).
+// Per-query IO rides on Result.IO and Rows.IO.
 func (e *Engine) IOStats() IOStats { return e.store.Stats() }
 
 // ResetIOStats zeroes the counters; DropCaches additionally empties the
-// buffer pool so the next query runs cold.
-func (e *Engine) ResetIOStats() { e.store.ResetStats() }
+// buffer pool so the next query runs cold. Both block until in-flight
+// queries finish (they take the engine's exclusive lock), so they never
+// perturb a running query's measurements.
+func (e *Engine) ResetIOStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.ForceResetStats()
+}
 
-// DropCaches empties the buffer pool.
-func (e *Engine) DropCaches() { e.store.DropCaches() }
+// DropCaches empties the buffer pool. It blocks until in-flight queries
+// finish.
+func (e *Engine) DropCaches() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.ForceDropCaches()
+}
 
 // Tables lists the base tables.
-func (e *Engine) Tables() []string { return e.cat.TableNames() }
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cat.TableNames()
+}
 
 // Views lists the named views.
-func (e *Engine) Views() []string { return e.cat.ViewNames() }
+func (e *Engine) Views() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cat.ViewNames()
+}
 
 // LoadEmpDept populates the paper's emp/dept schema.
-func (e *Engine) LoadEmpDept(spec EmpDeptSpec) error { return datagen.LoadEmpDept(e.cat, spec) }
+func (e *Engine) LoadEmpDept(spec EmpDeptSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return datagen.LoadEmpDept(e.cat, spec)
+}
 
 // LoadTPCD populates the TPC-D-like star schema.
-func (e *Engine) LoadTPCD(spec TPCDSpec) error { return datagen.LoadTPCD(e.cat, spec) }
+func (e *Engine) LoadTPCD(spec TPCDSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return datagen.LoadTPCD(e.cat, spec)
+}
 
 // Exec parses and executes one statement. DDL and INSERT return an empty
 // result; SELECT returns rows; EXPLAIN returns the plan text as rows.
@@ -360,6 +406,18 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (
 		res.Rows = append(res.Rows, []any{fmt.Sprintf("search: %s", info.Search)})
 		return res, nil
 
+	default:
+		return e.execWrite(stmt)
+	}
+}
+
+// execWrite executes a statement that mutates shared engine state (DDL,
+// INSERT, ANALYZE) under the exclusive engine lock: it waits for in-flight
+// queries to finish and blocks new ones while it runs.
+func (e *Engine) execWrite(stmt sql.Statement) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch t := stmt.(type) {
 	case *sql.CreateTable:
 		cols := make([]schema.Column, len(t.Cols))
 		for i, c := range t.Cols {
@@ -518,6 +576,8 @@ func (e *Engine) Explain(src string, mode OptimizerMode) (*PlanInfo, error) {
 // ExplainSelect is Explain over an already-parsed statement. The returned
 // PlanInfo carries the optimizer's search trace.
 func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	bound, err := binder.BindSelect(e.cat, sel)
 	if err != nil {
 		return nil, err
@@ -593,5 +653,7 @@ func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanIn
 
 // WriteCSV streams a base table as CSV (see cmd/datagen).
 func (e *Engine) WriteCSV(table string, w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return datagen.WriteCSV(e.cat, table, w)
 }

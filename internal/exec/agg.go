@@ -185,7 +185,7 @@ func (it *hashAggIter) Open() error {
 			// shard by shard afterwards.
 			it.parts = make([]*spill, aggPartitions)
 			for i := range it.parts {
-				it.parts[i] = newSpill(it.exec.store, "agg-part")
+				it.parts[i] = newSpill(it.exec.pg, "agg-part")
 			}
 		}
 		return it.ctx.add(gs, row)

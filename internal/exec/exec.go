@@ -26,12 +26,17 @@ import (
 // Executor runs plans against a store.
 type Executor struct {
 	store *storage.Store
+	// pg is the page-access surface every operator IO goes through: the raw
+	// store by default (unattributed, store-global accounting), or a
+	// query-scoped storage.Session attached via WithSession, which layers
+	// the query's governance hook and private IO counters on each access.
+	pg storage.Pager
 	// budgetBytes is the memory an operator may hold before spilling,
 	// mirroring the cost model's PoolPages budget.
 	budgetBytes int
 	// gov, when set, is ticked once per output row (cancellation and row
 	// limits); page-IO granularity checks run inside the storage layer via
-	// the engine-installed IO hook. A nil governor means ungoverned.
+	// the session's IO hook. A nil governor means ungoverned.
 	gov *govern.Governor
 	// col, when set, receives per-operator runtime metrics: every operator
 	// is wrapped in a metering iterator registered against its plan node.
@@ -43,6 +48,7 @@ type Executor struct {
 func New(store *storage.Store) *Executor {
 	return &Executor{
 		store:       store,
+		pg:          store,
 		budgetBytes: store.PoolPages() * storage.PageSize,
 	}
 }
@@ -50,6 +56,16 @@ func New(store *storage.Store) *Executor {
 // WithGovernor attaches a per-query governor and returns the executor.
 func (e *Executor) WithGovernor(g *govern.Governor) *Executor {
 	e.gov = g
+	return e
+}
+
+// WithSession routes every page access (scans, spill writes, index
+// fetches) through a query-scoped storage session, so concurrent queries
+// on one store are accounted and governed independently.
+func (e *Executor) WithSession(se *storage.Session) *Executor {
+	if se != nil {
+		e.pg = se
+	}
 	return e
 }
 
@@ -262,7 +278,7 @@ func (e *Executor) buildScan(s *lplan.Scan) (iterator, error) {
 }
 
 func (it *scanIter) Open() error {
-	it.sc = it.exec.store.NewScanner(it.node.Table.File)
+	it.sc = it.exec.pg.NewScanner(it.node.Table.File)
 	return nil
 }
 
@@ -415,13 +431,15 @@ func (it *sliceIter) Close() error { return nil }
 
 // spill is a temporary file owned by an operator. It registers with the
 // store's temp-file census, so a leaked spill shows up in LiveTempFiles.
+// All spill IO flows through the owning executor's Pager, so a governed
+// query's spills count against its own budget and attribution.
 type spill struct {
-	store *storage.Store
+	store storage.Pager
 	file  *storage.File
 	bytes int
 }
 
-func newSpill(store *storage.Store, name string) *spill {
+func newSpill(store storage.Pager, name string) *spill {
 	return &spill{store: store, file: store.CreateTemp(name)}
 }
 

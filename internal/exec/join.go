@@ -175,8 +175,8 @@ func (it *hashJoinIter) Open() error {
 	it.rParts = make([]*spill, gracePartitions)
 	it.lParts = make([]*spill, gracePartitions)
 	for i := range it.rParts {
-		it.rParts[i] = newSpill(it.exec.store, "hj-build")
-		it.lParts[i] = newSpill(it.exec.store, "hj-probe")
+		it.rParts[i] = newSpill(it.exec.pg, "hj-build")
+		it.lParts[i] = newSpill(it.exec.pg, "hj-probe")
 	}
 	var buf []byte
 	for _, r := range rows {
@@ -363,7 +363,7 @@ func (it *blockNLIter) Open() error {
 	if it.matSrc != nil && it.spilled == nil {
 		// Materialize the inner once, then scan the spill per block. The
 		// spill is assigned before writing so Close drops it on any error.
-		sp := newSpill(it.exec.store, "bnl-inner")
+		sp := newSpill(it.exec.pg, "bnl-inner")
 		it.spilled = sp
 		if err := drain(it.matSrc, func(r types.Row) error { return sp.add(r) }); err != nil {
 			return err
@@ -576,7 +576,7 @@ func (it *indexNLIter) Next() (types.Row, bool, error) {
 		for it.mpos < len(it.matches) {
 			rid := it.matches[it.mpos]
 			it.mpos++
-			row, err := it.exec.store.FetchRID(it.scan.Table.File, rid)
+			row, err := it.exec.pg.FetchRID(it.scan.Table.File, rid)
 			if err != nil {
 				return nil, false, err
 			}

@@ -33,7 +33,7 @@ func (it *sortIter) Open() error {
 		})
 		// Register the run before writing so Close drops it even when a
 		// write below fails.
-		run := newSpill(it.exec.store, "sort-run")
+		run := newSpill(it.exec.pg, "sort-run")
 		it.runs = append(it.runs, run)
 		for _, r := range buf {
 			if err := run.add(r); err != nil {
@@ -72,7 +72,7 @@ func (it *sortIter) Open() error {
 			return err
 		}
 	}
-	merge, err := newMergeRuns(it.exec.store, it.runs, it.cols)
+	merge, err := newMergeRuns(it.runs, it.cols)
 	if err != nil {
 		return err
 	}
@@ -94,9 +94,10 @@ func (it *sortIter) Close() error {
 	return nil
 }
 
-// mergeRuns k-way merges sorted spill runs with a heap.
+// mergeRuns k-way merges sorted spill runs with a heap. Run scanners come
+// from the spills themselves, so their reads carry the owning query's
+// session attribution.
 type mergeRuns struct {
-	store *storage.Store
 	cols  []int
 	items mergeHeap
 }
@@ -125,8 +126,8 @@ func (h *mergeHeap) Pop() any {
 	return x
 }
 
-func newMergeRuns(store *storage.Store, runs []*spill, cols []int) (*mergeRuns, error) {
-	m := &mergeRuns{store: store, cols: cols, items: mergeHeap{cols: cols}}
+func newMergeRuns(runs []*spill, cols []int) (*mergeRuns, error) {
+	m := &mergeRuns{cols: cols, items: mergeHeap{cols: cols}}
 	for _, r := range runs {
 		sc := r.scan()
 		row, _, ok, err := sc.Next()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggview"
@@ -26,15 +28,26 @@ type BenchResult struct {
 	OptimizeUS      int64   `json:"optimize_us"`
 }
 
+// ThroughputResult is one concurrency level of the throughput
+// micro-benchmark: N goroutines drive the warehouse query suite against one
+// shared engine, and qps measures end-to-end sustained query completions.
+type ThroughputResult struct {
+	Concurrency int     `json:"concurrency"`
+	Queries     int64   `json:"queries"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+}
+
 // Snapshot is a machine-readable benchmark record: the paper's example
-// queries run under every optimizer mode, with per-mode page IO. `make
-// bench` writes one as BENCH_<date>.json so regressions in plan quality
-// show up as diffs.
+// queries run under every optimizer mode, with per-mode page IO, plus the
+// concurrent-throughput section. `make bench` writes one as
+// BENCH_<date>.json so regressions in plan quality show up as diffs.
 type Snapshot struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	Quick       bool          `json:"quick"`
-	Results     []BenchResult `json:"results"`
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	Quick       bool               `json:"quick"`
+	Results     []BenchResult      `json:"results"`
+	Throughput  []ThroughputResult `json:"throughput,omitempty"`
 }
 
 // JSON renders the snapshot with stable indentation for committing.
@@ -55,8 +68,9 @@ type benchCase struct {
 
 // benchCases builds the snapshot's engines and query set: the paper's
 // Example 1 over emp/dept, and the warehouse (TPC-D-like) view queries the
-// integration suite measures.
-func benchCases(quick bool) ([]benchCase, error) {
+// integration suite measures. The warehouse engine is returned separately
+// for the throughput section.
+func benchCases(quick bool) ([]benchCase, *aggview.Engine, error) {
 	nEmp, nDept, nLine := 5000, 100, 1500
 	if quick {
 		nEmp, nDept, nLine = 1000, 40, 400
@@ -66,22 +80,22 @@ func benchCases(quick bool) ([]benchCase, error) {
 	espec := aggview.DefaultEmpDept()
 	espec.Employees, espec.Departments = nEmp, nDept
 	if err := emp.LoadEmpDept(espec); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	wh := aggview.Open(aggview.Config{PoolPages: 8})
 	wspec := aggview.DefaultTPCD()
 	wspec.Lineitems = nLine
 	if err := wh.LoadTPCD(wspec); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := wh.Exec(`create view part_qty (partkey, aqty) as
 		select partkey, avg(qty) from lineitem group by partkey`); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := wh.Exec(`create view order_value (orderkey, value) as
 		select orderkey, sum(price) from lineitem group by orderkey`); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	return []benchCase{
@@ -99,13 +113,15 @@ func benchCases(quick bool) ([]benchCase, error) {
 		{"grouped-having-over-view", `
 			select p.brand, max(v.aqty) from part p, part_qty v
 			where v.partkey = p.partkey group by p.brand having max(v.aqty) > 10`, wh},
-	}, nil
+	}, wh, nil
 }
 
 // NewSnapshot runs every snapshot query under every optimizer mode, cold,
-// and records estimates next to measured page IO.
-func NewSnapshot(quick bool) (*Snapshot, error) {
-	cases, err := benchCases(quick)
+// and records estimates next to measured page IO, then measures concurrent
+// throughput on the warehouse engine at each given concurrency level
+// (default 1, 4, 16 when none are passed).
+func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
+	cases, wh, err := benchCases(quick)
 	if err != nil {
 		return nil, err
 	}
@@ -143,5 +159,68 @@ func NewSnapshot(quick bool) (*Snapshot, error) {
 			})
 		}
 	}
+
+	levels := concurrency
+	if len(levels) == 0 {
+		levels = []int{1, 4, 16}
+	}
+	var whQueries []string
+	for _, c := range cases {
+		if c.eng == wh {
+			whQueries = append(whQueries, c.sql)
+		}
+	}
+	iters := 5
+	if quick {
+		iters = 2
+	}
+	for _, n := range levels {
+		tr, err := measureThroughput(wh, whQueries, n, iters)
+		if err != nil {
+			return nil, err
+		}
+		snap.Throughput = append(snap.Throughput, tr)
+	}
 	return snap, nil
+}
+
+// measureThroughput drives the query suite from `workers` goroutines
+// against one shared engine, each looping `iters` times over the whole
+// suite, and reports sustained end-to-end queries per second.
+func measureThroughput(eng *aggview.Engine, queries []string, workers, iters int) (ThroughputResult, error) {
+	var (
+		wg    sync.WaitGroup
+		total atomic.Int64
+		errCh = make(chan error, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for qi := range queries {
+					// Stagger starting points so workers do not convoy on
+					// the same table pages in lockstep.
+					if _, err := eng.Query(queries[(qi+w)%len(queries)]); err != nil {
+						errCh <- err
+						return
+					}
+					total.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return ThroughputResult{}, err
+	}
+	return ThroughputResult{
+		Concurrency: workers,
+		Queries:     total.Load(),
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		QPS:         float64(total.Load()) / elapsed.Seconds(),
+	}, nil
 }

@@ -5,14 +5,18 @@
 // The paper's claims are cost-based — the pull-up/push-down plans the
 // enumerator picks are supposed to win on *measured* page IO — so the
 // executor needs per-operator accounting precise enough that summing the
-// operator counters reproduces the engine's global IO counters exactly.
+// operator counters reproduces the query's own IO counters exactly.
 // The Collector achieves that with an attribution stack: the executor
 // pushes an operator's stats on entry to Open/Next/Close and pops on exit,
-// and the storage layer's IO hook charges each page access to whatever
-// operator frame is innermost at that moment. Execution is single-threaded
-// per query (Volcano pull), so a plain stack is exact: every charged IO is
-// attributed to exactly one operator, and IO performed outside any operator
-// frame lands in the Unattributed bucket (asserted zero by the tests).
+// and the query's session IO hook charges each page access to whatever
+// operator frame is innermost at that moment. A Collector belongs to
+// exactly one query, whose execution is single-threaded (Volcano pull), so
+// a plain stack is exact with no locking: every charged IO is attributed
+// to exactly one operator, and IO performed outside any operator frame
+// lands in the Unattributed bucket (asserted zero by the tests).
+// Concurrent queries each carry their own Collector and storage session,
+// so their attributions never mix; only the Registry, which aggregates
+// finished rollups across queries, is synchronized.
 package obs
 
 import (

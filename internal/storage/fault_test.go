@@ -268,14 +268,14 @@ func TestPoolHitsDoNotFault(t *testing.T) {
 	}
 }
 
-func TestIOHookObservesAndAborts(t *testing.T) {
+func TestSessionHookObservesAndAborts(t *testing.T) {
 	s := NewStore(2)
 	f := s.CreateFile("t")
 	fill(t, s, f, 600)
 	s.DropCaches()
 
 	var reads, writes, hits int
-	restore := s.SetIOHook(func(op IOOp, _ bool) error {
+	se := s.NewSession(func(op IOOp, _ bool) error {
 		switch op {
 		case OpRead:
 			reads++
@@ -286,63 +286,130 @@ func TestIOHookObservesAndAborts(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := s.ReadPage(f, 0); err != nil {
+	defer se.Close()
+	if _, err := se.ReadPage(f, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ReadPage(f, 0); err != nil {
+	if _, err := se.ReadPage(f, 0); err != nil {
 		t.Fatal(err)
 	}
 	g := s.CreateFile("u")
-	fill(t, s, g, 400)
+	for i := 0; i < 400; i++ {
+		if err := se.Append(g, row(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Flush(g); err != nil {
+		t.Fatal(err)
+	}
 	if reads != 1 || hits != 1 || writes != g.Pages() {
 		t.Fatalf("hook saw reads=%d hits=%d writes=%d", reads, hits, writes)
 	}
+	if st := se.Stats(); st.Reads != 1 || st.Hits != 1 || int(st.Writes) != g.Pages() {
+		t.Fatalf("session stats %v disagree with hook reads=%d hits=%d writes=%d", st, reads, hits, writes)
+	}
 
-	// An erroring hook aborts the access before it is charged.
+	// An erroring hook aborts the access before it is charged — on the
+	// global counters and on the session's own.
 	stop := errors.New("budget")
-	inner := s.SetIOHook(func(IOOp, bool) error { return stop })
-	s.DropCaches()
-	before := s.Stats()
-	if _, err := s.ReadPage(f, 1); !errors.Is(err, stop) {
+	stopper := s.NewSession(func(IOOp, bool) error { return stop })
+	defer stopper.Close()
+	s.ForceDropCaches()
+	before, sbefore := s.Stats(), stopper.Stats()
+	if _, err := stopper.ReadPage(f, 1); !errors.Is(err, stop) {
 		t.Fatalf("hook error not propagated: %v", err)
 	}
-	if s.Stats() != before {
-		t.Fatalf("aborted access charged IO: %v -> %v", before, s.Stats())
+	if s.Stats() != before || stopper.Stats() != sbefore {
+		t.Fatalf("aborted access charged IO: global %v -> %v, session %v -> %v",
+			before, s.Stats(), sbefore, stopper.Stats())
 	}
 
-	// Restores unwind in LIFO order back to no hook at all.
-	inner()
-	if _, err := s.ReadPage(f, 2); err != nil {
-		t.Fatalf("outer hook should be back: %v", err)
+	// Hooks are per-session: other sessions and raw store access are
+	// unaffected by the stopper.
+	if _, err := se.ReadPage(f, 2); err != nil {
+		t.Fatalf("sibling session blocked by foreign hook: %v", err)
 	}
-	restore()
 	if _, err := s.ReadPage(f, 3); err != nil {
 		t.Fatal(err)
 	}
-	if reads != 2 { // the post-restore read must not hit the counting hook
-		t.Fatalf("restore did not remove hook: reads=%d", reads)
+	if reads != 2 { // the raw store read must not hit the counting hook
+		t.Fatalf("store access reached a session hook: reads=%d", reads)
 	}
 }
 
-func TestHookSeesUnflushedTailRead(t *testing.T) {
-	s := NewStore(4)
+func TestSessionStatsSumToGlobal(t *testing.T) {
+	s := NewStore(2)
 	f := s.CreateFile("t")
-	if err := s.Append(f, row(1)); err != nil {
+	fill(t, s, f, 600)
+	if err := s.DropCaches(); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.ResetStats(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := s.NewSession(nil)
+	b := s.NewSession(nil)
+	for _, pg := range []int{0, 1, 0} {
+		if _, err := a.ReadPage(f, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pg := range []int{1, 0, 1} {
+		if _, err := b.ReadPage(f, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := a.Stats()
+	bs := b.Stats()
+	sum.Reads += bs.Reads
+	sum.Writes += bs.Writes
+	sum.Hits += bs.Hits
+	if got := s.Stats(); got != sum {
+		t.Fatalf("global stats %v != session sum %v (a=%v b=%v)", got, sum, a.Stats(), b.Stats())
+	}
+
+	// DropCaches and ResetStats refuse to run under open sessions…
+	if err := s.DropCaches(); !errors.Is(err, ErrStoreBusy) {
+		t.Fatalf("DropCaches under open sessions = %v, want ErrStoreBusy", err)
+	}
+	if err := s.ResetStats(); !errors.Is(err, ErrStoreBusy) {
+		t.Fatalf("ResetStats under open sessions = %v, want ErrStoreBusy", err)
+	}
+	// …and run again once they close (Close is idempotent).
+	a.Close()
+	a.Close()
+	b.Close()
+	if got := s.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d after closing all, want 0", got)
+	}
+	if err := s.DropCaches(); err != nil {
+		t.Fatalf("DropCaches after close: %v", err)
+	}
+	if err := s.ResetStats(); err != nil {
+		t.Fatalf("ResetStats after close: %v", err)
+	}
+}
+
+func TestSessionHookSeesUnflushedTailRead(t *testing.T) {
+	s := NewStore(4)
+	f := s.CreateFile("t")
 	var hits int
 	stop := errors.New("canceled")
-	restore := s.SetIOHook(func(op IOOp, _ bool) error {
+	se := s.NewSession(func(op IOOp, _ bool) error {
 		if op == OpHit {
 			hits++
 			return stop
 		}
 		return nil
 	})
-	defer restore()
+	defer se.Close()
+	if err := se.Append(f, row(1)); err != nil {
+		t.Fatal(err)
+	}
 	// The tail page lives in the write buffer — no IO — but cancellation
 	// must still reach the access.
-	if _, err := s.ReadPage(f, 0); !errors.Is(err, stop) {
+	if _, err := se.ReadPage(f, 0); !errors.Is(err, stop) {
 		t.Fatalf("tail read ignored hook: %v", err)
 	}
 	if hits != 1 {

@@ -10,12 +10,19 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"aggview/internal/types"
 )
+
+// ErrStoreBusy reports a store-wide maintenance operation (DropCaches,
+// ResetStats) attempted while query sessions are active. Callers that own
+// the whole store — like the engine, which excludes in-flight queries with
+// its read-write lock first — use the Force variants instead.
+var ErrStoreBusy = errors.New("storage: store busy (active sessions)")
 
 // PageSize is the accounted page capacity in bytes.
 const PageSize = 4096
@@ -102,19 +109,36 @@ const (
 // partition), so observers can attribute spill IO separately from base-table
 // IO. Returning a non-nil error aborts the access and propagates to the
 // caller — this is how per-query governors impose deadlines and IO budgets
-// at page granularity. The hook runs with the store lock held; it must be
+// at page granularity.
+//
+// Hooks are per-Session: each query registers its own via NewSession, so
+// concurrent queries observe only their own page accesses. A hook runs with
+// the store lock held, on the goroutine performing the access; it must be
 // fast and must not call back into the store.
 type IOHook func(op IOOp, temp bool) error
 
 // Store owns files and the shared buffer pool.
+//
+// Locking contract: all Store methods are safe for concurrent use; one
+// internal mutex guards the file table, the buffer pool, the counters and
+// the session registry. Page accesses performed through different Sessions
+// interleave freely — each access is atomic under the store lock, charging
+// the global counters and the owning session's counters together. The
+// store-wide maintenance operations DropCaches and ResetStats refuse to run
+// (ErrStoreBusy) while any session is open, because they would perturb
+// in-flight measurements; callers that can exclude queries externally (the
+// engine's write lock) use ForceDropCaches/ForceResetStats. Concurrent
+// writes to the same File are NOT coordinated here — the engine serializes
+// table writes (DDL, INSERT, LOAD) against all readers with its own
+// read-write lock.
 type Store struct {
-	mu     sync.Mutex
-	files  map[int]*File
-	nextID int
-	pool   *bufferPool
-	stats  IOStats
-	hook   IOHook
-	fault  *faultState
+	mu       sync.Mutex
+	files    map[int]*File
+	nextID   int
+	pool     *bufferPool
+	stats    IOStats
+	sessions int
+	fault    *faultState
 }
 
 // NewStore creates a store with a buffer pool of poolPages pages
@@ -139,57 +163,186 @@ func (s *Store) Stats() IOStats {
 	return s.stats
 }
 
-// ResetStats zeroes the IO counters (the pool contents are kept).
-func (s *Store) ResetStats() {
+// ResetStats zeroes the global IO counters (the pool contents are kept).
+// It returns ErrStoreBusy while sessions are active: zeroing under a
+// running query would not corrupt that query's per-session counters, but
+// the global counters would no longer be the sum of all queries.
+func (s *Store) ResetStats() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessions > 0 {
+		return fmt.Errorf("%w: ResetStats with %d open sessions", ErrStoreBusy, s.sessions)
+	}
+	s.stats = IOStats{}
+	return nil
+}
+
+// ForceResetStats zeroes the global IO counters regardless of open
+// sessions, for callers that exclude queries externally.
+func (s *Store) ForceResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = IOStats{}
 }
 
 // DropCaches empties the buffer pool so the next scan pays cold-cache IO.
-func (s *Store) DropCaches() {
+// It returns ErrStoreBusy while sessions are active, because evicting pages
+// under a running query silently inflates that query's measured misses.
+func (s *Store) DropCaches() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessions > 0 {
+		return fmt.Errorf("%w: DropCaches with %d open sessions", ErrStoreBusy, s.sessions)
+	}
+	s.pool.reset()
+	return nil
+}
+
+// ForceDropCaches empties the buffer pool regardless of open sessions. The
+// engine uses it under its write lock (no queries in flight) and on the
+// cold-measurement query path, where the calling query explicitly wants a
+// cold pool; per-session accounting stays exact either way, but concurrent
+// queries will see extra cold misses.
+func (s *Store) ForceDropCaches() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pool.reset()
 }
 
-// SetIOHook installs the per-query IO hook and returns a function that
-// restores the previous hook. Queries are expected to run one at a time per
-// store; the restore function makes nesting (and defer-based cleanup) safe.
-func (s *Store) SetIOHook(h IOHook) (restore func()) {
+// Session is one query's registered view of the store: page accesses
+// performed through it tick the session's IOHook (governance, attribution)
+// and its private IOStats, in addition to the store-global counters. Each
+// concurrent query holds its own session, so budgets and measurements never
+// observe another query's pages. Close the session when the query ends;
+// sessions also implement Pager, the executor's page-access surface.
+type Session struct {
+	store  *Store
+	hook   IOHook
+	stats  IOStats // guarded by store.mu
+	closed bool    // guarded by store.mu
+}
+
+// NewSession registers a query-scoped session with an optional IO hook
+// (nil = accounting only). The caller must Close it when the query ends.
+func (s *Store) NewSession(hook IOHook) *Session {
 	s.mu.Lock()
-	prev := s.hook
-	s.hook = h
-	s.mu.Unlock()
-	return func() {
-		s.mu.Lock()
-		s.hook = prev
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	s.sessions++
+	return &Session{store: s, hook: hook}
+}
+
+// Close unregisters the session. Idempotent; accesses through a closed
+// session still work but stop being a DropCaches/ResetStats blocker.
+func (se *Session) Close() {
+	s := se.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !se.closed {
+		se.closed = true
+		s.sessions--
 	}
 }
 
-// chargeLocked accounts one page access. Real IOs (OpRead/OpWrite) pass
-// through fault injection first — the simulated disk error — then the query
-// hook (cancellation, budgets), then the counters. Pool hits skip fault
-// injection and charging but still reach the hook.
-func (s *Store) chargeLocked(op IOOp, f *File) error {
+// Stats returns the page IO performed through this session so far. It is
+// safe to call while the query is still running.
+func (se *Session) Stats() IOStats {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.stats
+}
+
+// Store returns the backing store.
+func (se *Session) Store() *Store { return se.store }
+
+// Session page-access surface: same semantics as the Store methods, plus
+// per-session hook and counters.
+
+// Append is Store.Append attributed to this session.
+func (se *Session) Append(f *File, row types.Row) error { return se.store.appendAs(se, f, row) }
+
+// Flush is Store.Flush attributed to this session.
+func (se *Session) Flush(f *File) error { return se.store.flushAs(se, f) }
+
+// ReadPage is Store.ReadPage attributed to this session.
+func (se *Session) ReadPage(f *File, n int) ([]types.Row, error) { return se.store.readPageAs(se, f, n) }
+
+// FetchRID is Store.FetchRID attributed to this session.
+func (se *Session) FetchRID(f *File, rid int64) (types.Row, error) {
+	return se.store.fetchRIDAs(se, f, rid)
+}
+
+// NewScanner starts a scan whose page reads are attributed to this session.
+func (se *Session) NewScanner(f *File) *Scanner {
+	return &Scanner{store: se.store, sess: se, file: f, page: -1}
+}
+
+// CreateTemp allocates a query-temporary file (no IO is charged).
+func (se *Session) CreateTemp(name string) *File { return se.store.CreateTemp(name) }
+
+// DropFile releases a file (no IO is charged).
+func (se *Session) DropFile(f *File) { se.store.DropFile(f) }
+
+// Pager is the page-access surface shared by the raw *Store (global,
+// unattributed accounting) and a query-scoped *Session (per-query hook and
+// counters layered on top). The executor runs against a Pager, so the same
+// operators serve governed engine queries and bare harness runs.
+type Pager interface {
+	Append(f *File, row types.Row) error
+	Flush(f *File) error
+	ReadPage(f *File, n int) ([]types.Row, error)
+	FetchRID(f *File, rid int64) (types.Row, error)
+	NewScanner(f *File) *Scanner
+	CreateTemp(name string) *File
+	DropFile(f *File)
+}
+
+var (
+	_ Pager = (*Store)(nil)
+	_ Pager = (*Session)(nil)
+)
+
+// ActiveSessions returns the number of open sessions.
+func (s *Store) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// chargeLocked accounts one page access on behalf of a session (nil for
+// unattributed store-level access). Real IOs (OpRead/OpWrite) pass through
+// fault injection first — the simulated disk error — then the session's
+// hook (cancellation, budgets, attribution), then the counters: global and
+// per-session together, so an aborted access is counted by neither side and
+// the global counters remain the exact sum over all sessions plus
+// unattributed access. Pool hits skip fault injection and charging but
+// still reach the hook.
+func (s *Store) chargeLocked(op IOOp, f *File, se *Session) error {
 	if op != OpHit && s.fault != nil {
 		if err := s.fault.tick(); err != nil {
 			return err
 		}
 	}
-	if s.hook != nil {
-		if err := s.hook(op, f != nil && f.temp); err != nil {
+	if se != nil && se.hook != nil {
+		if err := se.hook(op, f != nil && f.temp); err != nil {
 			return err
 		}
 	}
 	switch op {
 	case OpRead:
 		s.stats.Reads++
+		if se != nil {
+			se.stats.Reads++
+		}
 	case OpWrite:
 		s.stats.Writes++
+		if se != nil {
+			se.stats.Writes++
+		}
 	case OpHit:
 		s.stats.Hits++
+		if se != nil {
+			se.stats.Hits++
+		}
 	}
 	return nil
 }
@@ -251,7 +404,9 @@ func (s *Store) DropFile(f *File) {
 // "disk" (charging one write per flushed page). The row is not copied;
 // callers must not mutate it afterwards. A non-nil error (injected fault,
 // tripped budget, cancellation) means the row was not appended.
-func (s *Store) Append(f *File, row types.Row) error {
+func (s *Store) Append(f *File, row types.Row) error { return s.appendAs(nil, f, row) }
+
+func (s *Store) appendAs(se *Session, f *File, row types.Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w := row.DiskWidth()
@@ -259,7 +414,7 @@ func (s *Store) Append(f *File, row types.Row) error {
 		f.cur = &page{}
 	}
 	if f.curBytes > 0 && f.curBytes+w > PageSize {
-		if err := s.flushLocked(f); err != nil {
+		if err := s.flushLocked(f, se); err != nil {
 			return err
 		}
 	}
@@ -271,17 +426,19 @@ func (s *Store) Append(f *File, row types.Row) error {
 }
 
 // Flush forces the partial tail page, if any, to disk.
-func (s *Store) Flush(f *File) error {
+func (s *Store) Flush(f *File) error { return s.flushAs(nil, f) }
+
+func (s *Store) flushAs(se *Session, f *File) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f.cur != nil && len(f.cur.rows) > 0 {
-		return s.flushLocked(f)
+		return s.flushLocked(f, se)
 	}
 	return nil
 }
 
-func (s *Store) flushLocked(f *File) error {
-	if err := s.chargeLocked(OpWrite, f); err != nil {
+func (s *Store) flushLocked(f *File, se *Session) error {
+	if err := s.chargeLocked(OpWrite, f, se); err != nil {
 		return fmt.Errorf("file %q: write: %w", f.name, err)
 	}
 	f.starts = append(f.starts, f.rows-int64(len(f.cur.rows)))
@@ -293,7 +450,9 @@ func (s *Store) flushLocked(f *File) error {
 
 // ReadPage fetches page n of the file through the buffer pool, charging a
 // read on a miss. The returned rows must not be mutated.
-func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
+func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) { return s.readPageAs(nil, f, n) }
+
+func (s *Store) readPageAs(se *Session, f *File, n int) ([]types.Row, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	flushed := len(f.pages)
@@ -302,7 +461,7 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 		if s.pool.touch(f.id, n) {
 			op = OpHit
 		}
-		if err := s.chargeLocked(op, f); err != nil {
+		if err := s.chargeLocked(op, f, se); err != nil {
 			return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 		}
 		if op == OpRead {
@@ -314,8 +473,8 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 		// The unflushed tail page lives in the writer's memory: no IO is
 		// charged, but the hook still observes the access so cancellation
 		// reaches queries running out of the write buffer.
-		if s.hook != nil {
-			if err := s.hook(OpHit, f.temp); err != nil {
+		if se != nil && se.hook != nil {
+			if err := se.hook(OpHit, f.temp); err != nil {
 				return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 			}
 		}
@@ -324,9 +483,12 @@ func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) {
 	return nil, fmt.Errorf("file %q: page %d out of range (%d pages)", f.name, n, f.Pages())
 }
 
-// Scanner iterates a file's rows page by page through the buffer pool.
+// Scanner iterates a file's rows page by page through the buffer pool. A
+// scanner opened through a Session attributes its page reads to that
+// session.
 type Scanner struct {
 	store *Store
+	sess  *Session
 	file  *File
 	page  int
 	slot  int
@@ -334,7 +496,7 @@ type Scanner struct {
 	rid   int64
 }
 
-// NewScanner starts a scan of f.
+// NewScanner starts a scan of f with unattributed (store-global) IO.
 func (s *Store) NewScanner(f *File) *Scanner {
 	return &Scanner{store: s, file: f, page: -1}
 }
@@ -353,7 +515,7 @@ func (sc *Scanner) Next() (row types.Row, rid int64, ok bool, err error) {
 		if sc.page >= sc.file.Pages() {
 			return nil, 0, false, nil
 		}
-		sc.rows, err = sc.store.ReadPage(sc.file, sc.page)
+		sc.rows, err = sc.store.readPageAs(sc.sess, sc.file, sc.page)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -456,7 +618,9 @@ func (p *bufferPool) unlink(n *lruNode) {
 }
 
 // FetchRID fetches the row with the given rowid through the buffer pool.
-func (s *Store) FetchRID(f *File, rid int64) (types.Row, error) {
+func (s *Store) FetchRID(f *File, rid int64) (types.Row, error) { return s.fetchRIDAs(nil, f, rid) }
+
+func (s *Store) fetchRIDAs(se *Session, f *File, rid int64) (types.Row, error) {
 	if rid < 0 || rid >= f.rows {
 		return nil, fmt.Errorf("file %q: rowid %d out of range (%d rows)", f.name, rid, f.rows)
 	}
@@ -474,13 +638,13 @@ func (s *Store) FetchRID(f *File, rid int64) (types.Row, error) {
 	s.mu.Unlock()
 
 	if inFlushed {
-		rows, err := s.ReadPage(f, pageIdx)
+		rows, err := s.readPageAs(se, f, pageIdx)
 		if err != nil {
 			return nil, err
 		}
 		return rows[rid-f.starts[pageIdx]], nil
 	}
-	rows, err := s.ReadPage(f, flushed)
+	rows, err := s.readPageAs(se, f, flushed)
 	if err != nil {
 		return nil, err
 	}

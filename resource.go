@@ -85,8 +85,10 @@ func (e *Engine) newGovernor(ctx context.Context) (*govern.Governor, context.Can
 }
 
 // ioHook adapts a governor and an optional per-query collector to the
-// storage layer's IO hook: charged IOs (pool misses and flushes) count
-// against the page budget, pool hits only poll cancellation. The governor
+// storage layer's IO hook, installed on the query's storage session (so it
+// observes only this query's page accesses, even with concurrent queries
+// on the same store): charged IOs (pool misses and flushes) count against
+// the page budget, pool hits only poll cancellation. The governor
 // ticks before the collector records, so an aborted access (budget trip,
 // cancellation — and injected faults, which fire before the hook) is never
 // counted by either side: per-operator sums stay exactly equal to the

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggview/internal/binder"
@@ -12,6 +14,7 @@ import (
 	"aggview/internal/exec"
 	"aggview/internal/obs"
 	"aggview/internal/sql"
+	"aggview/internal/storage"
 	"aggview/internal/types"
 )
 
@@ -38,68 +41,92 @@ type Rows struct {
 	remain  int // rows still allowed out (-1 = no LIMIT)
 	err     error
 	done    bool
+
+	// closeMu serializes teardown so that Close may race itself (a
+	// caller's defer against a watchdog goroutine). Next/Scan stay
+	// single-goroutine per the type's contract.
+	closeMu sync.Mutex
 }
 
 // queryRun carries one query's execution state from open to finish: the
-// governor, the metrics collector, the IO baseline, and the idempotent
-// finish hook that restores the engine and publishes metrics.
+// governor, the metrics collector, the query's storage session, and the
+// idempotent finish hook that releases the engine and publishes metrics.
 type queryRun struct {
 	engine   *Engine
 	src      string
 	bound    *binder.Bound
 	col      *obs.Collector
 	planInfo *PlanInfo
-	before   IOStats
-	start    time.Time
-	cancel   context.CancelFunc
-	restore  func()
-	rowsOut  int64
-	io       IOStats
-	finished bool
+	// sess is the query's registered storage session: every page the
+	// executor touches is charged to it (and only it), so qr.io is exact
+	// even when other queries run concurrently. Nil until execution opens.
+	sess    *storage.Session
+	start   time.Time
+	cancel  context.CancelFunc
+	unlock  func() // releases the engine's read lock; set once at open
+	rowsOut int64
+	io      IOStats
+
+	// once makes finish idempotent and race-free: Rows.Close racing a
+	// governor timeout (or any double teardown) publishes metrics and
+	// releases the engine exactly once. done flags completion for readers
+	// polling from other code paths (Rows.IO).
+	once sync.Once
+	done atomic.Bool
 
 	// Phase wall times, fixed at finish: optimizeDur comes from the
-	// collector's "optimize" span; executeDur is everything after it.
+	// collector's "optimize" span; executeDur is everything after it,
+	// clamped at zero (the span can outlive clock granularity, and finish
+	// can run before execution ever starts).
 	optimizeDur time.Duration
 	executeDur  time.Duration
 	totalDur    time.Duration
 }
 
-// finish tears the run down exactly once: restores the IO hook, releases
-// the governor, computes the IO delta, and publishes the per-query rollup
-// to the engine's metrics registry (and sink). Safe to call repeatedly.
+// finish tears the run down exactly once: closes the storage session,
+// releases the governor and the engine read lock, fixes the IO totals, and
+// publishes the per-query rollup to the engine's metrics registry (and
+// sink). Safe to call repeatedly and from racing goroutines.
 func (qr *queryRun) finish(execErr error) {
-	if qr.finished {
-		return
-	}
-	qr.finished = true
-	qr.io = qr.engine.store.Stats().Sub(qr.before)
-	qr.restore()
-	qr.cancel()
+	qr.once.Do(func() {
+		if qr.sess != nil {
+			qr.io = qr.sess.Stats()
+			qr.sess.Close()
+		}
+		qr.cancel()
 
-	qr.totalDur = time.Since(qr.start)
-	qr.optimizeDur = qr.col.SpanDur("optimize")
-	qr.executeDur = qr.totalDur - qr.optimizeDur
+		qr.totalDur = time.Since(qr.start)
+		qr.optimizeDur = qr.col.SpanDur("optimize")
+		qr.executeDur = qr.totalDur - qr.optimizeDur
+		if qr.executeDur < 0 {
+			qr.executeDur = 0
+		}
+		qr.done.Store(true)
 
-	qm := obs.QueryMetrics{
-		Statement: qr.src,
-		Err:       errClass(execErr),
-		Rows:      qr.rowsOut,
-		Reads:     qr.io.Reads,
-		Writes:    qr.io.Writes,
-		Hits:      qr.io.Hits,
-		Optimize:  qr.optimizeDur,
-		Execute:   qr.executeDur,
-		Total:     qr.totalDur,
-	}
-	tot := qr.col.Totals()
-	qm.SpillReads, qm.SpillWrites = tot.SpillReads, tot.SpillWrites
-	if qr.planInfo != nil {
-		qm.Mode = qr.planInfo.Mode.String()
-		qm.Degraded = qr.planInfo.Degraded
-		qm.PlansConsidered = qr.planInfo.Search.PlansConsidered
-		qm.Degradations = qr.planInfo.Search.Degradations
-	}
-	qr.engine.reg.Observe(qm)
+		qm := obs.QueryMetrics{
+			Statement: qr.src,
+			Err:       errClass(execErr),
+			Rows:      qr.rowsOut,
+			Reads:     qr.io.Reads,
+			Writes:    qr.io.Writes,
+			Hits:      qr.io.Hits,
+			Optimize:  qr.optimizeDur,
+			Execute:   qr.executeDur,
+			Total:     qr.totalDur,
+		}
+		tot := qr.col.Totals()
+		qm.SpillReads, qm.SpillWrites = tot.SpillReads, tot.SpillWrites
+		if qr.planInfo != nil {
+			qm.Mode = qr.planInfo.Mode.String()
+			qm.Degraded = qr.planInfo.Degraded
+			qm.PlansConsidered = qr.planInfo.Search.PlansConsidered
+			qm.Degradations = qr.planInfo.Search.Degradations
+		}
+		qr.engine.reg.Observe(qm)
+		if qr.unlock != nil {
+			qr.unlock()
+		}
+	})
 }
 
 // errClass maps an error to the short class recorded in QueryMetrics.
@@ -135,28 +162,45 @@ type rowsOptions struct {
 	trace bool
 }
 
-// openRows binds, optimizes and opens a SELECT as a streaming cursor. Every
-// error path after the governor exists still publishes query metrics.
-func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (*Rows, error) {
+// openRows binds, optimizes and opens a SELECT as a streaming cursor. It
+// acquires the engine's read lock for the whole run (released by
+// queryRun.finish) and registers a per-query storage session, so concurrent
+// queries account and govern their IO independently. Every error path after
+// the governor exists still publishes query metrics.
+func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (rows *Rows, err error) {
+	e.mu.RLock()
+	gov, cancel := e.newGovernor(ctx)
+	col := obs.NewCollector()
+	qr := &queryRun{
+		engine: e,
+		src:    src,
+		col:    col,
+		start:  time.Now(),
+		cancel: cancel,
+		unlock: e.mu.RUnlock,
+	}
+	// Panics below are recovered at the engine boundary; without this the
+	// read lock and session would leak and wedge the engine. finish is
+	// sync.Once-idempotent, so paths that already finished are unaffected,
+	// and the success path hands teardown ownership to the Rows.
+	defer func() {
+		if p := recover(); p != nil {
+			qr.finish(fmt.Errorf("%w: %v", ErrInternal, p))
+			panic(p)
+		}
+		if rows == nil {
+			qr.finish(err)
+		}
+	}()
+
 	bound, err := binder.BindSelect(e.cat, sel)
 	if err != nil {
 		return nil, err
 	}
+	qr.bound = bound
 	mode := e.cfg.Mode
 	if opt.mode != ModeDefault {
 		mode = opt.mode
-	}
-	gov, cancel := e.newGovernor(ctx)
-	col := obs.NewCollector()
-	qr := &queryRun{
-		engine:  e,
-		src:     src,
-		bound:   bound,
-		col:     col,
-		start:   time.Now(),
-		cancel:  cancel,
-		restore: func() {},
-		before:  e.store.Stats(),
 	}
 
 	var trace *core.SearchTrace
@@ -167,7 +211,6 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov, trace)
 	endOpt()
 	if err != nil {
-		qr.finish(err)
 		return nil, err
 	}
 	qr.planInfo = &PlanInfo{
@@ -183,13 +226,14 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 	}
 
 	if opt.cold {
-		e.store.DropCaches()
+		// Best-effort cold measurement: with concurrent queries in flight
+		// the pool refills as they run, but this query's own accounting
+		// stays exact either way.
+		e.store.ForceDropCaches()
 	}
-	qr.before = e.store.Stats()
-	qr.restore = e.store.SetIOHook(ioHook(gov, col))
-	cur, err := exec.New(e.store).WithGovernor(gov).WithCollector(col).OpenCursor(plan.Root)
+	qr.sess = e.store.NewSession(ioHook(gov, col))
+	cur, err := exec.New(e.store).WithSession(qr.sess).WithGovernor(gov).WithCollector(col).OpenCursor(plan.Root)
 	if err != nil {
-		qr.finish(err)
 		return nil, err
 	}
 
@@ -250,6 +294,12 @@ func (r *Rows) materializeSorted() error {
 
 // closeWith closes the cursor and finishes the run with the given error.
 func (r *Rows) closeWith(err error) {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	r.closeLocked(err)
+}
+
+func (r *Rows) closeLocked(err error) {
 	if r.cur != nil {
 		r.cur.Close()
 		r.cur = nil
@@ -362,12 +412,16 @@ func (r *Rows) Value() []any { return r.current }
 // Err returns the error that terminated iteration, if any.
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the cursor and publishes metrics. It is idempotent and
-// safe after exhaustion; a partially consumed stream is abandoned cleanly
-// (spill files dropped, IO hook restored).
+// Close releases the cursor and publishes metrics. It is idempotent, safe
+// after exhaustion, and — alone among the Rows methods — safe to call
+// concurrently with itself (a caller's defer racing a watchdog goroutine
+// tears down exactly once); a partially consumed stream is abandoned
+// cleanly (spill files dropped, the query's storage session closed).
 func (r *Rows) Close() error {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
 	if !r.done || r.cur != nil {
-		r.closeWith(nil)
+		r.closeLocked(nil)
 	}
 	r.buf = nil
 	r.current = nil
@@ -386,12 +440,16 @@ func (r *Rows) Ops() []OpMetrics {
 }
 
 // IO returns the page IO performed by this query (final once the stream is
-// finished or closed).
+// finished or closed). The counters are this query's own — concurrent
+// queries on the same engine never leak into them.
 func (r *Rows) IO() IOStats {
-	if r.query.finished {
+	if r.query.done.Load() {
 		return r.query.io
 	}
-	return r.query.engine.store.Stats().Sub(r.query.before)
+	if r.query.sess != nil {
+		return r.query.sess.Stats()
+	}
+	return IOStats{}
 }
 
 // rowToGo converts an executor row to native Go values.
