@@ -2,13 +2,23 @@
 
 GO ?= go
 
-.PHONY: build vet test race stress bench gobench check
+.PHONY: build vet staticcheck test race stress bench gobench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs it; local runs
+# without it skip with a notice rather than fail — the repo adds no module
+# dependency for it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -35,4 +45,4 @@ gobench:
 # check is the tier-1 gate: static analysis plus the full test suite
 # (including the chaos fault sweeps) under the race detector, then the
 # doubled concurrency stress pass.
-check: vet race stress
+check: vet staticcheck race stress

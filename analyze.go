@@ -112,6 +112,9 @@ func (a *AnalyzeInfo) String() string {
 	fmt.Fprintf(&b, "optimize: %s  execute: %s\n",
 		a.Optimize.Round(time.Microsecond), a.Execute.Round(time.Microsecond))
 	fmt.Fprintf(&b, "search: %s\n", a.Plan.Search)
+	if a.Plan.CacheStatus != "" {
+		fmt.Fprintf(&b, "plan cache: %s\n", a.Plan.CacheStatus)
+	}
 	if a.Plan.Trace != nil {
 		if tr := a.Plan.Trace.String(); tr != "" {
 			b.WriteString("search trace:\n")
@@ -142,7 +145,13 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (a *AnalyzeInfo
 }
 
 func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *sql.Select, src string) (*AnalyzeInfo, error) {
-	rows, err := e.openRows(ctx, sel, src, rowsOptions{cold: true, trace: true})
+	return analyzeRows(e.openRows(ctx, sel, src, rowsOptions{cold: true, trace: true}))
+}
+
+// analyzeRows drains an opened run and assembles the EXPLAIN ANALYZE
+// report from its collector, shared by the ad-hoc and prepared entry
+// points.
+func analyzeRows(rows *Rows, err error) (*AnalyzeInfo, error) {
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +164,7 @@ func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *sql.Select, src 
 	rows.Close()
 
 	qr := rows.query
+	e := qr.engine
 	model := cost.NewModel(e.cfg.PoolPages, e.cfg.CPUWeight)
 	return &AnalyzeInfo{
 		Plan:         rows.plan,

@@ -6,6 +6,7 @@
 package aggview_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -139,11 +140,11 @@ func BenchmarkExecuteExample1(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			var io int64
 			for i := 0; i < b.N; i++ {
-				_, _, stats, err := eng.QueryWithMode(example1Nested, mode)
+				res, err := eng.QueryMode(context.Background(), example1Nested, mode)
 				if err != nil {
 					b.Fatal(err)
 				}
-				io = stats.Total()
+				io = res.IO.Total()
 			}
 			b.ReportMetric(float64(io), "page-ios")
 		})

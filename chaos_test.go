@@ -297,17 +297,18 @@ func TestOptimizerBudgetDegradationLadder(t *testing.T) {
 	      where v.partkey = p.partkey group by p.brand having max(v.aqty) > 10`
 
 	// Reference answer from an ungoverned engine.
-	clean, _, _, err := eng.QueryWithMode(q, aggview.Full)
+	clean, err := eng.QueryMode(context.Background(), q, aggview.Full)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := rowsFingerprint(clean)
 
 	tiny := eng.WithConfig(aggview.Config{OptimizerBudget: 2})
-	res, info, _, err := tiny.QueryWithMode(q, aggview.Full)
+	res, err := tiny.QueryMode(context.Background(), q, aggview.Full)
 	if err != nil {
 		t.Fatalf("budgeted Full query should degrade, not fail: %v", err)
 	}
+	info := res.Plan
 	if !info.Degraded {
 		t.Fatalf("PlanInfo.Degraded = false with OptimizerBudget=2")
 	}
@@ -330,10 +331,11 @@ func TestOptimizerBudgetDegradationLadder(t *testing.T) {
 
 	// The same engine with an adequate budget does not degrade.
 	roomy := eng.WithConfig(aggview.Config{OptimizerBudget: 1 << 20})
-	_, info, _, err = roomy.QueryWithMode(q, aggview.Full)
+	rres, err := roomy.QueryMode(context.Background(), q, aggview.Full)
 	if err != nil {
 		t.Fatal(err)
 	}
+	info = rres.Plan
 	if info.Degraded || info.Mode != aggview.Full || info.Search.Degradations != 0 {
 		t.Fatalf("roomy budget degraded: %+v", info)
 	}

@@ -77,6 +77,10 @@ func main() {
 			fmt.Printf("throughput: N=%-3d %6.1f qps (%d queries in %.1fms)\n",
 				tr.Concurrency, tr.QPS, tr.Queries, tr.ElapsedMS)
 		}
+		for _, pr := range snap.Prepared {
+			fmt.Printf("prepared:   N=%-3d %-14s %6.1f qps (%d queries in %.1fms)\n",
+				pr.Concurrency, pr.Variant, pr.QPS, pr.Queries, pr.ElapsedMS)
+		}
 		return
 	}
 

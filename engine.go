@@ -120,6 +120,11 @@ type Config struct {
 	// with a fresh budget; the last rung runs unbudgeted), which is always
 	// safe because the chosen plan is never worse than the traditional one.
 	OptimizerBudget int
+	// PlanCacheSize caps the number of compiled plans retained for prepared
+	// statements (LRU, keyed by normalized SQL text and optimizer mode).
+	// 0 means DefaultPlanCacheSize; negative disables plan caching — every
+	// execution of a prepared statement then recompiles.
+	PlanCacheSize int
 }
 
 // Engine is a self-contained database instance: storage, catalog,
@@ -147,6 +152,11 @@ type Engine struct {
 	// and catalog. Queries hold the read side from openRows until
 	// queryRun.finish.
 	mu *sync.RWMutex
+	// cache holds compiled plans for prepared statements; nil when
+	// disabled. Engines derived via WithConfig get their own cache — the
+	// configuration shapes the plans, so entries cannot cross engines —
+	// while invalidation rides on the shared catalog's version counter.
+	cache *planCache
 }
 
 // resolveConfig fills in the defaults: the pool size, and the explicit
@@ -161,14 +171,28 @@ func resolveConfig(cfg Config) Config {
 			cfg.KLevelPullUp = 2
 		}
 	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = DefaultPlanCacheSize
+	}
 	return cfg
+}
+
+// newCacheFor builds the plan cache a config calls for (nil = disabled).
+func newCacheFor(cfg Config) *planCache {
+	if cfg.PlanCacheSize < 0 {
+		return nil
+	}
+	return newPlanCache(cfg.PlanCacheSize)
 }
 
 // Open creates an empty engine.
 func Open(cfg Config) *Engine {
 	cfg = resolveConfig(cfg)
 	st := storage.NewStore(cfg.PoolPages)
-	return &Engine{store: st, cat: catalog.New(st), cfg: cfg, reg: obs.NewRegistry(), mu: &sync.RWMutex{}}
+	return &Engine{
+		store: st, cat: catalog.New(st), cfg: cfg,
+		reg: obs.NewRegistry(), mu: &sync.RWMutex{}, cache: newCacheFor(cfg),
+	}
 }
 
 // OpenWithMode creates an engine pinned to a specific optimizer mode.
@@ -185,7 +209,10 @@ func OpenWithMode(cfg Config, mode OptimizerMode) *Engine {
 func (e *Engine) WithConfig(cfg Config) *Engine {
 	cfg.PoolPages = e.cfg.PoolPages
 	cfg = resolveConfig(cfg)
-	return &Engine{store: e.store, cat: e.cat, cfg: cfg, reg: e.reg, mu: e.mu}
+	return &Engine{
+		store: e.store, cat: e.cat, cfg: cfg,
+		reg: e.reg, mu: e.mu, cache: newCacheFor(cfg),
+	}
 }
 
 // Metrics returns the engine-wide cumulative metrics snapshot: queries run,
@@ -215,7 +242,7 @@ func (e *Engine) options() core.Options {
 // Result is a materialized query result. Row values are native Go values:
 // int64, float64, string, bool, or nil.
 //
-// SELECTs executed through Query/QueryContext/QueryWithMode also attach the
+// SELECTs executed through Query/QueryContext/QueryMode also attach the
 // execution's observability: the plan (with estimates and search stats),
 // the measured page IO, and per-operator runtime metrics. DDL and INSERT
 // leave those fields zero.
@@ -555,6 +582,13 @@ type PlanInfo struct {
 	// EXPLAIN ANALYZE paths, nil on the normal query path (tracing is not
 	// free).
 	Trace *SearchTrace
+	// CacheStatus is the plan's provenance for this execution: "hit" (a
+	// cached compiled plan was reused; Search is zero because no
+	// optimization ran), "miss" (compiled and cached), "invalidated"
+	// (a cached plan was stale against the catalog version and was
+	// recompiled), or "bypass" (ad-hoc statement, degraded plan, or cache
+	// disabled). Empty on EXPLAIN paths, which do not execute.
+	CacheStatus string
 
 	// root retains the plan tree for EXPLAIN ANALYZE annotation.
 	root lplan.Node
@@ -635,20 +669,6 @@ func (e *Engine) QueryMode(ctx context.Context, src string, mode OptimizerMode) 
 		return nil, err
 	}
 	return rows.materialize()
-}
-
-// QueryWithMode runs a SELECT under a specific optimizer mode, returning
-// the result, the plan, and the page IO the execution actually performed
-// (measured cold: the buffer pool is dropped first).
-//
-// Deprecated: the plan and IO now ride on the Result; use QueryMode. This
-// wrapper remains for the experiment harness and older callers.
-func (e *Engine) QueryWithMode(src string, mode OptimizerMode) (*Result, *PlanInfo, IOStats, error) {
-	res, err := e.QueryMode(context.Background(), src, mode)
-	if err != nil {
-		return nil, nil, IOStats{}, err
-	}
-	return res, res.Plan, res.IO, nil
 }
 
 // WriteCSV streams a base table as CSV (see cmd/datagen).

@@ -2,6 +2,7 @@ package aggview
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -87,10 +88,11 @@ func TestEngineViewsAndModesAgree(t *testing.T) {
 	q := `select e1.sal from emp e1, a1 b where e1.dno = b.dno and e1.sal > b.asal and e1.age < 40`
 	var first *Result
 	for _, mode := range []OptimizerMode{Traditional, PushDown, Full} {
-		res, info, io, err := e.QueryWithMode(q, mode)
+		res, err := e.QueryMode(context.Background(), q, mode)
 		if err != nil {
 			t.Fatalf("[%v] %v", mode, err)
 		}
+		info, io := res.Plan, res.IO
 		if io.Reads == 0 {
 			t.Fatalf("[%v] no IO measured", mode)
 		}
@@ -244,10 +246,11 @@ func TestEngineSystemRJoins(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := `select e.dno, avg(e.sal) from emp e, dept d where e.dno = d.dno group by e.dno`
-	res, info, _, err := e.QueryWithMode(q, PushDown)
+	res, err := e.QueryMode(context.Background(), q, PushDown)
 	if err != nil {
 		t.Fatal(err)
 	}
+	info := res.Plan
 	if strings.Contains(info.PlanText, "Join[hash]") {
 		t.Fatalf("SystemRJoins plan uses a hash join:\n%s", info.PlanText)
 	}

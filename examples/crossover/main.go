@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,14 +35,16 @@ func main() {
 				where e1.age < %d
 				  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`, ageCut)
 
-			_, tradInfo, tradIO, err := eng.QueryWithMode(q, aggview.Traditional)
+			trad, err := eng.QueryMode(context.Background(), q, aggview.Traditional)
 			if err != nil {
 				log.Fatal(err)
 			}
-			_, fullInfo, fullIO, err := eng.QueryWithMode(q, aggview.Full)
+			full, err := eng.QueryMode(context.Background(), q, aggview.Full)
 			if err != nil {
 				log.Fatal(err)
 			}
+			tradInfo, tradIO := trad.Plan, trad.IO
+			fullInfo, fullIO := full.Plan, full.IO
 			chosen := "view kept (A1/A2)"
 			if fullInfo.PlanText != tradInfo.PlanText {
 				chosen = "pulled up (query B)"

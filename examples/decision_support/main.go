@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,10 +30,11 @@ func main() {
 		  and l.qty < 0.4 * (select avg(l2.qty) from lineitem l2 where l2.partkey = p.partkey)
 		order by price desc limit 10`
 
-	res, info, io, err := eng.QueryWithMode(q17, aggview.Full)
+	res, err := eng.QueryMode(context.Background(), q17, aggview.Full)
 	if err != nil {
 		log.Fatal(err)
 	}
+	info, io := res.Plan, res.IO
 	fmt.Printf("\nQ17-style query: %d rows, %.1f estimated page IOs, %d measured\n",
 		res.Len(), info.EstimatedCost, io.Total())
 	fmt.Print(res.String())

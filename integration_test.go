@@ -1,6 +1,7 @@
 package aggview_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -53,10 +54,11 @@ func TestIntegrationWarehouse(t *testing.T) {
 	for i, q := range queries {
 		var want int = -1
 		for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full} {
-			res, info, io, err := eng.QueryWithMode(q, mode)
+			res, err := eng.QueryMode(context.Background(), q, mode)
 			if err != nil {
 				t.Fatalf("query %d mode %v: %v", i, mode, err)
 			}
+			info, io := res.Plan, res.IO
 			if info.EstimatedCost <= 0 || io.Total() <= 0 {
 				t.Fatalf("query %d mode %v: degenerate cost/io %g/%d", i, mode, info.EstimatedCost, io.Total())
 			}
@@ -118,10 +120,11 @@ func TestIntegrationRandomizedQueries(t *testing.T) {
 		var want = -1
 		var tradCost float64
 		for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.Full} {
-			res, info, _, err := eng.QueryWithMode(q, mode)
+			res, err := eng.QueryMode(context.Background(), q, mode)
 			if err != nil {
 				t.Fatalf("trial %d mode %v: %v\nquery: %s", i, mode, err, q)
 			}
+			info := res.Plan
 			if mode == aggview.Traditional {
 				tradCost = info.EstimatedCost
 				want = res.Len()

@@ -41,6 +41,14 @@ type Bound struct {
 	ColNames []string // display names of the output columns
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
+
+	// NumParams is the number of `?` placeholders in the statement; the
+	// caller must supply exactly this many values at execution time.
+	NumParams int
+	// ParamTypes holds the kind inferred for each parameter slot from the
+	// comparison it appears in (KindNull when unconstrained). Execution
+	// checks supplied values against these, coercing int into float.
+	ParamTypes []types.Kind
 }
 
 // maxViewDepth bounds view-expansion recursion.
@@ -48,12 +56,19 @@ const maxViewDepth = 16
 
 // BindSelect flattens, resolves and canonicalizes a SELECT statement.
 func BindSelect(cat *catalog.Catalog, sel *sql.Select) (*Bound, error) {
+	nparams := sql.CountParams(sel)
 	flat, err := flatten.Rewrite(sel)
 	if err != nil {
 		return nil, err
 	}
-	b := &binder{cat: cat}
-	return b.bindTop(flat)
+	b := &binder{cat: cat, paramTypes: make([]types.Kind, nparams)}
+	bound, err := b.bindTop(flat)
+	if err != nil {
+		return nil, err
+	}
+	bound.NumParams = nparams
+	bound.ParamTypes = b.paramTypes
+	return bound, nil
 }
 
 type binder struct {
@@ -62,6 +77,32 @@ type binder struct {
 	// merged substitutes alias.col references of merged SPJ derived
 	// tables by their defining expressions over the parent's relations.
 	merged map[schema.ColID]expr.Expr
+	// paramTypes collects the kind inferred for each parameter slot from
+	// the comparisons it appears in (KindNull = unconstrained). Sized to
+	// the statement's placeholder count up front.
+	paramTypes []types.Kind
+}
+
+// noteParamType records a type hint for `col <op> ?` comparisons: when one
+// side of a comparison is a parameter and the other side's kind resolves
+// against the scope, the parameter slot adopts that kind (first hint wins).
+func (b *binder) noteParamType(l, r expr.Expr, sc *scope) {
+	p, isParam := l.(*expr.Param)
+	other := r
+	if !isParam {
+		p, isParam = r.(*expr.Param)
+		other = l
+	}
+	if !isParam || p.Idx < 0 || p.Idx >= len(b.paramTypes) || b.paramTypes[p.Idx] != types.KindNull {
+		return
+	}
+	var s schema.Schema
+	for _, e := range sc.entries {
+		s = append(s, e.schema...)
+	}
+	if k := other.Type(s); k != types.KindNull {
+		b.paramTypes[p.Idx] = k
+	}
 }
 
 // fresh generates a unique relation alias for merged inner blocks.
@@ -201,6 +242,9 @@ func (b *binder) bindBlock(sel *sql.Select, outAlias string, depth int) (*qblock
 				vsel, ok := stmt.(*sql.Select)
 				if !ok {
 					return nil, nil, fmt.Errorf("bind: view %q is not a SELECT", vw.Name)
+				}
+				if sql.CountParams(vsel) > 0 {
+					return nil, nil, fmt.Errorf("bind: view %q contains parameter placeholders; views must be parameter-free", vw.Name)
 				}
 				vsel, err = flatten.Rewrite(vsel)
 				if err != nil {
@@ -500,6 +544,12 @@ func (b *binder) convert(e sql.Expr, sc *scope, agg *aggCollector) (expr.Expr, e
 	case sql.Lit:
 		return expr.Lit(t.Val), nil
 
+	case sql.Param:
+		if t.Idx < 0 || t.Idx >= len(b.paramTypes) {
+			return nil, fmt.Errorf("bind: parameter ?%d out of range (placeholders are counted per statement; views cannot contain parameters)", t.Idx+1)
+		}
+		return expr.NewParam(t.Idx), nil
+
 	case sql.Bin:
 		l, err := b.convert(t.L, sc, agg)
 		if err != nil {
@@ -515,16 +565,22 @@ func (b *binder) convert(e sql.Expr, sc *scope, agg *aggCollector) (expr.Expr, e
 		case "OR":
 			return expr.Or(l, r), nil
 		case "=":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.EQ, l, r), nil
 		case "<>":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.NE, l, r), nil
 		case "<":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.LT, l, r), nil
 		case "<=":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.LE, l, r), nil
 		case ">":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.GT, l, r), nil
 		case ">=":
+			b.noteParamType(l, r, sc)
 			return expr.NewCmp(expr.GE, l, r), nil
 		case "+":
 			return expr.NewArith(expr.Add, l, r), nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"aggview/internal/schema"
 	"aggview/internal/storage"
@@ -82,7 +83,19 @@ type Catalog struct {
 	store  *storage.Store
 	tables map[string]*Table
 	views  map[string]*View
+	// version counts schema-or-data-affecting mutations: DDL, inserts and
+	// statistics refreshes each bump it. Cached plans record the version
+	// they were compiled under; a mismatch at lookup time invalidates them.
+	version atomic.Int64
 }
+
+// Version returns the catalog's monotonic schema/stats version. It starts
+// at zero and increases on every CreateTable/CreateView/CreateIndex/
+// DropTable/Insert/Analyze.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// bump advances the version after a mutation.
+func (c *Catalog) bump() { c.version.Add(1) }
 
 // New creates an empty catalog over the given store.
 func New(store *storage.Store) *Catalog {
@@ -139,6 +152,7 @@ func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []st
 		Indexes:     map[string]*HashIndex{},
 	}
 	c.tables[lname] = t
+	c.bump()
 	return t, nil
 }
 
@@ -157,6 +171,7 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 	}
 	v := &View{Name: lname, Cols: lcols, SQL: sql}
 	c.views[lname] = v
+	c.bump()
 	return v, nil
 }
 
@@ -169,6 +184,7 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	c.store.DropFile(t.File)
 	delete(c.tables, lname)
+	c.bump()
 	return nil
 }
 
@@ -226,6 +242,7 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 		return fmt.Errorf("table %q column %q: cannot store %s into %s",
 			t.Name, t.Schema[i].ID.Name, v.K, want)
 	}
+	c.bump()
 	return c.store.Append(t.File, row)
 }
 
@@ -291,6 +308,7 @@ func (c *Catalog) Analyze(t *Table) error {
 	}
 	stats.Pages = t.File.Pages()
 	t.Stats = stats
+	c.bump()
 	return nil
 }
 
@@ -313,6 +331,7 @@ func (c *Catalog) CreateIndex(name, table string, cols []string) (*HashIndex, er
 	}
 	ix := &HashIndex{Name: lname, Table: t.Name, Cols: lcols, buckets: map[string][]int64{}}
 	t.Indexes[lname] = ix
+	c.bump()
 	if err := c.Analyze(t); err != nil {
 		delete(t.Indexes, lname)
 		return nil, err

@@ -33,20 +33,20 @@ func (e *Executor) groupByCtxOf(g *lplan.GroupBy) (*groupByCtx, error) {
 			ctx.argFns = append(ctx.argFns, nil)
 			continue
 		}
-		fn, err := expr.Compile(a.Arg, in)
+		fn, err := e.compileExpr(a.Arg, in)
 		if err != nil {
 			return nil, err
 		}
 		ctx.argFns = append(ctx.argFns, fn)
 	}
 	inner := g.InnerSchema()
-	ctx.having, err = compilePreds(g.Having, inner)
+	ctx.having, err = e.compilePreds(g.Having, inner)
 	if err != nil {
 		return nil, err
 	}
 	if len(g.Outputs) > 0 {
 		for _, ne := range g.Outputs {
-			fn, err := expr.Compile(ne.E, inner)
+			fn, err := e.compileExpr(ne.E, inner)
 			if err != nil {
 				return nil, err
 			}

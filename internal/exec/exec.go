@@ -41,6 +41,11 @@ type Executor struct {
 	// col, when set, receives per-operator runtime metrics: every operator
 	// is wrapped in a metering iterator registered against its plan node.
 	col *obs.Collector
+	// params holds the values bound to `?` placeholders for this run. They
+	// are substituted into expressions at iterator-compile time (never into
+	// the plan tree itself), so a cached plan containing parameters is
+	// reusable across executions with different arguments.
+	params []types.Value
 }
 
 // New creates an executor whose operators spill once they exceed the
@@ -75,6 +80,50 @@ func (e *Executor) WithSession(se *storage.Session) *Executor {
 func (e *Executor) WithCollector(c *obs.Collector) *Executor {
 	e.col = c
 	return e
+}
+
+// WithParams supplies values for the plan's `?` placeholders and returns
+// the executor. Expressions are bound per-run at compile time; the plan
+// tree is left untouched.
+func (e *Executor) WithParams(vals []types.Value) *Executor {
+	e.params = vals
+	return e
+}
+
+// compileExpr binds this run's parameters into x and compiles the result
+// against s. Expressions without parameters are compiled as-is.
+func (e *Executor) compileExpr(x expr.Expr, s schema.Schema) (expr.Compiled, error) {
+	b, err := expr.BindParams(x, e.params)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Compile(b, s)
+}
+
+// compilePreds compiles a conjunct list into a single row filter, binding
+// this run's parameters first.
+func (e *Executor) compilePreds(preds []expr.Expr, s schema.Schema) (func(types.Row) (bool, error), error) {
+	fs := make([]func(types.Row) (bool, error), len(preds))
+	for i, p := range preds {
+		b, err := expr.BindParams(p, e.params)
+		if err != nil {
+			return nil, err
+		}
+		f, err := expr.CompilePredicate(b, s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(row types.Row) (bool, error) {
+		for _, f := range fs {
+			ok, err := f(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}, nil
 }
 
 // Result is a fully materialized query result.
@@ -186,13 +235,13 @@ func (e *Executor) buildOp(n lplan.Node) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newFilterIter(in, t.Preds, t.In.Schema())
+		return e.newFilterIter(in, t.Preds, t.In.Schema())
 	case *lplan.Project:
 		in, err := e.build(t.In)
 		if err != nil {
 			return nil, err
 		}
-		return newProjectIter(in, t.Items, t.In.Schema())
+		return e.newProjectIter(in, t.Items, t.In.Schema())
 	case *lplan.Sort:
 		in, err := e.build(t.In)
 		if err != nil {
@@ -263,7 +312,7 @@ func (e *Executor) buildScan(s *lplan.Scan) (iterator, error) {
 		base = append(base, schema.Column{
 			ID: schema.ColID{Rel: s.Alias, Name: lplan.TIDColumn}, Type: types.KindInt})
 	}
-	filter, err := compilePreds(s.Filter, base)
+	filter, err := e.compilePreds(s.Filter, base)
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +366,8 @@ type filterIter struct {
 	pred func(types.Row) (bool, error)
 }
 
-func newFilterIter(in iterator, preds []expr.Expr, s schema.Schema) (iterator, error) {
-	pred, err := compilePreds(preds, s)
+func (e *Executor) newFilterIter(in iterator, preds []expr.Expr, s schema.Schema) (iterator, error) {
+	pred, err := e.compilePreds(preds, s)
 	if err != nil {
 		return nil, err
 	}
@@ -349,10 +398,10 @@ type projectIter struct {
 	exprs []expr.Compiled
 }
 
-func newProjectIter(in iterator, items []lplan.NamedExpr, s schema.Schema) (iterator, error) {
+func (e *Executor) newProjectIter(in iterator, items []lplan.NamedExpr, s schema.Schema) (iterator, error) {
 	exprs := make([]expr.Compiled, len(items))
 	for i, ne := range items {
-		c, err := expr.Compile(ne.E, s)
+		c, err := e.compileExpr(ne.E, s)
 		if err != nil {
 			return nil, err
 		}

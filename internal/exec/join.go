@@ -48,7 +48,7 @@ func (e *Executor) joinCommonOf(j *lplan.Join) (*joinCommon, error) {
 		}
 		residualPreds = append(residualPreds, p)
 	}
-	residual, err := compilePreds(residualPreds, concat)
+	residual, err := e.compilePreds(residualPreds, concat)
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +543,7 @@ func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (iterator, error)
 			return nil, fmt.Errorf("exec: index column %s not among join columns", cn)
 		}
 	}
-	filter, err := compilePreds(scan.Filter, base)
+	filter, err := e.compilePreds(scan.Filter, base)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"aggview"
@@ -39,10 +40,11 @@ func runUnderModes(e *aggview.Engine, query string, modes []aggview.OptimizerMod
 	out := map[aggview.OptimizerMode]modeRun{}
 	var wantRows = -1
 	for _, m := range modes {
-		res, info, io, err := e.QueryWithMode(query, m)
+		res, err := e.QueryMode(context.Background(), query, m)
 		if err != nil {
 			return nil, fmt.Errorf("mode %v: %w", m, err)
 		}
+		info, io := res.Plan, res.IO
 		if wantRows < 0 {
 			wantRows = res.Len()
 		} else if res.Len() != wantRows {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -214,10 +215,11 @@ func runE6(quick bool) (*Table, error) {
 	}
 	var refRows = -1
 	for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full} {
-		res, info, io, err := e.QueryWithMode(q, mode)
+		res, err := e.QueryMode(context.Background(), q, mode)
 		if err != nil {
 			return nil, fmt.Errorf("mode %v: %w", mode, err)
 		}
+		info, io := res.Plan, res.IO
 		if refRows < 0 {
 			refRows = res.Len()
 		} else if res.Len() != refRows {

@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,16 +40,38 @@ type ThroughputResult struct {
 	QPS         float64 `json:"qps"`
 }
 
+// PreparedResult is one (variant, concurrency) cell of the
+// prepared-vs-adhoc benchmark. All variants run the same parameterized
+// warehouse workload; they differ only in how each execution obtains its
+// plan:
+//
+//   - "adhoc":          Engine.Query with literals — full compile per run
+//   - "prepared-cold":  Prepare + one execution against an empty plan
+//     cache per run (prepare-then-use-once cost)
+//   - "prepared-warm":  shared Stmts prepared before timing — every run
+//     is a cache hit, no optimizer work
+//   - "cache-disabled": shared Stmts on a PlanCacheSize<0 engine — the
+//     prepared path with caching off, recompiling per run
+type PreparedResult struct {
+	Concurrency int     `json:"concurrency"`
+	Variant     string  `json:"variant"`
+	Queries     int64   `json:"queries"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+}
+
 // Snapshot is a machine-readable benchmark record: the paper's example
 // queries run under every optimizer mode, with per-mode page IO, plus the
-// concurrent-throughput section. `make bench` writes one as
-// BENCH_<date>.json so regressions in plan quality show up as diffs.
+// concurrent-throughput and prepared-vs-adhoc sections. `make bench`
+// writes one as BENCH_<date>.json so regressions in plan quality show up
+// as diffs.
 type Snapshot struct {
 	GeneratedAt string             `json:"generated_at"`
 	GoVersion   string             `json:"go_version"`
 	Quick       bool               `json:"quick"`
 	Results     []BenchResult      `json:"results"`
 	Throughput  []ThroughputResult `json:"throughput,omitempty"`
+	Prepared    []PreparedResult   `json:"prepared,omitempty"`
 }
 
 // JSON renders the snapshot with stable indentation for committing.
@@ -181,7 +205,143 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 		}
 		snap.Throughput = append(snap.Throughput, tr)
 	}
+	for _, n := range levels {
+		prs, err := measurePrepared(wh, n, iters)
+		if err != nil {
+			return nil, err
+		}
+		snap.Prepared = append(snap.Prepared, prs...)
+	}
 	return snap, nil
+}
+
+// preparedWorkload is the parameterized warehouse suite the prepared
+// benchmark runs: the snapshot's view queries with their selectivity
+// constants lifted into `?` placeholders, plus per-run argument vectors
+// (rotated per iteration so runs do not degenerate to one constant).
+var preparedWorkload = []struct {
+	sql  string
+	args [][]any
+}{
+	{`select p.brand, l.qty from lineitem l, part p, part_qty v
+	  where l.partkey = p.partkey and v.partkey = p.partkey
+	    and p.brand < ? and l.qty < v.aqty`,
+		[][]any{{5}, {3}, {8}}},
+	{`select v.aqty, o.value from part_qty v, order_value o, lineitem l
+	  where l.partkey = v.partkey and l.orderkey = o.orderkey and l.qty > ?`,
+		[][]any{{45.0}, {30.0}, {48.0}}},
+	{`select p.brand, max(v.aqty) from part p, part_qty v
+	  where v.partkey = p.partkey group by p.brand having max(v.aqty) > ?`,
+		[][]any{{10.0}, {20.0}, {5.0}}},
+}
+
+// inline renders one workload query with its arguments substituted as
+// literals, for the ad-hoc (compile-every-time) variant.
+func inline(sql string, args []any) string {
+	for _, a := range args {
+		sql = strings.Replace(sql, "?", fmt.Sprint(a), 1)
+	}
+	return sql
+}
+
+// measurePrepared times the four prepared-vs-adhoc variants at one
+// concurrency level. The engine's cached warehouse pages are shared by all
+// variants (the workload is IO-warm throughout), so the spread between
+// variants isolates plan-acquisition cost — exactly the amortization the
+// plan cache exists to provide.
+func measurePrepared(wh *aggview.Engine, workers, iters int) ([]PreparedResult, error) {
+	// Warm Stmts: prepared once, outside the timed window.
+	warm := make([]*aggview.Stmt, len(preparedWorkload))
+	for i, w := range preparedWorkload {
+		st, err := wh.Prepare(w.sql)
+		if err != nil {
+			return nil, fmt.Errorf("prepare %d: %w", i, err)
+		}
+		warm[i] = st
+	}
+	// Uncached Stmts: same statements on a cache-disabled engine sharing
+	// the store and catalog — the prepared path minus the cache.
+	nocache := wh.WithConfig(aggview.Config{PlanCacheSize: -1})
+	bare := make([]*aggview.Stmt, len(preparedWorkload))
+	for i, w := range preparedWorkload {
+		st, err := nocache.Prepare(w.sql)
+		if err != nil {
+			return nil, err
+		}
+		bare[i] = st
+	}
+
+	variants := []struct {
+		name string
+		run  func(w, qi, it int) error
+	}{
+		{"adhoc", func(w, qi, it int) error {
+			q := preparedWorkload[qi]
+			_, err := wh.Query(inline(q.sql, q.args[it%len(q.args)]))
+			return err
+		}},
+		{"prepared-cold", func(w, qi, it int) error {
+			// A fresh derived engine has an empty plan cache, so the
+			// Prepare compiles and the execution is this plan's only use.
+			cold := wh.WithConfig(aggview.Config{})
+			q := preparedWorkload[qi]
+			st, err := cold.Prepare(q.sql)
+			if err != nil {
+				return err
+			}
+			_, err = st.Query(q.args[it%len(q.args)]...)
+			return err
+		}},
+		{"prepared-warm", func(w, qi, it int) error {
+			q := preparedWorkload[qi]
+			_, err := warm[qi].Query(q.args[it%len(q.args)]...)
+			return err
+		}},
+		{"cache-disabled", func(w, qi, it int) error {
+			q := preparedWorkload[qi]
+			_, err := bare[qi].Query(q.args[it%len(q.args)]...)
+			return err
+		}},
+	}
+
+	var out []PreparedResult
+	for _, v := range variants {
+		var (
+			wg    sync.WaitGroup
+			total atomic.Int64
+			errCh = make(chan error, workers)
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for it := 0; it < iters; it++ {
+					for qi := range preparedWorkload {
+						if err := v.run(w, (qi+w)%len(preparedWorkload), it); err != nil {
+							errCh <- err
+							return
+						}
+						total.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		out = append(out, PreparedResult{
+			Concurrency: workers,
+			Variant:     v.name,
+			Queries:     total.Load(),
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+			QPS:         float64(total.Load()) / elapsed.Seconds(),
+		})
+	}
+	return out, nil
 }
 
 // measureThroughput drives the query suite from `workers` goroutines

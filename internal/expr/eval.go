@@ -128,6 +128,9 @@ func Compile(e Expr, s schema.Schema) (Compiled, error) {
 	case *Fn:
 		return compileFn(n, s)
 
+	case *Param:
+		return nil, fmt.Errorf("unbound parameter %s (bind values before compiling)", n)
+
 	case *Not:
 		inner, err := Compile(n.E, s)
 		if err != nil {

@@ -1,0 +1,21 @@
+package lplan
+
+// Freeze forces every lazily cached schema in the tree to be computed now.
+//
+// Node schemas are memoized on first access through an unsynchronized
+// field (schemaOnce), which is fine while a plan belongs to a single
+// goroutine but is a data race once a compiled plan is shared — e.g. by
+// the engine's plan cache, where one immutable tree serves concurrent
+// executions. Freezing at compile time, before the plan is published,
+// turns every later Schema() call into a plain read of an already-set
+// field; the publication itself (under the cache's mutex or an atomic
+// pointer store) establishes the happens-before edge.
+func Freeze(n Node) {
+	if n == nil {
+		return
+	}
+	n.Schema()
+	for _, c := range n.Children() {
+		Freeze(c)
+	}
+}

@@ -26,6 +26,12 @@ type QueryMetrics struct {
 	SpillReads, SpillWrites int64
 	// PlansConsidered is the optimizer's candidate count for this query.
 	PlansConsidered int
+	// PlanCache records the plan's provenance: "hit" (reused a cached
+	// compiled plan), "miss" (compiled and cached), "invalidated" (a cached
+	// plan was discarded because the catalog version moved, then recompiled),
+	// "bypass" (caching not applicable: ad-hoc query, degraded plan, or
+	// cache disabled). Empty when the query failed before planning.
+	PlanCache string
 	// Degradations counts optimizer-ladder fallbacks.
 	Degradations int
 	// Optimize and Execute are the phase wall times; Total covers the whole
@@ -51,6 +57,12 @@ type Metrics struct {
 	PlansConsidered int64
 	// Degradations counts optimizer-ladder fallbacks.
 	Degradations int64
+	// PlanCacheHits and PlanCacheMisses count plan-cache lookups by outcome;
+	// PlanCacheInvalidations counts cached plans discarded at lookup because
+	// the catalog version moved; PlanCacheEvictions counts LRU evictions.
+	PlanCacheHits, PlanCacheMisses int64
+	PlanCacheInvalidations         int64
+	PlanCacheEvictions             int64
 	// OptimizeTime and ExecuteTime accumulate phase wall times; QueryTime
 	// accumulates total query wall time.
 	OptimizeTime, ExecuteTime, QueryTime time.Duration
@@ -59,19 +71,23 @@ type Metrics struct {
 // Sub returns the delta m - o, for measuring a window of queries.
 func (m Metrics) Sub(o Metrics) Metrics {
 	return Metrics{
-		Queries:         m.Queries - o.Queries,
-		Failures:        m.Failures - o.Failures,
-		Rows:            m.Rows - o.Rows,
-		PageReads:       m.PageReads - o.PageReads,
-		PageWrites:      m.PageWrites - o.PageWrites,
-		PageHits:        m.PageHits - o.PageHits,
-		SpillPageReads:  m.SpillPageReads - o.SpillPageReads,
-		SpillPageWrites: m.SpillPageWrites - o.SpillPageWrites,
-		PlansConsidered: m.PlansConsidered - o.PlansConsidered,
-		Degradations:    m.Degradations - o.Degradations,
-		OptimizeTime:    m.OptimizeTime - o.OptimizeTime,
-		ExecuteTime:     m.ExecuteTime - o.ExecuteTime,
-		QueryTime:       m.QueryTime - o.QueryTime,
+		Queries:                m.Queries - o.Queries,
+		Failures:               m.Failures - o.Failures,
+		Rows:                   m.Rows - o.Rows,
+		PageReads:              m.PageReads - o.PageReads,
+		PageWrites:             m.PageWrites - o.PageWrites,
+		PageHits:               m.PageHits - o.PageHits,
+		SpillPageReads:         m.SpillPageReads - o.SpillPageReads,
+		SpillPageWrites:        m.SpillPageWrites - o.SpillPageWrites,
+		PlansConsidered:        m.PlansConsidered - o.PlansConsidered,
+		Degradations:           m.Degradations - o.Degradations,
+		PlanCacheHits:          m.PlanCacheHits - o.PlanCacheHits,
+		PlanCacheMisses:        m.PlanCacheMisses - o.PlanCacheMisses,
+		PlanCacheInvalidations: m.PlanCacheInvalidations - o.PlanCacheInvalidations,
+		PlanCacheEvictions:     m.PlanCacheEvictions - o.PlanCacheEvictions,
+		OptimizeTime:           m.OptimizeTime - o.OptimizeTime,
+		ExecuteTime:            m.ExecuteTime - o.ExecuteTime,
+		QueryTime:              m.QueryTime - o.QueryTime,
 	}
 }
 
@@ -117,6 +133,15 @@ func (r *Registry) Observe(q QueryMetrics) {
 	r.snap.SpillPageWrites += q.SpillWrites
 	r.snap.PlansConsidered += int64(q.PlansConsidered)
 	r.snap.Degradations += int64(q.Degradations)
+	switch q.PlanCache {
+	case "hit":
+		r.snap.PlanCacheHits++
+	case "miss":
+		r.snap.PlanCacheMisses++
+	case "invalidated":
+		r.snap.PlanCacheMisses++
+		r.snap.PlanCacheInvalidations++
+	}
 	r.snap.OptimizeTime += q.Optimize
 	r.snap.ExecuteTime += q.Execute
 	r.snap.QueryTime += q.Total
@@ -125,6 +150,18 @@ func (r *Registry) Observe(q QueryMetrics) {
 	if sink != nil {
 		sink(q)
 	}
+}
+
+// ObserveEviction counts plan-cache LRU evictions. Evictions happen at
+// insert time, outside any single query's rollup, so they are reported
+// directly rather than through Observe.
+func (r *Registry) ObserveEviction(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.snap.PlanCacheEvictions += int64(n)
+	r.mu.Unlock()
 }
 
 // Snapshot returns the cumulative metrics.

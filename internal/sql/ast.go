@@ -139,6 +139,12 @@ type Lit struct{ Val types.Value }
 
 func (Lit) expr() {}
 
+// Param is a `?` parameter placeholder. Idx is the 0-based ordinal in
+// statement text order, assigned by the parser.
+type Param struct{ Idx int }
+
+func (Param) expr() {}
+
 // Bin is a binary operation; Op is one of = <> < <= > >= + - * / AND OR.
 type Bin struct {
 	Op   string
@@ -195,6 +201,8 @@ func ExprString(e Expr) string {
 		return t.String()
 	case Lit:
 		return t.Val.String()
+	case Param:
+		return "?"
 	case Bin:
 		return fmt.Sprintf("(%s %s %s)", ExprString(t.L), t.Op, ExprString(t.R))
 	case Not:

@@ -187,7 +187,7 @@ func (l *lexer) lexSymbol() bool {
 		}
 	}
 	switch rest[0] {
-	case '(', ')', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/':
+	case '(', ')', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/', '?':
 		l.toks = append(l.toks, token{kind: tokSymbol, text: rest[:1], pos: l.pos})
 		l.pos++
 		return true

@@ -1,0 +1,218 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/types"
+)
+
+// FormatSelect renders a SELECT AST as canonical single-line SQL:
+// keywords upper-case, identifiers lower-case, single spacing, explicit
+// parentheses, string literals re-quoted. Two statements that differ only
+// in whitespace, keyword case or comments format identically, so the
+// rendering serves as the normalized key of the engine's plan cache.
+// Parameter placeholders render as `?` (their ordinals are positional).
+func FormatSelect(sel *Select) string {
+	var b strings.Builder
+	formatSelect(&b, sel)
+	return b.String()
+}
+
+func formatSelect(b *strings.Builder, sel *Select) {
+	b.WriteString("SELECT ")
+	if sel.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range sel.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		formatExpr(b, it.E)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if len(sel.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, fi := range sel.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if fi.Subquery != nil {
+				b.WriteByte('(')
+				formatSelect(b, fi.Subquery)
+				b.WriteByte(')')
+			} else {
+				b.WriteString(fi.Table)
+			}
+			if fi.Alias != "" && fi.Alias != fi.Table {
+				b.WriteString(" AS ")
+				b.WriteString(fi.Alias)
+			}
+		}
+	}
+	if sel.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, sel.Where)
+	}
+	if len(sel.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if sel.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, sel.Having)
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.E)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(b, " LIMIT %d", sel.Limit)
+	}
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch t := e.(type) {
+	case Name:
+		b.WriteString(t.String())
+	case Lit:
+		if t.Val.K == types.KindString {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Val.S, "'", "''"))
+			b.WriteByte('\'')
+			return
+		}
+		b.WriteString(t.Val.String())
+	case Param:
+		b.WriteByte('?')
+	case Bin:
+		b.WriteByte('(')
+		formatExpr(b, t.L)
+		b.WriteByte(' ')
+		b.WriteString(t.Op)
+		b.WriteByte(' ')
+		formatExpr(b, t.R)
+		b.WriteByte(')')
+	case Not:
+		b.WriteString("NOT (")
+		formatExpr(b, t.E)
+		b.WriteByte(')')
+	case Neg:
+		b.WriteString("-(")
+		formatExpr(b, t.E)
+		b.WriteByte(')')
+	case Call:
+		b.WriteString(t.Func)
+		b.WriteByte('(')
+		if t.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteByte(')')
+	case Subquery:
+		b.WriteByte('(')
+		formatSelect(b, t.Sel)
+		b.WriteByte(')')
+	case InSubquery:
+		formatExpr(b, t.L)
+		if t.Neg {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		formatSelect(b, t.Sel)
+		b.WriteByte(')')
+	case ExistsSubquery:
+		if t.Neg {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		formatSelect(b, t.Sel)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "%T", e)
+	}
+}
+
+// CountParams returns the number of `?` placeholders anywhere in the
+// statement (select list, FROM subqueries, WHERE, HAVING, ORDER BY).
+// Ordinals are dense, so the count equals max ordinal + 1.
+func CountParams(sel *Select) int {
+	n := 0
+	WalkExprs(sel, func(e Expr) {
+		if _, ok := e.(Param); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// WalkExprs visits every expression node of the statement pre-order,
+// descending into FROM derived tables and WHERE subqueries.
+func WalkExprs(sel *Select, fn func(Expr)) {
+	if sel == nil {
+		return
+	}
+	for _, it := range sel.Items {
+		walkExpr(it.E, fn)
+	}
+	for _, fi := range sel.From {
+		WalkExprs(fi.Subquery, fn)
+	}
+	walkExpr(sel.Where, fn)
+	walkExpr(sel.Having, fn)
+	for _, o := range sel.OrderBy {
+		walkExpr(o.E, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch t := e.(type) {
+	case Bin:
+		walkExpr(t.L, fn)
+		walkExpr(t.R, fn)
+	case Not:
+		walkExpr(t.E, fn)
+	case Neg:
+		walkExpr(t.E, fn)
+	case Call:
+		for _, a := range t.Args {
+			walkExpr(a, fn)
+		}
+	case Subquery:
+		WalkExprs(t.Sel, fn)
+	case InSubquery:
+		walkExpr(t.L, fn)
+		WalkExprs(t.Sel, fn)
+	case ExistsSubquery:
+		WalkExprs(t.Sel, fn)
+	}
+}

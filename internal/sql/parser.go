@@ -55,6 +55,9 @@ type parser struct {
 	src  string
 	toks []token
 	pos  int
+	// nparams counts `?` placeholders seen so far; each placeholder is
+	// assigned the next 0-based ordinal in statement text order.
+	nparams int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -824,6 +827,12 @@ func (p *parser) primary() (Expr, error) {
 	case t.kind == tokKeyword && t.text == "NULL":
 		p.pos++
 		return Lit{Val: types.Null()}, nil
+
+	case t.kind == tokSymbol && t.text == "?":
+		p.pos++
+		prm := Param{Idx: p.nparams}
+		p.nparams++
+		return prm, nil
 
 	case t.kind == tokSymbol && t.text == "(":
 		// Parenthesized expression or scalar subquery.

@@ -264,7 +264,9 @@ func (se *Session) Append(f *File, row types.Row) error { return se.store.append
 func (se *Session) Flush(f *File) error { return se.store.flushAs(se, f) }
 
 // ReadPage is Store.ReadPage attributed to this session.
-func (se *Session) ReadPage(f *File, n int) ([]types.Row, error) { return se.store.readPageAs(se, f, n) }
+func (se *Session) ReadPage(f *File, n int) ([]types.Row, error) {
+	return se.store.readPageAs(se, f, n)
+}
 
 // FetchRID is Store.FetchRID attributed to this session.
 func (se *Session) FetchRID(f *File, rid int64) (types.Row, error) {

@@ -1,0 +1,230 @@
+package aggview
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"aggview/internal/binder"
+	"aggview/internal/core"
+	"aggview/internal/govern"
+	"aggview/internal/lplan"
+	"aggview/internal/sql"
+	"aggview/internal/types"
+)
+
+// Plan-provenance values recorded per execution (PlanInfo.CacheStatus,
+// QueryMetrics.PlanCache).
+const (
+	// cacheHit: the execution reused a cached compiled plan; no binding or
+	// optimization ran.
+	cacheHit = "hit"
+	// cacheMiss: no cached plan existed; the statement was compiled and the
+	// plan cached.
+	cacheMiss = "miss"
+	// cacheInvalidated: a cached plan existed but was compiled under an
+	// older catalog version; it was dropped and the statement recompiled.
+	cacheInvalidated = "invalidated"
+	// cacheBypass: the cache was not consulted — ad-hoc statements (the
+	// Query/Exec entry points) always compile fresh, as do prepared
+	// statements on an engine with caching disabled, and degraded plans are
+	// never cached.
+	cacheBypass = "bypass"
+)
+
+// DefaultPlanCacheSize is the plan-cache capacity used when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 64
+
+// compiledPlan is the immutable product of parse → bind → optimize:
+// everything needed to run the statement, and nothing tied to a single
+// run. The plan tree is frozen (all lazy schema caches pre-computed) before
+// the compiledPlan is published, so any number of concurrent executions
+// can walk it; per-run state — parameter values, the storage session, the
+// governor, collectors — lives in queryRun and the executor.
+type compiledPlan struct {
+	text       string     // normalized statement text (cache identity)
+	root       lplan.Node // frozen, shared, never mutated after compile
+	colNames   []string   // output column display names
+	orderBy    []binder.OrderKey
+	limit      int          // -1 when absent
+	numParams  int          // `?` slots the caller must fill
+	paramTypes []types.Kind // inferred slot kinds (KindNull = unconstrained)
+	version    int64        // catalog version the plan was compiled under
+	info       PlanInfo     // compile-time plan description (copied per run)
+}
+
+// runInfo builds one execution's PlanInfo: the compile-time info stamped
+// with this run's provenance. A cache hit did no search, so Search and
+// Trace are zeroed — per-run search stats measure the run, not the
+// original compilation (the acceptance signal that a warm hit skipped the
+// optimizer entirely).
+func (cp *compiledPlan) runInfo(status string) *PlanInfo {
+	pi := cp.info
+	pi.CacheStatus = status
+	if status == cacheHit {
+		pi.Search = SearchStats{}
+		pi.Trace = nil
+	}
+	return &pi
+}
+
+// compileSelect binds and optimizes a SELECT into an immutable compiled
+// plan. The caller must hold the engine read lock, so the catalog version
+// stamped here is consistent with the schema and statistics the optimizer
+// saw (DDL takes the write lock and cannot interleave).
+func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, error) {
+	bound, err := binder.BindSelect(e.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov, trace)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-compute every lazily cached schema while the tree is still
+	// private to this goroutine; afterwards the tree is read-only.
+	lplan.Freeze(plan.Root)
+	return &compiledPlan{
+		text:       text,
+		root:       plan.Root,
+		colNames:   bound.ColNames,
+		orderBy:    bound.OrderBy,
+		limit:      bound.Limit,
+		numParams:  bound.NumParams,
+		paramTypes: bound.ParamTypes,
+		version:    e.cat.Version(),
+		info: PlanInfo{
+			Mode:          usedMode,
+			RequestedMode: mode,
+			Degraded:      usedMode != mode,
+			PlanText:      plan.Explain(),
+			EstimatedCost: plan.Cost,
+			EstimatedRows: plan.Info.Rows,
+			Search:        plan.Stats,
+			Trace:         trace,
+			root:          plan.Root,
+		},
+	}, nil
+}
+
+// checkParams validates one run's parameter vector against the plan's
+// slots: exact arity, and kind agreement wherever the binder inferred a
+// slot type from the comparison the placeholder appears in. Ints coerce
+// into float slots (matching the engine's literal rules); any other
+// mismatch is an error. The returned slice is the input, copied only when
+// a coercion rewrites a value.
+func checkParams(cp *compiledPlan, vals []types.Value) ([]types.Value, error) {
+	if len(vals) != cp.numParams {
+		if cp.numParams == 0 {
+			return nil, fmt.Errorf("aggview: statement takes no parameters, got %d value(s)", len(vals))
+		}
+		return nil, fmt.Errorf("aggview: statement has %d parameter placeholder(s), got %d value(s)",
+			cp.numParams, len(vals))
+	}
+	out := vals
+	for i, v := range vals {
+		want := cp.paramTypes[i]
+		if want == types.KindNull || v.K == want {
+			continue
+		}
+		if want == types.KindFloat && v.K == types.KindInt {
+			if &out[0] == &vals[0] {
+				out = append([]types.Value(nil), vals...)
+			}
+			out[i] = types.NewFloat(v.Float())
+			continue
+		}
+		return nil, fmt.Errorf("aggview: parameter ?%d: expected %s, got %s", i+1, want, v.K)
+	}
+	return out, nil
+}
+
+// planKey identifies a cached plan: the statement's canonical rendering
+// (whitespace, keyword case and comments normalized away) plus the
+// optimizer mode that compiled it. The catalog version is deliberately not
+// part of the key — entries carry the version they were compiled under and
+// are invalidated lazily at lookup, so a DDL burst does not strand dead
+// entries in the map.
+type planKey struct {
+	text string
+	mode OptimizerMode
+}
+
+// planCache is the engine's LRU cache of compiled plans for prepared
+// statements. It is safe for concurrent use; the mutex also orders plan
+// publication, giving readers of a cached plan a happens-before edge on
+// the frozen tree.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *cacheEntry; front = most recently used
+	entries map[planKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  planKey
+	plan *compiledPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, lru: list.New(), entries: map[planKey]*list.Element{}}
+}
+
+// get returns the cached plan for key when one exists and was compiled
+// under the current catalog version. The status is cacheHit, cacheMiss,
+// or cacheInvalidated (a stale entry was found and dropped — the caller
+// recompiles).
+func (c *planCache) get(key planKey, version int64) (*compiledPlan, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, cacheMiss
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.plan.version != version {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		return nil, cacheInvalidated
+	}
+	c.lru.MoveToFront(el)
+	return ent.plan, cacheHit
+}
+
+// put inserts (or refreshes) a compiled plan and returns the number of
+// entries evicted to stay within capacity.
+func (c *planCache) put(key planKey, cp *compiledPlan) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = cp
+		c.lru.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, plan: cp})
+	evicted := 0
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// PlanCacheLen reports how many compiled plans the engine currently
+// retains (0 when caching is disabled).
+func (e *Engine) PlanCacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}

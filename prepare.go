@@ -1,0 +1,196 @@
+package aggview
+
+import (
+	"context"
+	"fmt"
+
+	"aggview/internal/core"
+	"aggview/internal/govern"
+	"aggview/internal/sql"
+	"aggview/internal/types"
+)
+
+// Stmt is a prepared SELECT: parsed, validated, and compiled once, then
+// executed any number of times with different `?` parameter values. The
+// compiled plan lives in the engine's plan cache under the statement's
+// normalized text and optimizer mode; executions reuse it until a DDL,
+// INSERT or ANALYZE bumps the catalog version, at which point the next
+// execution transparently recompiles.
+//
+// A Stmt is immutable and safe for concurrent use: any number of
+// goroutines may call Query/QueryRows on the same Stmt at once, each run
+// getting its own storage session (exact per-query IO attribution), its
+// own governor, and its own parameter vector.
+type Stmt struct {
+	e    *Engine
+	src  string  // original SQL, reparsed when the plan must be recompiled
+	key  planKey // normalized text + mode: the plan's cache identity
+	mode OptimizerMode
+	n    int // parameter count (syntactic, stable across recompiles)
+}
+
+// Prepare parses, binds and optimizes a SELECT, caching the compiled plan
+// for reuse. `?` placeholders in the statement become positional
+// parameters supplied to Query/QueryRows; the binder infers each slot's
+// type from the comparison it appears in and execution enforces it.
+// Errors in the statement surface here rather than at execution time.
+func (e *Engine) Prepare(src string) (*Stmt, error) {
+	return e.PrepareMode(src, ModeDefault)
+}
+
+// PrepareMode is Prepare pinned to a specific optimizer mode (ModeDefault
+// resolves to the engine's configured mode). Plans are cached per
+// (statement, mode) pair, so the same text prepared under two modes holds
+// two independent cache entries.
+func (e *Engine) PrepareMode(src string, mode OptimizerMode) (st *Stmt, err error) {
+	defer recoverToError(&err, src)
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("aggview: Prepare requires a SELECT statement")
+	}
+	if mode == ModeDefault {
+		mode = e.cfg.Mode
+	}
+	s := &Stmt{
+		e:    e,
+		src:  src,
+		key:  planKey{text: sql.FormatSelect(sel), mode: mode},
+		mode: mode,
+		n:    sql.CountParams(sel),
+	}
+	// Compile eagerly: bind and optimize errors belong to Prepare, and the
+	// first execution should already find the plan cached.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	gov, cancel := e.newGovernor(context.Background())
+	defer cancel()
+	if _, _, err := s.resolve(gov, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// resolve returns the statement's compiled plan, consulting the engine
+// plan cache first and recompiling from source on a miss or when the
+// cached plan's catalog version is stale. The returned status is the
+// plan's provenance for this run (hit/miss/invalidated/bypass). The
+// caller must hold the engine read lock, so the version check, the
+// recompile and the upcoming execution all see one consistent catalog.
+func (s *Stmt) resolve(gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
+	e := s.e
+	status := cacheBypass
+	if e.cache != nil {
+		cp, st := e.cache.get(s.key, e.cat.Version())
+		if cp != nil {
+			return cp, st, nil
+		}
+		status = st
+	}
+	// Reparse rather than retain the AST: the binder's flattening pass may
+	// rewrite shared sub-structures of a parsed tree, so each compilation
+	// starts from pristine source. Parsing is trivially cheap next to
+	// optimization.
+	stmt, err := sql.Parse(s.src)
+	if err != nil {
+		return nil, status, err
+	}
+	sel := stmt.(*sql.Select) // checked at Prepare
+	cp, err := e.compileSelect(sel, s.key.text, s.mode, gov, trace)
+	if err != nil {
+		return nil, status, err
+	}
+	// Degraded plans are transient artifacts of one run's optimizer budget;
+	// caching one would pin a known-worse plan past the pressure that
+	// produced it.
+	if e.cache != nil && !cp.info.Degraded {
+		e.reg.ObserveEviction(e.cache.put(s.key, cp))
+	}
+	return cp, status, nil
+}
+
+// Text returns the statement's original SQL.
+func (s *Stmt) Text() string { return s.src }
+
+// NumParams returns the number of `?` placeholders the statement takes.
+func (s *Stmt) NumParams() int { return s.n }
+
+// Query executes the prepared statement with the given parameter values
+// and materializes the result. Arguments map positionally onto the
+// statement's `?` placeholders: int/int64, float64, string and bool are
+// accepted (ints coerce into float slots).
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query under a context: cancellation and deadlines abort
+// the run at page-IO granularity with ErrCanceled.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (res *Result, err error) {
+	defer recoverToError(&err, s.src)
+	rows, err := s.openRows(ctx, args, rowsOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryRows executes the prepared statement and returns a streaming
+// iterator. The caller must Close the Rows (or drain it).
+func (s *Stmt) QueryRows(ctx context.Context, args ...any) (r *Rows, err error) {
+	defer recoverToError(&err, s.src)
+	return s.openRows(ctx, args, rowsOptions{})
+}
+
+// ExplainAnalyze executes the prepared statement cold (buffer pool
+// dropped) and returns the annotated plan, including the plan-cache
+// provenance of this run ("hit" when the cached plan was reused).
+func (s *Stmt) ExplainAnalyze(ctx context.Context, args ...any) (a *AnalyzeInfo, err error) {
+	defer recoverToError(&err, s.src)
+	return analyzeRows(s.openRows(ctx, args, rowsOptions{cold: true, trace: true}))
+}
+
+// openRows converts the arguments and opens a run through the engine's
+// shared open path, flagged as prepared so the plan comes from the cache.
+func (s *Stmt) openRows(ctx context.Context, args []any, opt rowsOptions) (*Rows, error) {
+	vals, err := paramValues(args)
+	if err != nil {
+		return nil, err
+	}
+	opt.stmt = s
+	opt.params = vals
+	return s.e.openRows(ctx, nil, s.src, opt)
+}
+
+// paramValues converts Go arguments to engine values.
+func paramValues(args []any) ([]types.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	vals := make([]types.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			vals[i] = types.NewInt(int64(v))
+		case int32:
+			vals[i] = types.NewInt(int64(v))
+		case int64:
+			vals[i] = types.NewInt(v)
+		case float32:
+			vals[i] = types.NewFloat(float64(v))
+		case float64:
+			vals[i] = types.NewFloat(v)
+		case string:
+			vals[i] = types.NewString(v)
+		case bool:
+			vals[i] = types.NewBool(v)
+		case types.Value:
+			vals[i] = v
+		default:
+			return nil, fmt.Errorf("aggview: parameter ?%d: unsupported argument type %T", i+1, a)
+		}
+	}
+	return vals, nil
+}

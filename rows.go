@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"aggview/internal/binder"
 	"aggview/internal/core"
 	"aggview/internal/exec"
 	"aggview/internal/obs"
@@ -48,13 +47,15 @@ type Rows struct {
 	closeMu sync.Mutex
 }
 
-// queryRun carries one query's execution state from open to finish: the
+// queryRun carries one run's execution state from open to finish: the
 // governor, the metrics collector, the query's storage session, and the
 // idempotent finish hook that releases the engine and publishes metrics.
+// The compiled plan it points at is shared and immutable; everything else
+// here is private to the run.
 type queryRun struct {
 	engine   *Engine
 	src      string
-	bound    *binder.Bound
+	cp       *compiledPlan
 	col      *obs.Collector
 	planInfo *PlanInfo
 	// sess is the query's registered storage session: every page the
@@ -121,6 +122,7 @@ func (qr *queryRun) finish(execErr error) {
 			qm.Degraded = qr.planInfo.Degraded
 			qm.PlansConsidered = qr.planInfo.Search.PlansConsidered
 			qm.Degradations = qr.planInfo.Search.Degradations
+			qm.PlanCache = qr.planInfo.CacheStatus
 		}
 		qr.engine.reg.Observe(qm)
 		if qr.unlock != nil {
@@ -153,20 +155,30 @@ func errClass(err error) string {
 
 // rowsOptions tunes openRows for its different entry points.
 type rowsOptions struct {
-	// mode overrides the engine mode when non-default.
+	// mode overrides the engine mode when non-default (ad-hoc path only;
+	// a prepared statement's mode is fixed at Prepare).
 	mode OptimizerMode
 	// cold drops the buffer pool before executing, so the measured IO
 	// reflects a cold cache (the paper's experimental setting).
 	cold bool
 	// trace enables the optimizer search trace (EXPLAIN paths).
 	trace bool
+	// stmt marks a prepared-statement run: the plan comes from the engine's
+	// plan cache (compiling on miss) instead of an ad-hoc compilation.
+	stmt *Stmt
+	// params are the values bound to the statement's `?` placeholders.
+	params []types.Value
 }
 
-// openRows binds, optimizes and opens a SELECT as a streaming cursor. It
-// acquires the engine's read lock for the whole run (released by
-// queryRun.finish) and registers a per-query storage session, so concurrent
-// queries account and govern their IO independently. Every error path after
-// the governor exists still publishes query metrics.
+// openRows opens a SELECT as a streaming cursor. The compile phase —
+// parse, bind, optimize — runs through compileSelect for ad-hoc statements
+// (every call pays it) or through the prepared statement's cached plan;
+// the run phase builds per-run state only: governor, collector, storage
+// session, and the iterator tree with this run's parameter values bound.
+// The engine's read lock is held for the whole run (released by
+// queryRun.finish) and each run gets its own storage session, so
+// concurrent queries account and govern their IO independently. Every
+// error path after the governor exists still publishes query metrics.
 func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (rows *Rows, err error) {
 	e.mu.RLock()
 	gov, cancel := e.newGovernor(ctx)
@@ -193,37 +205,33 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		}
 	}()
 
-	bound, err := binder.BindSelect(e.cat, sel)
-	if err != nil {
-		return nil, err
-	}
-	qr.bound = bound
-	mode := e.cfg.Mode
-	if opt.mode != ModeDefault {
-		mode = opt.mode
-	}
-
 	var trace *core.SearchTrace
 	if opt.trace {
 		trace = core.NewSearchTrace()
 	}
+
+	var cp *compiledPlan
+	status := cacheBypass
 	endOpt := col.Time("optimize")
-	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov, trace)
+	if opt.stmt != nil {
+		cp, status, err = opt.stmt.resolve(gov, trace)
+	} else {
+		mode := e.cfg.Mode
+		if opt.mode != ModeDefault {
+			mode = opt.mode
+		}
+		cp, err = e.compileSelect(sel, src, mode, gov, trace)
+	}
 	endOpt()
 	if err != nil {
 		return nil, err
 	}
-	qr.planInfo = &PlanInfo{
-		Mode:          usedMode,
-		RequestedMode: mode,
-		Degraded:      usedMode != mode,
-		PlanText:      plan.Explain(),
-		EstimatedCost: plan.Cost,
-		EstimatedRows: plan.Info.Rows,
-		Search:        plan.Stats,
-		Trace:         trace,
-		root:          plan.Root,
+	params, err := checkParams(cp, opt.params)
+	if err != nil {
+		return nil, err
 	}
+	qr.cp = cp
+	qr.planInfo = cp.runInfo(status)
 
 	if opt.cold {
 		// Best-effort cold measurement: with concurrent queries in flight
@@ -232,16 +240,17 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		e.store.ForceDropCaches()
 	}
 	qr.sess = e.store.NewSession(ioHook(gov, col))
-	cur, err := exec.New(e.store).WithSession(qr.sess).WithGovernor(gov).WithCollector(col).OpenCursor(plan.Root)
+	cur, err := exec.New(e.store).WithSession(qr.sess).WithGovernor(gov).WithCollector(col).
+		WithParams(params).OpenCursor(cp.root)
 	if err != nil {
 		return nil, err
 	}
 
-	r := &Rows{cols: bound.ColNames, plan: qr.planInfo, query: qr, cur: cur, remain: -1}
-	if bound.Limit >= 0 {
-		r.remain = bound.Limit
+	r := &Rows{cols: cp.colNames, plan: qr.planInfo, query: qr, cur: cur, remain: -1}
+	if cp.limit >= 0 {
+		r.remain = cp.limit
 	}
-	if len(bound.OrderBy) > 0 {
+	if len(cp.orderBy) > 0 {
 		if err := r.materializeSorted(); err != nil {
 			return nil, err
 		}
@@ -253,7 +262,6 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 // and finishes the run — iteration then reads the in-memory buffer.
 func (r *Rows) materializeSorted() error {
 	qr := r.query
-	bound := qr.bound
 	var raw []types.Row
 	for {
 		row, ok, err := r.cur.Next()
@@ -268,7 +276,7 @@ func (r *Rows) materializeSorted() error {
 		raw = append(raw, row)
 	}
 	sort.SliceStable(raw, func(i, j int) bool {
-		for _, k := range bound.OrderBy {
+		for _, k := range qr.cp.orderBy {
 			c := types.Compare(raw[i][k.Col], raw[j][k.Col])
 			if c == 0 {
 				continue

@@ -1,6 +1,7 @@
 package aggview
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -49,14 +50,15 @@ func TestStdDevDecomposesThroughOptimizer(t *testing.T) {
 	q := `select e.dno, stddev(e.sal) from emp e, dept d
 	      where e.dno = d.dno group by e.dno`
 
-	tradRes, tradInfo, _, err := eng.QueryWithMode(q, Traditional)
+	tradRes, err := eng.QueryMode(context.Background(), q, Traditional)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pushRes, pushInfo, _, err := eng.QueryWithMode(q, PushDown)
+	pushRes, err := eng.QueryMode(context.Background(), q, PushDown)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tradInfo, pushInfo := tradRes.Plan, pushRes.Plan
 	if pushInfo.EstimatedCost > tradInfo.EstimatedCost+1e-6 {
 		t.Fatalf("push-down regressed: %g vs %g", pushInfo.EstimatedCost, tradInfo.EstimatedCost)
 	}
@@ -178,7 +180,7 @@ func TestStdDevNestedSubquery(t *testing.T) {
 	      where e1.sal > 2 * (select stddev(e2.sal) from emp e2 where e2.dno = e1.dno)`
 	var first *Result
 	for _, mode := range []OptimizerMode{Traditional, Full} {
-		res, _, _, err := e.QueryWithMode(q, mode)
+		res, err := e.QueryMode(context.Background(), q, mode)
 		if err != nil {
 			t.Fatalf("[%v] %v", mode, err)
 		}
