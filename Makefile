@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race stress bench gobench check
+.PHONY: build vet staticcheck test race stress crash bench gobench check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ race:
 stress:
 	$(GO) test -race -count=2 -run 'TestConcurrent' .
 
+# crash runs the durability suite at full resolution: the WAL-level crash
+# sweep plus the engine-level sweeps that kill the log at every write
+# offset (clean and torn) and assert exact recovery. `go test ./...` runs
+# the same tests; this target pins them by name so a sweep regression
+# fails loudly even if someone narrows the default test run.
+crash:
+	$(GO) test -run 'TestCrash|TestTorn|TestRecovery|TestBulkLoadCrashPrefix|TestPlanCacheInvalidationAcrossRecovery|TestDurable' ./internal/wal .
+
 # bench emits a machine-readable benchmark snapshot: the paper's example
 # queries per optimizer mode, estimated cost next to measured cold page IO.
 # Committing the dated file makes plan-quality regressions show up as diffs.
@@ -44,5 +52,5 @@ gobench:
 
 # check is the tier-1 gate: static analysis plus the full test suite
 # (including the chaos fault sweeps) under the race detector, then the
-# doubled concurrency stress pass.
-check: vet staticcheck race stress
+# doubled concurrency stress pass and the full-resolution crash sweep.
+check: vet staticcheck race stress crash

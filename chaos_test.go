@@ -135,6 +135,107 @@ func TestChaosSweepWarehouse(t *testing.T) {
 	}
 }
 
+// TestChaosSweepPreparedStmt (satellite of the durability PR): the fault
+// sweep driven through Stmt.QueryContext instead of ad-hoc Query, so every
+// cached-plan execution path — parameter binding, plan-cache lookup, and
+// the shared compiled plan — sees a fault at every charged IO index. Each
+// injected run must fail with a clean error wrapping ErrInjected (never a
+// recovered panic), leak zero spill files, and leave both the Stmt and the
+// engine fully usable.
+func TestChaosSweepPreparedStmt(t *testing.T) {
+	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
+	ctx := context.Background()
+
+	st, err := eng.Prepare(`select p.brand, l.qty from lineitem l, part p, part_qty v
+		 where l.partkey = p.partkey and v.partkey = p.partkey
+		   and p.brand < ? and l.qty < v.aqty`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow, err := eng.Prepare(`select count(*) from part`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFollow, err := follow.QueryContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFollow := rowsFingerprint(cleanFollow)
+
+	// Clean cold run sizes the sweep. DropCaches clears data pages but the
+	// compiled plan survives in the plan cache, so every sweep run exercises
+	// the cached-plan path with an identical IO sequence.
+	eng.ClearFault()
+	eng.DropCaches()
+	eng.InjectFault(aggview.FaultPlan{FailAt: -1})
+	clean, err := st.QueryContext(ctx, int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ios := eng.FaultIOCount()
+	eng.ClearFault()
+	if ios == 0 {
+		t.Fatal("prepared query charged no IO; the sweep would be vacuous")
+	}
+	want := rowsFingerprint(clean)
+	if clean.Plan.CacheStatus != "hit" {
+		t.Fatalf("prepared clean run cache status %q, want hit", clean.Plan.CacheStatus)
+	}
+
+	step := int64(1)
+	if testing.Short() {
+		step = ios/16 + 1
+	}
+	for i := int64(0); i < ios; i += step {
+		eng.DropCaches()
+		eng.InjectFault(aggview.FaultPlan{FailAt: i})
+		_, err := st.QueryContext(ctx, int64(5))
+		if err == nil {
+			t.Fatalf("FailAt=%d: expected an error", i)
+		}
+		if !errors.Is(err, aggview.ErrInjected) {
+			t.Fatalf("FailAt=%d: err = %v, want wrapped ErrInjected", i, err)
+		}
+		if errors.Is(err, aggview.ErrInternal) {
+			t.Fatalf("FailAt=%d: fault surfaced as a recovered panic: %v", i, err)
+		}
+		if leaks := eng.LiveTempFiles(); len(leaks) != 0 {
+			t.Fatalf("FailAt=%d: leaked spill files %v", i, leaks)
+		}
+		// Both the failed Stmt and an independent prepared query keep working.
+		eng.ClearFault()
+		fres, err := follow.QueryContext(ctx)
+		if err != nil {
+			t.Fatalf("FailAt=%d: follow-up failed: %v", i, err)
+		}
+		if rowsFingerprint(fres) != wantFollow {
+			t.Fatalf("FailAt=%d: follow-up answer changed", i)
+		}
+	}
+
+	// The swept Stmt still produces the clean answer, still from cache, and
+	// different parameter values still work.
+	eng.DropCaches()
+	again, err := st.QueryContext(ctx, int64(5))
+	if err != nil {
+		t.Fatalf("after sweep: %v", err)
+	}
+	if rowsFingerprint(again) != want {
+		t.Fatal("prepared answer changed after fault sweep")
+	}
+	if again.Plan.CacheStatus != "hit" {
+		t.Fatalf("post-sweep cache status %q, want hit", again.Plan.CacheStatus)
+	}
+	wide, err := st.QueryContext(ctx, int64(1<<30))
+	if err != nil {
+		t.Fatalf("re-parameterized run: %v", err)
+	}
+	if wide.Len() < again.Len() {
+		t.Fatalf("brand < huge returned fewer rows (%d) than brand < 5 (%d)", wide.Len(), again.Len())
+	}
+	t.Logf("swept %d IO indexes (step %d)", (ios+step-1)/step, step)
+}
+
 // TestChaosProbabilisticStorm runs the suite under seeded random faults and
 // checks the same invariants: wrapped errors, no leaks, eventual recovery.
 func TestChaosProbabilisticStorm(t *testing.T) {

@@ -81,6 +81,14 @@ func main() {
 			fmt.Printf("prepared:   N=%-3d %-14s %6.1f qps (%d queries in %.1fms)\n",
 				pr.Concurrency, pr.Variant, pr.QPS, pr.Queries, pr.ElapsedMS)
 		}
+		for _, dr := range snap.Durability {
+			fmt.Printf("durability: N=%-3d %-14s %6.1f qps (%d statements in %.1fms)\n",
+				dr.Concurrency, dr.Variant, dr.QPS, dr.Statements, dr.ElapsedMS)
+		}
+		if r := snap.Recovery; r != nil {
+			fmt.Printf("recovery:   %.1fms to reopen %d on-disk bytes (checkpoint + log replay)\n",
+				r.RecoverMS, r.WALBytes)
+		}
 		return
 	}
 

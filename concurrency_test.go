@@ -407,3 +407,111 @@ func TestConcurrentDDLSerializesWithQueries(t *testing.T) {
 		t.Errorf("scratch table rows = %v, want 30", res.Rows)
 	}
 }
+
+// TestForceDropCachesBypassAudit (satellite of the durability PR): the
+// engine reaches Store.ForceDropCaches/ForceResetStats — which bypass the
+// store's ErrStoreBusy session guard — from exactly two places, and both
+// must be unable to surface a half-dropped cache to a concurrent reader.
+//
+//  1. Engine.DropCaches/ResetIOStats take the engine's exclusive lock,
+//     which every query (including a streaming Rows) holds in read mode
+//     for its whole run. The first half of the test proves the exclusion:
+//     DropCaches cannot complete while a streaming cursor is open.
+//  2. The cold-measurement path (QueryMode) drops the pool under a read
+//     lock, concurrent with other readers. The pool tracks page identity
+//     only — no data, no dirty state — so the second half hammers cold
+//     runs against plain readers and asserts every answer stays exact.
+func TestForceDropCachesBypassAudit(t *testing.T) {
+	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
+	ctx := context.Background()
+
+	// Part 1: the exclusive path cannot interleave with a live reader.
+	rows, err := eng.QueryRows(ctx, `select l.orderkey from lineitem l`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("cursor returned no rows: %v", rows.Err())
+	}
+	dropped := make(chan struct{})
+	go func() {
+		eng.DropCaches()
+		close(dropped)
+	}()
+	select {
+	case <-dropped:
+		t.Fatal("DropCaches completed while a streaming reader held the engine")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-dropped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DropCaches still blocked after the reader closed")
+	}
+
+	// Part 2: cold runs (read-locked ForceDropCaches) race plain readers.
+	queries := []string{
+		`select p.brand, max(v.aqty) from part p, part_qty v
+		 where v.partkey = p.partkey group by p.brand having max(v.aqty) > 10`,
+		`select c.nation, count(*) as n from customer c, orders o
+		 where o.custkey = c.custkey group by c.nation order by n desc limit 3`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rowsFingerprint(res)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 3; w++ { // plain readers: warm or cold pool, same answer
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (w + i) % len(queries)
+				res, err := eng.Query(queries[qi])
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+				if rowsFingerprint(res) != want[qi] {
+					errCh <- fmt.Errorf("reader %d: query %d answer changed under cache drops", w, qi)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ { // cold runs: ForceDropCaches under the read lock
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (w + i) % len(queries)
+				res, err := eng.QueryMode(ctx, queries[qi], aggview.Full)
+				if err != nil {
+					errCh <- fmt.Errorf("cold runner %d: %w", w, err)
+					return
+				}
+				if rowsFingerprint(res) != want[qi] {
+					errCh <- fmt.Errorf("cold runner %d: query %d answer changed", w, qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if leaks := eng.LiveTempFiles(); len(leaks) != 0 {
+		t.Fatalf("leaked spill files %v", leaks)
+	}
+}

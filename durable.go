@@ -1,0 +1,391 @@
+package aggview
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"aggview/internal/catalog"
+	"aggview/internal/obs"
+	"aggview/internal/schema"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+	"aggview/internal/wal"
+)
+
+// Durable mode. An engine opened with Config.DataDir set writes every
+// catalog/data mutation to a write-ahead log before acknowledging it, takes
+// periodic checkpoint snapshots, and recovers its exact state — schemas,
+// heap page layout, statistics, index buckets, and the catalog version that
+// drives plan-cache invalidation — when reopened after a crash.
+//
+// The protocol is redo-only and rides on the engine's existing exclusive
+// write lock: a mutation is applied in memory, appended to the log, and
+// fsynced, all before the lock is released — so no reader ever observes
+// state that is not durable, and the log's LSN order is the commit order.
+// If any log write fails, the engine marks itself dead: the in-memory state
+// may then be ahead of the disk, so every subsequent operation is refused
+// with ErrEngineDead until the process reopens the directory and recovers.
+
+var (
+	// ErrCrashed is the injected crash-point error; see Engine.InjectWALCrash.
+	ErrCrashed = wal.ErrCrashed
+	// ErrCorrupt is wrapped by OpenDurable when recovery finds unrecoverable
+	// log or checkpoint damage: a checksum failure or short frame in any
+	// segment but the last (in the last segment it is a torn tail — end of
+	// log — and is truncated), an LSN discontinuity, a damaged checkpoint,
+	// or a CRC-valid record that fails to decode.
+	ErrCorrupt = wal.ErrCorrupt
+	// ErrEngineDead is wrapped by every operation after a durability write
+	// has failed. The engine's memory may be ahead of its log; reopen the
+	// data directory to recover to the last acknowledged state.
+	ErrEngineDead = errors.New("aggview: engine failed a durability write; reopen the data directory to recover")
+)
+
+// CrashPlan configures deterministic crash injection on the write-ahead
+// log; see Engine.InjectWALCrash.
+type CrashPlan = wal.CrashPlan
+
+// DefaultCheckpointBytes is the default auto-checkpoint threshold: a
+// checkpoint is taken when this many log bytes accumulate since the last.
+const DefaultCheckpointBytes = 4 << 20
+
+// insertBatchRows caps rows per logged Insert record. Consecutive inserts
+// into one table batch into a single record flushed at commit, so a bulk
+// load costs a handful of fsyncs, not one per row.
+const insertBatchRows = 4096
+
+// walState is the durable engine's logging half: it implements
+// catalog.Logger, turning top-level catalog mutations into log records, and
+// owns commit (flush + fsync + auto-checkpoint). All fields are guarded by
+// the engine's exclusive write lock, under which every mutation runs.
+type walState struct {
+	log             *wal.Log
+	cat             *catalog.Catalog
+	checkpointBytes int64
+
+	// Pending insert batch: consecutive Insert hooks for one table
+	// accumulate here and flush as one record.
+	pendTable   string
+	pendRows    []types.Row
+	pendVersion int64
+
+	// dead records the first durability failure; once set, the engine
+	// refuses all further operations.
+	dead error
+}
+
+// deadErr wraps the stored failure so callers can match both
+// ErrEngineDead and the root cause (e.g. ErrCrashed) with errors.Is.
+func (w *walState) deadErr() error { return errors.Join(ErrEngineDead, w.dead) }
+
+// fail marks the engine dead with the first failure and returns it.
+func (w *walState) fail(err error) error {
+	if w.dead == nil {
+		w.dead = err
+	}
+	return err
+}
+
+// append logs one record carrying the current (post-mutation) catalog
+// version, flushing any pending insert batch first to preserve log order.
+func (w *walState) append(rec wal.Record) error {
+	if err := w.flushInserts(); err != nil {
+		return err
+	}
+	return w.appendAt(w.cat.Version(), rec)
+}
+
+func (w *walState) appendAt(version int64, rec wal.Record) error {
+	if w.dead != nil {
+		return w.deadErr()
+	}
+	if _, err := w.log.Append(version, rec); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// flushInserts emits the pending insert batch as one record.
+func (w *walState) flushInserts() error {
+	if len(w.pendRows) == 0 {
+		return nil
+	}
+	rec := wal.Insert{Table: w.pendTable, Rows: w.pendRows}
+	version := w.pendVersion
+	w.pendTable, w.pendRows = "", nil
+	return w.appendAt(version, rec)
+}
+
+// commit makes everything logged in the current write operation durable:
+// flush the insert batch, fsync, and checkpoint when enough log has
+// accumulated. Called before the engine's write lock is released.
+func (w *walState) commit() error {
+	if w.dead != nil {
+		return w.deadErr()
+	}
+	if err := w.flushInserts(); err != nil {
+		return err
+	}
+	if err := w.log.Sync(); err != nil {
+		return w.fail(err)
+	}
+	if w.checkpointBytes > 0 && w.log.SizeSinceCheckpoint() >= w.checkpointBytes {
+		if err := w.log.WriteCheckpoint(w.cat.EncodeSnapshot()); err != nil {
+			return w.fail(err)
+		}
+	}
+	return nil
+}
+
+// catalog.Logger implementation: one hook per top-level mutation.
+
+func (w *walState) CreateTable(name string, cols []schema.Column, pk []string, fks []schema.ForeignKey) error {
+	rec := wal.CreateTable{Name: name, PrimaryKey: pk}
+	rec.Cols = make([]wal.ColumnDef, len(cols))
+	for i, c := range cols {
+		rec.Cols[i] = wal.ColumnDef{Name: c.ID.Name, Type: c.Type}
+	}
+	for _, fk := range fks {
+		rec.ForeignKeys = append(rec.ForeignKeys, wal.ForeignKeyDef{
+			Cols: fk.Cols, RefTable: fk.RefTable, RefCols: fk.RefCols,
+		})
+	}
+	return w.append(rec)
+}
+
+func (w *walState) CreateView(name string, cols []string, sql string) error {
+	return w.append(wal.CreateView{Name: name, Cols: cols, SQL: sql})
+}
+
+func (w *walState) CreateIndex(name, table string, cols []string) error {
+	return w.append(wal.CreateIndex{Name: name, Table: table, Cols: cols})
+}
+
+func (w *walState) DropTable(name string) error {
+	return w.append(wal.DropTable{Name: name})
+}
+
+func (w *walState) Insert(table string, row types.Row) error {
+	if w.dead != nil {
+		return w.deadErr()
+	}
+	if w.pendTable != "" && w.pendTable != table {
+		if err := w.flushInserts(); err != nil {
+			return err
+		}
+	}
+	w.pendTable = table
+	w.pendRows = append(w.pendRows, row)
+	w.pendVersion = w.cat.Version()
+	if len(w.pendRows) >= insertBatchRows {
+		return w.flushInserts()
+	}
+	return nil
+}
+
+func (w *walState) Analyze(table string) error {
+	return w.append(wal.Analyze{Table: table})
+}
+
+// OpenDurable opens an engine backed by the write-ahead log in
+// cfg.DataDir, creating the directory on first use and recovering the
+// previous state otherwise: the latest checkpoint snapshot is restored and
+// the log tail is replayed in LSN order. A torn final record (a crash
+// mid-write) is truncated and recovery succeeds; checksum or format damage
+// anywhere else fails with an error rather than serving partial state.
+func OpenDurable(cfg Config) (*Engine, error) {
+	cfg = resolveConfig(cfg)
+	if cfg.DataDir == "" {
+		return nil, errors.New("aggview: OpenDurable requires Config.DataDir")
+	}
+	log, rec, err := wal.Open(cfg.DataDir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	st := storage.NewStore(cfg.PoolPages)
+	var cat *catalog.Catalog
+	if rec.Snapshot != nil {
+		cat, err = catalog.DecodeSnapshot(st, rec.Snapshot)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+	} else {
+		cat = catalog.New(st)
+	}
+	for _, entry := range rec.Entries {
+		if err := applyRecord(cat, entry.Rec); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("aggview: recovery: replay LSN %d (%s): %w", entry.LSN, entry.Rec.Kind(), err)
+		}
+	}
+	if n := len(rec.Entries); n > 0 {
+		// Replay bumps the version once per replayed call, which can
+		// undercount the original sequence (batched insert records); pin it
+		// to the persisted value so the recovered engine's version — and the
+		// plan-cache invalidation it drives — continues exactly.
+		cat.RestoreVersion(rec.Entries[n-1].Version)
+	}
+	w := &walState{log: log, cat: cat, checkpointBytes: cfg.CheckpointBytes}
+	// The logger goes in only after replay: recovered operations must not be
+	// re-logged.
+	cat.SetLogger(w)
+	return &Engine{
+		store: st, cat: cat, cfg: cfg,
+		reg: obs.NewRegistry(), mu: &sync.RWMutex{}, cache: newCacheFor(cfg),
+		wal: w,
+	}, nil
+}
+
+// applyRecord redoes one logged mutation against the recovering catalog.
+// The catalog has no logger during replay, and each record's replay is a
+// plain re-execution of the original call, so the resulting state —
+// including heap layout and index staleness — matches the pre-crash engine.
+func applyRecord(cat *catalog.Catalog, rec wal.Record) error {
+	switch r := rec.(type) {
+	case wal.CreateTable:
+		cols := make([]schema.Column, len(r.Cols))
+		for i, c := range r.Cols {
+			cols[i] = schema.Column{ID: schema.ColID{Name: c.Name}, Type: c.Type}
+		}
+		var fks []schema.ForeignKey
+		for _, fk := range r.ForeignKeys {
+			fks = append(fks, schema.ForeignKey{Cols: fk.Cols, RefTable: fk.RefTable, RefCols: fk.RefCols})
+		}
+		_, err := cat.CreateTable(r.Name, cols, r.PrimaryKey, fks)
+		return err
+	case wal.CreateView:
+		_, err := cat.CreateView(r.Name, r.Cols, r.SQL)
+		return err
+	case wal.CreateIndex:
+		_, err := cat.CreateIndex(r.Name, r.Table, r.Cols)
+		return err
+	case wal.DropTable:
+		return cat.DropTable(r.Name)
+	case wal.Insert:
+		tbl, ok := cat.Table(r.Table)
+		if !ok {
+			return fmt.Errorf("insert into unknown table %q", r.Table)
+		}
+		for _, row := range r.Rows {
+			if err := cat.Insert(tbl, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case wal.Analyze:
+		tbl, ok := cat.Table(r.Table)
+		if !ok {
+			return fmt.Errorf("analyze of unknown table %q", r.Table)
+		}
+		return cat.Analyze(tbl)
+	default:
+		return fmt.Errorf("unknown record type %T", rec)
+	}
+}
+
+// walAlive reports the dead-engine error, if any. Callers hold at least
+// the engine's read lock; dead is only written under the write lock.
+func (e *Engine) walAlive() error {
+	if e.wal != nil && e.wal.dead != nil {
+		return e.wal.deadErr()
+	}
+	return nil
+}
+
+// walCommit runs the durability commit under the already-held write lock;
+// a no-op for in-memory engines.
+func (e *Engine) walCommit(opErr error) error {
+	if e.wal == nil {
+		return opErr
+	}
+	if cerr := e.wal.commit(); cerr != nil && opErr == nil {
+		return cerr
+	}
+	return opErr
+}
+
+// Durable reports whether the engine is backed by a write-ahead log.
+func (e *Engine) Durable() bool { return e.wal != nil }
+
+// CatalogVersion returns the catalog's monotonic schema/stats version. On
+// a durable engine the version is persisted in every log record, so a
+// recovered engine continues the crashed engine's sequence — which is what
+// keeps plan-cache invalidation sound across recovery.
+func (e *Engine) CatalogVersion() int64 { return e.cat.Version() }
+
+// StateFingerprint returns a digest of the engine's complete logical state:
+// schemas, views, heap page layout, statistics, and index contents. Two
+// engines with equal fingerprints are indistinguishable to the optimizer
+// and executor — the crash-recovery tests' equivalence oracle.
+func (e *Engine) StateFingerprint() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sum := sha256.Sum256(e.cat.EncodeSnapshot())
+	return hex.EncodeToString(sum[:])
+}
+
+// Checkpoint forces a checkpoint: the full catalog state is snapshotted to
+// disk and obsolete log segments are deleted, bounding future recovery
+// time. It blocks until in-flight queries finish. An error on an
+// in-memory engine.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return errors.New("aggview: Checkpoint requires a durable engine (Config.DataDir)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.walAlive(); err != nil {
+		return err
+	}
+	if err := e.wal.flushInserts(); err != nil {
+		return err
+	}
+	if err := e.wal.log.WriteCheckpoint(e.cat.EncodeSnapshot()); err != nil {
+		return e.wal.fail(err)
+	}
+	return nil
+}
+
+// Close releases the engine's durable resources, syncing and closing the
+// write-ahead log. In-memory engines close trivially. The engine must not
+// be used after Close.
+func (e *Engine) Close() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal.log.Close()
+}
+
+// InjectWALCrash arms deterministic crash injection on the write-ahead
+// log: the plan's Nth subsequent physical log write fails — torn, if
+// requested, with only a prefix persisted — and the engine behaves like a
+// killed process from that point: the failing operation returns ErrCrashed
+// and everything after returns ErrEngineDead. Reopening the data directory
+// with OpenDurable recovers the last acknowledged state. A nil plan
+// disarms. No-op on in-memory engines.
+func (e *Engine) InjectWALCrash(p *CrashPlan) {
+	if e.wal == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal.log.InjectCrash(p)
+}
+
+// WALWrites reports the physical log writes since the last InjectWALCrash
+// (or since open) — the sweep bound for crash-injection harnesses. Zero on
+// in-memory engines.
+func (e *Engine) WALWrites() int64 {
+	if e.wal == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal.log.Writes()
+}

@@ -125,6 +125,18 @@ type Config struct {
 	// 0 means DefaultPlanCacheSize; negative disables plan caching — every
 	// execution of a prepared statement then recompiles.
 	PlanCacheSize int
+
+	// DataDir, when non-empty, makes the engine durable: every mutation is
+	// written to a write-ahead log under this directory before it is
+	// acknowledged, and opening the same directory again recovers the
+	// previous state (see OpenDurable). Empty means a purely in-memory
+	// engine, exactly as before.
+	DataDir string
+	// CheckpointBytes triggers an automatic checkpoint once this many log
+	// bytes accumulate since the last one (default DefaultCheckpointBytes;
+	// negative disables auto-checkpointing — Engine.Checkpoint still works).
+	// Ignored for in-memory engines.
+	CheckpointBytes int64
 }
 
 // Engine is a self-contained database instance: storage, catalog,
@@ -157,6 +169,10 @@ type Engine struct {
 	// configuration shapes the plans, so entries cannot cross engines —
 	// while invalidation rides on the shared catalog's version counter.
 	cache *planCache
+	// wal is the durability state for engines opened with Config.DataDir
+	// (nil for in-memory engines). Shared by WithConfig derivatives, which
+	// alias the same catalog and therefore the same log.
+	wal *walState
 }
 
 // resolveConfig fills in the defaults: the pool size, and the explicit
@@ -174,6 +190,9 @@ func resolveConfig(cfg Config) Config {
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = DefaultPlanCacheSize
 	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = DefaultCheckpointBytes
+	}
 	return cfg
 }
 
@@ -185,8 +204,18 @@ func newCacheFor(cfg Config) *planCache {
 	return newPlanCache(cfg.PlanCacheSize)
 }
 
-// Open creates an empty engine.
+// Open creates an engine: in-memory by default, or durable when
+// cfg.DataDir is set — then it opens (and recovers) the data directory via
+// OpenDurable and panics on failure. Code that must handle recovery errors
+// gracefully should call OpenDurable directly.
 func Open(cfg Config) *Engine {
+	if cfg.DataDir != "" {
+		e, err := OpenDurable(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("aggview: Open(%q): %v", cfg.DataDir, err))
+		}
+		return e
+	}
 	cfg = resolveConfig(cfg)
 	st := storage.NewStore(cfg.PoolPages)
 	return &Engine{
@@ -208,10 +237,14 @@ func OpenWithMode(cfg Config, mode OptimizerMode) *Engine {
 // cannot be resized).
 func (e *Engine) WithConfig(cfg Config) *Engine {
 	cfg.PoolPages = e.cfg.PoolPages
+	// Durability is a property of the shared store/catalog, not of the
+	// derived view: the receiver's log (if any) carries over and DataDir
+	// cannot be changed here.
+	cfg.DataDir = e.cfg.DataDir
 	cfg = resolveConfig(cfg)
 	return &Engine{
 		store: e.store, cat: e.cat, cfg: cfg,
-		reg: e.reg, mu: e.mu, cache: newCacheFor(cfg),
+		reg: e.reg, mu: e.mu, cache: newCacheFor(cfg), wal: e.wal,
 	}
 }
 
@@ -324,14 +357,20 @@ func (e *Engine) Views() []string {
 func (e *Engine) LoadEmpDept(spec EmpDeptSpec) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return datagen.LoadEmpDept(e.cat, spec)
+	if err := e.walAlive(); err != nil {
+		return err
+	}
+	return e.walCommit(datagen.LoadEmpDept(e.cat, spec))
 }
 
 // LoadTPCD populates the TPC-D-like star schema.
 func (e *Engine) LoadTPCD(spec TPCDSpec) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return datagen.LoadTPCD(e.cat, spec)
+	if err := e.walAlive(); err != nil {
+		return err
+	}
+	return e.walCommit(datagen.LoadTPCD(e.cat, spec))
 }
 
 // Exec parses and executes one statement. DDL and INSERT return an empty
@@ -440,10 +479,23 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (
 
 // execWrite executes a statement that mutates shared engine state (DDL,
 // INSERT, ANALYZE) under the exclusive engine lock: it waits for in-flight
-// queries to finish and blocks new ones while it runs.
+// queries to finish and blocks new ones while it runs. On a durable engine
+// the mutation is committed — logged and fsynced — before the lock is
+// released, so it is durable before any reader can observe it.
 func (e *Engine) execWrite(stmt sql.Statement) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.walAlive(); err != nil {
+		return nil, err
+	}
+	res, err := e.execWriteLocked(stmt)
+	if err = e.walCommit(err); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) execWriteLocked(stmt sql.Statement) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sql.CreateTable:
 		cols := make([]schema.Column, len(t.Cols))

@@ -78,6 +78,26 @@ func (ix *HashIndex) Entries() int {
 	return n
 }
 
+// Logger observes top-level catalog mutations, one call per logical
+// operation the user performed. The durable engine installs a write-ahead
+// logging implementation; a nil logger (the default) makes every hook a
+// no-op. Nested mutations — CreateIndex invoking Analyze internally — are
+// not reported: replaying the outer operation reproduces the nested
+// effects, so logging both would double-apply them.
+//
+// A hook fires after the in-memory mutation succeeded. If the hook returns
+// an error the catalog state is ahead of the log; the caller must treat
+// the catalog as failed (the durable engine marks itself dead and refuses
+// further work until reopened from disk).
+type Logger interface {
+	CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) error
+	CreateView(name string, cols []string, sql string) error
+	CreateIndex(name, table string, cols []string) error
+	DropTable(name string) error
+	Insert(table string, row types.Row) error
+	Analyze(table string) error
+}
+
 // Catalog is the metadata root.
 type Catalog struct {
 	store  *storage.Store
@@ -87,7 +107,35 @@ type Catalog struct {
 	// statistics refreshes each bump it. Cached plans record the version
 	// they were compiled under; a mismatch at lookup time invalidates them.
 	version atomic.Int64
+
+	// logger, when set, receives top-level mutations; opDepth suppresses
+	// hooks for nested calls. Both are manipulated only under the engine's
+	// write lock, which serializes all mutations.
+	logger  Logger
+	opDepth int
 }
+
+// SetLogger installs (or, with nil, removes) the mutation logger. The
+// durable engine sets it after recovery replay, so replayed operations are
+// not re-logged.
+func (c *Catalog) SetLogger(l Logger) { c.logger = l }
+
+// enter/exit bracket a public mutation; hooks fire only at depth 1.
+func (c *Catalog) enter() { c.opDepth++ }
+func (c *Catalog) exit()  { c.opDepth-- }
+
+func (c *Catalog) topLevel() Logger {
+	if c.logger != nil && c.opDepth == 1 {
+		return c.logger
+	}
+	return nil
+}
+
+// RestoreVersion pins the version counter, used at the end of recovery so
+// a reopened engine continues the crashed engine's persisted version
+// sequence exactly (replay's own bumps can undercount when some mutations
+// were batched into one record).
+func (c *Catalog) RestoreVersion(v int64) { c.version.Store(v) }
 
 // Version returns the catalog's monotonic schema/stats version. It starts
 // at zero and increases on every CreateTable/CreateView/CreateIndex/
@@ -109,6 +157,8 @@ func (c *Catalog) Store() *storage.Store { return c.store }
 // carry Rel equal to the table name or be unqualified (they are qualified
 // automatically).
 func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) (*Table, error) {
+	c.enter()
+	defer c.exit()
 	lname := strings.ToLower(name)
 	if _, ok := c.tables[lname]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
@@ -153,11 +203,18 @@ func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []st
 	}
 	c.tables[lname] = t
 	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.CreateTable(t.Name, t.Schema, t.PrimaryKey, t.ForeignKeys); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
 // CreateView registers a named view.
 func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, error) {
+	c.enter()
+	defer c.exit()
 	lname := strings.ToLower(name)
 	if _, ok := c.tables[lname]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
@@ -172,11 +229,18 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 	v := &View{Name: lname, Cols: lcols, SQL: sql}
 	c.views[lname] = v
 	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.CreateView(v.Name, v.Cols, v.SQL); err != nil {
+			return nil, err
+		}
+	}
 	return v, nil
 }
 
 // DropTable removes a table and its heap file.
 func (c *Catalog) DropTable(name string) error {
+	c.enter()
+	defer c.exit()
 	lname := strings.ToLower(name)
 	t, ok := c.tables[lname]
 	if !ok {
@@ -185,6 +249,11 @@ func (c *Catalog) DropTable(name string) error {
 	c.store.DropFile(t.File)
 	delete(c.tables, lname)
 	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.DropTable(lname); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -222,6 +291,8 @@ func (c *Catalog) ViewNames() []string {
 
 // Insert appends a row to the table, checking arity and kinds.
 func (c *Catalog) Insert(t *Table, row types.Row) error {
+	c.enter()
+	defer c.exit()
 	if len(row) != len(t.Schema) {
 		return fmt.Errorf("table %q: expected %d values, got %d", t.Name, len(t.Schema), len(row))
 	}
@@ -243,7 +314,17 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 			t.Name, t.Schema[i].ID.Name, v.K, want)
 	}
 	c.bump()
-	return c.store.Append(t.File, row)
+	if err := c.store.Append(t.File, row); err != nil {
+		return err
+	}
+	// Logged after the coercion above: the logged row is byte-for-byte what
+	// the heap stores, so replay needs no re-coercion.
+	if l := c.topLevel(); l != nil {
+		if err := l.Insert(t.Name, row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FlushTable flushes the table's partial tail page.
@@ -251,6 +332,8 @@ func (c *Catalog) FlushTable(t *Table) error { return c.store.Flush(t.File) }
 
 // Analyze scans the table and recomputes statistics and all indexes.
 func (c *Catalog) Analyze(t *Table) error {
+	c.enter()
+	defer c.exit()
 	if err := c.store.Flush(t.File); err != nil {
 		return err
 	}
@@ -309,11 +392,18 @@ func (c *Catalog) Analyze(t *Table) error {
 	stats.Pages = t.File.Pages()
 	t.Stats = stats
 	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.Analyze(t.Name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // CreateIndex registers a hash index over the named columns and builds it.
 func (c *Catalog) CreateIndex(name, table string, cols []string) (*HashIndex, error) {
+	c.enter()
+	defer c.exit()
 	t, ok := c.Table(table)
 	if !ok {
 		return nil, fmt.Errorf("table %q does not exist", table)
@@ -335,6 +425,13 @@ func (c *Catalog) CreateIndex(name, table string, cols []string) (*HashIndex, er
 	if err := c.Analyze(t); err != nil {
 		delete(t.Indexes, lname)
 		return nil, err
+	}
+	if l := c.topLevel(); l != nil {
+		// One record for the whole operation; replaying it re-runs the
+		// nested Analyze, so that is deliberately not logged above.
+		if err := l.CreateIndex(ix.Name, ix.Table, ix.Cols); err != nil {
+			return nil, err
+		}
 	}
 	return ix, nil
 }

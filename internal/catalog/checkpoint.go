@@ -1,0 +1,339 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"aggview/internal/schema"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// Checkpoint snapshot codec. EncodeSnapshot serializes the entire catalog —
+// schemas, views, heap contents, statistics and index buckets — into one
+// byte slice the write-ahead log stores as a checkpoint; DecodeSnapshot
+// rebuilds an equivalent catalog over a fresh store.
+//
+// Two equivalence requirements shape the format:
+//
+//   - Heap files are captured page by page (including a partial flushed
+//     page and the unflushed tail), not as a flat row list. Page counts
+//     feed statistics and the cost model, and Flush can produce layouts a
+//     plain re-Append would merge, so "same rows" is not enough — the
+//     recovered engine must plan and charge IO exactly like one that never
+//     crashed.
+//   - Index buckets and statistics are serialized, not recomputed. Both go
+//     stale between Analyze calls by design; rebuilding them at recovery
+//     would hand the recovered engine fresher state than the crashed one
+//     had, and with it different plans.
+//
+// The snapshot travels inside a CRC-checked wal checkpoint, so a decode
+// failure here means corruption (or a format skew) and recovery fails
+// loudly rather than guessing.
+
+const snapMagic = "AGVSNAP1"
+
+// EncodeSnapshot serializes the full catalog state. Iteration orders are
+// sorted so the same state always produces the same bytes.
+func (c *Catalog) EncodeSnapshot() []byte {
+	dst := []byte(snapMagic)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Version()))
+
+	names := c.TableNames()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(names)))
+	for _, name := range names {
+		t := c.tables[name]
+		dst = snapPutString(dst, t.Name)
+
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Schema)))
+		for _, col := range t.Schema {
+			dst = snapPutString(dst, col.ID.Name)
+			dst = append(dst, byte(col.Type))
+		}
+		dst = snapPutStrings(dst, t.PrimaryKey)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.ForeignKeys)))
+		for _, fk := range t.ForeignKeys {
+			dst = snapPutStrings(dst, fk.Cols)
+			dst = snapPutString(dst, fk.RefTable)
+			dst = snapPutStrings(dst, fk.RefCols)
+		}
+
+		// Exact physical layout: flushed pages, then the unflushed tail.
+		pages, tail := c.store.SnapshotFile(t.File)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pages)))
+		for _, page := range pages {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(page)))
+			for _, row := range page {
+				dst = types.EncodeRow(dst, row)
+			}
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(tail)))
+		for _, row := range tail {
+			dst = types.EncodeRow(dst, row)
+		}
+
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Stats.Rows))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Stats.Pages))
+		colNames := make([]string, 0, len(t.Stats.Cols))
+		for cn := range t.Stats.Cols {
+			colNames = append(colNames, cn)
+		}
+		sort.Strings(colNames)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(colNames)))
+		for _, cn := range colNames {
+			cs := t.Stats.Cols[cn]
+			dst = snapPutString(dst, cn)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(cs.NDV))
+			dst = types.EncodeValue(dst, cs.Min)
+			dst = types.EncodeValue(dst, cs.Max)
+		}
+
+		ixNames := make([]string, 0, len(t.Indexes))
+		for in := range t.Indexes {
+			ixNames = append(ixNames, in)
+		}
+		sort.Strings(ixNames)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ixNames)))
+		for _, in := range ixNames {
+			ix := t.Indexes[in]
+			dst = snapPutString(dst, ix.Name)
+			dst = snapPutStrings(dst, ix.Cols)
+			keys := make([]string, 0, len(ix.buckets))
+			for k := range ix.buckets {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+			for _, k := range keys {
+				dst = snapPutString(dst, k)
+				rids := ix.buckets[k]
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rids)))
+				for _, rid := range rids {
+					dst = binary.LittleEndian.AppendUint64(dst, uint64(rid))
+				}
+			}
+		}
+	}
+
+	vnames := c.ViewNames()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vnames)))
+	for _, name := range vnames {
+		v := c.views[name]
+		dst = snapPutString(dst, v.Name)
+		dst = snapPutStrings(dst, v.Cols)
+		dst = snapPutString(dst, v.SQL)
+	}
+	return dst
+}
+
+// DecodeSnapshot rebuilds a catalog over store from an EncodeSnapshot
+// image. The store should be fresh; heap files are recreated with their
+// original page layout and no IO is charged.
+func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
+	r := &snapReader{b: data}
+	if string(r.bytes(len(snapMagic))) != snapMagic {
+		return nil, fmt.Errorf("catalog: snapshot: bad magic")
+	}
+	version := int64(r.u64())
+	c := New(store)
+
+	nt := int(r.u32())
+	for i := 0; i < nt && r.err == nil; i++ {
+		name := r.str()
+		t := &Table{
+			Name:    name,
+			Stats:   TableStats{Cols: map[string]ColStats{}},
+			Indexes: map[string]*HashIndex{},
+		}
+
+		nc := int(r.u32())
+		t.Schema = make(schema.Schema, 0, nc)
+		for j := 0; j < nc && r.err == nil; j++ {
+			cn := r.str()
+			kind := types.Kind(r.u8())
+			t.Schema = append(t.Schema, schema.Column{ID: schema.ColID{Rel: name, Name: cn}, Type: kind})
+		}
+		t.PrimaryKey = r.strs()
+		nf := int(r.u32())
+		for j := 0; j < nf && r.err == nil; j++ {
+			var fk schema.ForeignKey
+			fk.Cols = r.strs()
+			fk.RefTable = r.str()
+			fk.RefCols = r.strs()
+			t.ForeignKeys = append(t.ForeignKeys, fk)
+		}
+
+		np := int(r.u32())
+		pages := make([][]types.Row, 0, np)
+		for j := 0; j < np && r.err == nil; j++ {
+			nr := int(r.u32())
+			page := make([]types.Row, 0, nr)
+			for k := 0; k < nr && r.err == nil; k++ {
+				page = append(page, r.row())
+			}
+			pages = append(pages, page)
+		}
+		ntail := int(r.u32())
+		var tail []types.Row
+		for j := 0; j < ntail && r.err == nil; j++ {
+			tail = append(tail, r.row())
+		}
+
+		t.Stats.Rows = int64(r.u64())
+		t.Stats.Pages = int(r.u32())
+		ncs := int(r.u32())
+		for j := 0; j < ncs && r.err == nil; j++ {
+			cn := r.str()
+			var cs ColStats
+			cs.NDV = int64(r.u64())
+			cs.Min = r.value()
+			cs.Max = r.value()
+			t.Stats.Cols[cn] = cs
+		}
+
+		nix := int(r.u32())
+		for j := 0; j < nix && r.err == nil; j++ {
+			ix := &HashIndex{Table: name, buckets: map[string][]int64{}}
+			ix.Name = r.str()
+			ix.Cols = r.strs()
+			nb := int(r.u32())
+			for k := 0; k < nb && r.err == nil; k++ {
+				key := r.str()
+				nr := int(r.u32())
+				rids := make([]int64, 0, nr)
+				for m := 0; m < nr && r.err == nil; m++ {
+					rids = append(rids, int64(r.u64()))
+				}
+				ix.buckets[key] = rids
+			}
+			t.Indexes[ix.Name] = ix
+		}
+
+		if r.err != nil {
+			break
+		}
+		t.File = store.CreateFile(name)
+		store.RestoreFile(t.File, pages, tail)
+		c.tables[name] = t
+	}
+
+	nv := int(r.u32())
+	for i := 0; i < nv && r.err == nil; i++ {
+		v := &View{}
+		v.Name = r.str()
+		v.Cols = r.strs()
+		v.SQL = r.str()
+		c.views[v.Name] = v
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("catalog: snapshot: %w", r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("catalog: snapshot: %d trailing bytes", len(r.b))
+	}
+	c.RestoreVersion(version)
+	return c, nil
+}
+
+// --- encode/decode helpers --------------------------------------------
+
+func snapPutString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func snapPutStrings(dst []byte, ss []string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ss)))
+	for _, s := range ss {
+		dst = snapPutString(dst, s)
+	}
+	return dst
+}
+
+// snapReader decodes with a latched error so call sites stay linear; after
+// the first failure every read returns a zero value.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated %s (%d bytes left)", what, len(r.b))
+	}
+}
+
+func (r *snapReader) bytes(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.fail("bytes")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *snapReader) u8() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *snapReader) str() string {
+	n := int(r.u32())
+	return string(r.bytes(n))
+}
+
+func (r *snapReader) strs() []string {
+	n := int(r.u32())
+	var out []string
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func (r *snapReader) value() types.Value {
+	if r.err != nil {
+		return types.Value{}
+	}
+	v, rest, err := types.DecodeValue(r.b)
+	if err != nil {
+		r.err = err
+		return types.Value{}
+	}
+	r.b = rest
+	return v
+}
+
+func (r *snapReader) row() types.Row {
+	if r.err != nil {
+		return nil
+	}
+	row, rest, err := types.DecodeRow(r.b)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	r.b = rest
+	return row
+}

@@ -1,0 +1,269 @@
+package catalog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"aggview/internal/schema"
+	"aggview/internal/storage"
+	"aggview/internal/types"
+)
+
+// buildRichCatalog creates a catalog exercising every serialized feature:
+// multiple tables, a partial flushed page plus unflushed tail, stale
+// statistics and index buckets, foreign keys, and views.
+func buildRichCatalog(t *testing.T) (*Catalog, *storage.Store) {
+	t.Helper()
+	st := storage.NewStore(64)
+	c := New(st)
+	emp, err := c.CreateTable("emp", []schema.Column{
+		{ID: schema.ColID{Name: "eno"}, Type: types.KindInt},
+		{ID: schema.ColID{Name: "dno"}, Type: types.KindInt},
+		{ID: schema.ColID{Name: "sal"}, Type: types.KindFloat},
+	}, []string{"eno"}, []schema.ForeignKey{
+		{Cols: []string{"dno"}, RefTable: "dept", RefCols: []string{"dno"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dept, err := c.CreateTable("dept", []schema.Column{
+		{ID: schema.ColID{Name: "dno"}, Type: types.KindInt},
+		{ID: schema.ColID{Name: "dname"}, Type: types.KindString},
+	}, []string{"dno"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Insert(dept, types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("d%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 37; i++ {
+		if err := c.Insert(emp, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 5)), types.NewFloat(1000 + float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Analyze mid-load: Flush creates a partial flushed page, and stats plus
+	// index buckets go stale relative to the rows inserted after.
+	if err := c.Analyze(emp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("emp_dno", "emp", []string{"dno"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 37; i < 50; i++ {
+		if err := c.Insert(emp, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 5)), types.NewFloat(1000 + float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateView("v_sal", []string{"dno", "total"}, "SELECT dno, SUM(sal) FROM emp GROUP BY dno"); err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	c, _ := buildRichCatalog(t)
+	snap := c.EncodeSnapshot()
+
+	st2 := storage.NewStore(64)
+	c2, err := DecodeSnapshot(st2, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism makes re-encoding the strongest equality check: every
+	// serialized facet of the recovered catalog matches the original.
+	snap2 := c2.EncodeSnapshot()
+	if !bytes.Equal(snap, snap2) {
+		t.Fatalf("re-encoded snapshot differs: %d vs %d bytes", len(snap), len(snap2))
+	}
+
+	if c2.Version() != c.Version() {
+		t.Fatalf("version %d != %d", c2.Version(), c.Version())
+	}
+	emp, ok := c2.Table("emp")
+	if !ok {
+		t.Fatal("emp missing")
+	}
+	orig, _ := c.Table("emp")
+	if emp.File.Pages() != orig.File.Pages() || emp.File.Rows() != orig.File.Rows() {
+		t.Fatalf("file layout: %d pages/%d rows, want %d/%d",
+			emp.File.Pages(), emp.File.Rows(), orig.File.Pages(), orig.File.Rows())
+	}
+	if emp.Stats.Rows != orig.Stats.Rows || emp.Stats.Pages != orig.Stats.Pages {
+		t.Fatalf("stats: %+v vs %+v", emp.Stats, orig.Stats)
+	}
+	// Stale stats stay stale: Analyze ran at 37 rows, the file has 50.
+	if emp.Stats.Rows != 37 || emp.File.Rows() != 50 {
+		t.Fatalf("staleness not preserved: stats %d rows, file %d", emp.Stats.Rows, emp.File.Rows())
+	}
+	ix, ok := emp.Indexes["emp_dno"]
+	if !ok {
+		t.Fatal("index missing")
+	}
+	oix := orig.Indexes["emp_dno"]
+	if ix.Entries() != oix.Entries() {
+		t.Fatalf("index entries %d != %d", ix.Entries(), oix.Entries())
+	}
+	want := oix.Lookup([]types.Value{types.NewInt(3)})
+	got := ix.Lookup([]types.Value{types.NewInt(3)})
+	if len(got) != len(want) {
+		t.Fatalf("lookup %d != %d rids", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rid %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	v, ok := c2.View("v_sal")
+	if !ok || v.SQL != "SELECT dno, SUM(sal) FROM emp GROUP BY dno" || len(v.Cols) != 2 {
+		t.Fatalf("view: %+v %v", v, ok)
+	}
+
+	// Fetching restored rows by rid returns the same data as the original.
+	for _, rid := range got {
+		r1, err1 := c.Store().FetchRID(orig.File, rid)
+		r2, err2 := c2.Store().FetchRID(emp.File, rid)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for i := range r1 {
+			if !types.Equal(r1[i], r2[i]) || r1[i].K != r2[i].K {
+				t.Fatalf("rid %d col %d: %s != %s", rid, i, r1[i], r2[i])
+			}
+		}
+	}
+
+	// The restored catalog accepts further mutations cleanly.
+	if err := c2.Insert(emp, types.Row{types.NewInt(50), types.NewInt(0), types.NewFloat(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Version() != c.Version()+1 {
+		t.Fatalf("version after insert %d", c2.Version())
+	}
+}
+
+func TestSnapshotDecodeTruncated(t *testing.T) {
+	c, _ := buildRichCatalog(t)
+	snap := c.EncodeSnapshot()
+	for _, cut := range []int{0, 4, len(snapMagic), len(snap) / 3, len(snap) - 1} {
+		if _, err := DecodeSnapshot(storage.NewStore(64), snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	bad := append([]byte(nil), snap...)
+	bad = append(bad, 0xff)
+	if _, err := DecodeSnapshot(storage.NewStore(64), bad); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+// recordingLogger captures hook invocations as strings.
+type recordingLogger struct {
+	ops  []string
+	fail error
+}
+
+func (r *recordingLogger) CreateTable(name string, cols []schema.Column, pk []string, fks []schema.ForeignKey) error {
+	r.ops = append(r.ops, "create-table "+name)
+	return r.fail
+}
+func (r *recordingLogger) CreateView(name string, cols []string, sql string) error {
+	r.ops = append(r.ops, "create-view "+name)
+	return r.fail
+}
+func (r *recordingLogger) CreateIndex(name, table string, cols []string) error {
+	r.ops = append(r.ops, "create-index "+name)
+	return r.fail
+}
+func (r *recordingLogger) DropTable(name string) error {
+	r.ops = append(r.ops, "drop-table "+name)
+	return r.fail
+}
+func (r *recordingLogger) Insert(table string, row types.Row) error {
+	r.ops = append(r.ops, "insert "+table)
+	return r.fail
+}
+func (r *recordingLogger) Analyze(table string) error {
+	r.ops = append(r.ops, "analyze "+table)
+	return r.fail
+}
+
+// The logger sees exactly one call per top-level operation: CreateIndex's
+// internal Analyze is suppressed.
+func TestLoggerTopLevelGranularity(t *testing.T) {
+	c, tbl := newTestCatalog(t)
+	lg := &recordingLogger{}
+	c.SetLogger(lg)
+	if err := c.Insert(tbl, types.Row{types.NewInt(1), types.NewInt(2), types.NewFloat(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("ix", "emp", []string{"dno"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateView("v", nil, "select 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("emp"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"insert emp", "analyze emp", "create-index ix", "create-view v", "drop-table emp"}
+	if len(lg.ops) != len(want) {
+		t.Fatalf("ops = %v", lg.ops)
+	}
+	for i := range want {
+		if lg.ops[i] != want[i] {
+			t.Fatalf("op %d = %q, want %q", i, lg.ops[i], want[i])
+		}
+	}
+}
+
+// A failing logger propagates its error out of the mutation.
+func TestLoggerErrorPropagates(t *testing.T) {
+	c, tbl := newTestCatalog(t)
+	lg := &recordingLogger{fail: fmt.Errorf("disk gone")}
+	c.SetLogger(lg)
+	if err := c.Insert(tbl, types.Row{types.NewInt(1), types.NewInt(2), types.NewFloat(3)}); err == nil {
+		t.Fatal("logger failure swallowed")
+	}
+}
+
+// The logged Insert row is the post-coercion row actually stored.
+func TestLoggerSeesCoercedRow(t *testing.T) {
+	c, tbl := newTestCatalog(t)
+	var logged types.Row
+	lg := &hookLogger{insert: func(table string, row types.Row) error {
+		logged = append(types.Row(nil), row...)
+		return nil
+	}}
+	c.SetLogger(lg)
+	if err := c.Insert(tbl, types.Row{types.NewInt(1), types.NewInt(2), types.NewInt(900)}); err != nil {
+		t.Fatal(err)
+	}
+	if logged[2].K != types.KindFloat {
+		t.Fatalf("logged sal kind = %v, want FLOAT", logged[2].K)
+	}
+}
+
+// hookLogger is a no-op logger with an overridable Insert.
+type hookLogger struct {
+	insert func(string, types.Row) error
+}
+
+func (h *hookLogger) CreateTable(string, []schema.Column, []string, []schema.ForeignKey) error {
+	return nil
+}
+func (h *hookLogger) CreateView(string, []string, string) error { return nil }
+func (h *hookLogger) CreateIndex(string, string, []string) error {
+	return nil
+}
+func (h *hookLogger) DropTable(string) error { return nil }
+func (h *hookLogger) Insert(table string, row types.Row) error {
+	return h.insert(table, row)
+}
+func (h *hookLogger) Analyze(string) error { return nil }

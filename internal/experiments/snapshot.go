@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -60,11 +61,32 @@ type PreparedResult struct {
 	QPS         float64 `json:"qps"`
 }
 
+// DurabilityResult is one (variant, concurrency) cell of the WAL-overhead
+// benchmark: N goroutines drive a mixed read/write warehouse workload —
+// the query suite plus scratch-table inserts per iteration — against one
+// engine. The "wal" variant runs a durable engine (every mutation appends
+// and fsyncs before acknowledging); "memory" runs the identical workload
+// on an in-memory engine. The spread is the price of durability.
+type DurabilityResult struct {
+	Concurrency int     `json:"concurrency"`
+	Variant     string  `json:"variant"` // "wal" | "memory"
+	Statements  int64   `json:"statements"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+}
+
+// RecoveryResult times a cold OpenDurable of the warehouse data directory
+// after the durability workload: checkpoint load plus log-tail replay.
+type RecoveryResult struct {
+	WALBytes  int64   `json:"wal_bytes"` // on-disk size of the data directory
+	RecoverMS float64 `json:"recover_ms"`
+}
+
 // Snapshot is a machine-readable benchmark record: the paper's example
 // queries run under every optimizer mode, with per-mode page IO, plus the
-// concurrent-throughput and prepared-vs-adhoc sections. `make bench`
-// writes one as BENCH_<date>.json so regressions in plan quality show up
-// as diffs.
+// concurrent-throughput, prepared-vs-adhoc and durability sections. `make
+// bench` writes one as BENCH_<date>.json so regressions in plan quality
+// show up as diffs.
 type Snapshot struct {
 	GeneratedAt string             `json:"generated_at"`
 	GoVersion   string             `json:"go_version"`
@@ -72,6 +94,8 @@ type Snapshot struct {
 	Results     []BenchResult      `json:"results"`
 	Throughput  []ThroughputResult `json:"throughput,omitempty"`
 	Prepared    []PreparedResult   `json:"prepared,omitempty"`
+	Durability  []DurabilityResult `json:"durability,omitempty"`
+	Recovery    *RecoveryResult    `json:"recovery,omitempty"`
 }
 
 // JSON renders the snapshot with stable indentation for committing.
@@ -212,7 +236,148 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 		}
 		snap.Prepared = append(snap.Prepared, prs...)
 	}
+	drs, rec, err := measureDurability(quick, levels, iters)
+	if err != nil {
+		return nil, err
+	}
+	snap.Durability = drs
+	snap.Recovery = rec
 	return snap, nil
+}
+
+// durabilityEngine builds one warehouse engine for the durability section:
+// in-memory when dir is empty, durable (WAL in dir) otherwise. Both get a
+// scratch table for the workload's inserts.
+func durabilityEngine(dir string, lineitems int) (*aggview.Engine, error) {
+	var eng *aggview.Engine
+	if dir == "" {
+		eng = aggview.Open(aggview.Config{PoolPages: 8})
+	} else {
+		var err error
+		eng, err = aggview.OpenDurable(aggview.Config{PoolPages: 8, DataDir: dir})
+		if err != nil {
+			return nil, err
+		}
+	}
+	spec := aggview.DefaultTPCD()
+	spec.Lineitems = lineitems
+	if err := eng.LoadTPCD(spec); err != nil {
+		return nil, err
+	}
+	for _, ddl := range []string{
+		`create view part_qty (partkey, aqty) as
+			select partkey, avg(qty) from lineitem group by partkey`,
+		`create table audit_log (seq int, worker int)`,
+	} {
+		if _, err := eng.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// measureDurability runs the mixed workload on a WAL-backed and an
+// in-memory engine at each concurrency level, then times a cold recovery
+// of the durable engine's data directory.
+func measureDurability(quick bool, levels []int, iters int) ([]DurabilityResult, *RecoveryResult, error) {
+	lineitems := 1500
+	if quick {
+		lineitems = 400
+	}
+	queries := []string{
+		`select p.brand, l.qty from lineitem l, part p, part_qty v
+		 where l.partkey = p.partkey and v.partkey = p.partkey
+		   and p.brand < 5 and l.qty < v.aqty`,
+		`select c.nation, count(*) as n from customer c, orders o
+		 where o.custkey = c.custkey group by c.nation order by n desc limit 3`,
+	}
+
+	dir, err := os.MkdirTemp("", "aggview-bench-wal-")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []DurabilityResult
+	var seq atomic.Int64
+	for _, variant := range []string{"memory", "wal"} {
+		engDir := ""
+		if variant == "wal" {
+			engDir = dir
+		}
+		eng, err := durabilityEngine(engDir, lineitems)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durability %s: %w", variant, err)
+		}
+		for _, n := range levels {
+			var (
+				wg    sync.WaitGroup
+				total atomic.Int64
+				errCh = make(chan error, n)
+			)
+			start := time.Now()
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for it := 0; it < iters; it++ {
+						for qi := range queries {
+							if _, err := eng.Query(queries[(qi+w)%len(queries)]); err != nil {
+								errCh <- err
+								return
+							}
+							total.Add(1)
+						}
+						ins := fmt.Sprintf("insert into audit_log values (%d, %d)", seq.Add(1), w)
+						if _, err := eng.Exec(ins); err != nil {
+							errCh <- err
+							return
+						}
+						total.Add(1)
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errCh)
+			if err := <-errCh; err != nil {
+				return nil, nil, fmt.Errorf("durability %s N=%d: %w", variant, n, err)
+			}
+			out = append(out, DurabilityResult{
+				Concurrency: n,
+				Variant:     variant,
+				Statements:  total.Load(),
+				ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+				QPS:         float64(total.Load()) / elapsed.Seconds(),
+			})
+		}
+		if variant == "wal" {
+			if err := eng.Close(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	var walBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			walBytes += info.Size()
+		}
+	}
+	start := time.Now()
+	rec, err := aggview.OpenDurable(aggview.Config{PoolPages: 8, DataDir: dir})
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovery: %w", err)
+	}
+	recoverMS := float64(time.Since(start).Microseconds()) / 1000
+	if err := rec.Close(); err != nil {
+		return nil, nil, err
+	}
+	return out, &RecoveryResult{WALBytes: walBytes, RecoverMS: recoverMS}, nil
 }
 
 // preparedWorkload is the parameterized warehouse suite the prepared

@@ -202,7 +202,11 @@ func (s *Store) DropCaches() error {
 // engine uses it under its write lock (no queries in flight) and on the
 // cold-measurement query path, where the calling query explicitly wants a
 // cold pool; per-session accounting stays exact either way, but concurrent
-// queries will see extra cold misses.
+// queries will see extra cold misses. Bypassing the session guard is safe
+// for correctness (not just accounting) because the pool tracks page
+// identity only — it holds no data and no dirty state, and reset runs
+// atomically under the store lock — so a concurrent reader can never
+// observe a half-dropped cache, only a colder one.
 func (s *Store) ForceDropCaches() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -617,6 +621,60 @@ func (p *bufferPool) unlink(n *lruNode) {
 		p.tail = n.prev
 	}
 	n.prev, n.next = nil, nil
+}
+
+// SnapshotFile returns the file's exact physical layout: the rows of every
+// flushed page, in page order, plus the rows still sitting in the unflushed
+// write buffer. The checkpoint writer persists this layout so that a
+// recovered engine reproduces the original file page for page — identical
+// Pages() counts, identical scan IO, identical cost estimates. The access
+// is raw: it bypasses the buffer pool and charges no IO (a checkpoint must
+// not perturb in-flight measurements or evict a query's working set). The
+// returned slices alias the file's pages and must not be mutated.
+func (s *Store) SnapshotFile(f *File) (pages [][]types.Row, tail []types.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pages = make([][]types.Row, len(f.pages))
+	for i, p := range f.pages {
+		pages[i] = p.rows
+	}
+	if f.cur != nil && len(f.cur.rows) > 0 {
+		tail = f.cur.rows
+	}
+	return pages, tail
+}
+
+// RestoreFile replaces the file's contents with a previously snapshotted
+// layout: pages become the flushed pages (in order), tail becomes the
+// unflushed write buffer. Row counts, byte totals and the page directory
+// are recomputed; the pool is purged of any stale pages of this file; no IO
+// is charged. Recovery uses this to rebuild heap files with the exact page
+// boundaries the crashed engine had — Append would repack rows and merge
+// explicitly flushed partial pages.
+func (s *Store) RestoreFile(f *File, pages [][]types.Row, tail []types.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.evictFile(f.id)
+	f.pages = make([]*page, len(pages))
+	f.starts = make([]int64, len(pages))
+	f.rows, f.bytes = 0, 0
+	for i, rows := range pages {
+		f.starts[i] = f.rows
+		f.pages[i] = &page{rows: rows}
+		for _, r := range rows {
+			f.rows++
+			f.bytes += int64(r.DiskWidth())
+		}
+	}
+	f.cur, f.curBytes = nil, 0
+	if len(tail) > 0 {
+		f.cur = &page{rows: tail}
+		for _, r := range tail {
+			f.curBytes += r.DiskWidth()
+			f.rows++
+			f.bytes += int64(r.DiskWidth())
+		}
+	}
 }
 
 // FetchRID fetches the row with the given rowid through the buffer pool.

@@ -181,6 +181,12 @@ type rowsOptions struct {
 // error path after the governor exists still publishes query metrics.
 func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (rows *Rows, err error) {
 	e.mu.RLock()
+	// A dead durable engine's memory may be ahead of its log; serving reads
+	// from it would expose unacknowledged state.
+	if err := e.walAlive(); err != nil {
+		e.mu.RUnlock()
+		return nil, err
+	}
 	gov, cancel := e.newGovernor(ctx)
 	col := obs.NewCollector()
 	qr := &queryRun{
