@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race stress crash bench gobench check
+.PHONY: build vet staticcheck test race stress crash bench bench-diff gobench check
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ crash:
 # Committing the dated file makes plan-quality regressions show up as diffs.
 bench:
 	$(GO) run ./cmd/aggbench -snapshot BENCH_$(shell date +%Y%m%d).json
+
+# bench-diff compares the two most recent committed snapshots: throughput
+# and prepared qps deltas plus any per-query IO/plan drift. Override OLD
+# and NEW to compare specific files.
+OLD ?= $(lastword $(filter-out $(lastword $(sort $(wildcard BENCH_*.json))),$(sort $(wildcard BENCH_*.json))))
+NEW ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "need two BENCH_*.json files (or pass OLD=... NEW=...)"; exit 2; }
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # gobench runs the Go micro/macro benchmarks.
 gobench:

@@ -129,10 +129,17 @@ func (a *AnalyzeInfo) String() string {
 }
 
 // ExplainAnalyze executes a SELECT cold (buffer pool dropped) and returns
-// the plan annotated with measured per-operator metrics. The SQL form
-// `EXPLAIN ANALYZE <select>` renders the same report as result rows.
-func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (a *AnalyzeInfo, err error) {
+// the plan annotated with measured per-operator metrics. It takes the same
+// options as Query (WithMode picks the optimizer mode, WithParams binds
+// placeholders, WithLimits caps the run); the cold cache is inherent to
+// the report and cannot be switched off. The SQL form `EXPLAIN ANALYZE
+// <select>` renders the same report as result rows.
+func (e *Engine) ExplainAnalyze(ctx context.Context, src string, opts ...QueryOption) (a *AnalyzeInfo, err error) {
 	defer recoverToError(&err, src)
+	opt, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -141,7 +148,8 @@ func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (a *AnalyzeInfo
 	if !ok {
 		return nil, fmt.Errorf("aggview: ExplainAnalyze requires a SELECT statement")
 	}
-	return e.explainAnalyzeSelect(ctx, sel, src)
+	opt.cold, opt.trace = true, true
+	return analyzeRows(e.openRows(ctx, sel, src, opt))
 }
 
 func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *sql.Select, src string) (*AnalyzeInfo, error) {

@@ -1,0 +1,190 @@
+package aggview_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"aggview"
+)
+
+// The differential workload: every executor shape — filtered scans, big
+// sorts, grouped joins (hash and, under SystemRJoins elsewhere, merge),
+// nested subqueries flattened into aggregate views, HAVING, and an
+// unordered aggregate — sized so sorts and group tables spill at the
+// harness's 16-page pool.
+var diffQueries = []string{
+	`select e.dno as dno, avg(e.sal), count(*) from emp e, dept d
+	 where e.dno = d.dno group by e.dno order by dno`,
+	`select eno, sal from emp where age < 30 order by sal desc, eno`,
+	`select e1.eno as eno, e1.sal as sal from emp e1
+	 where e1.age < 25
+	   and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
+	 order by sal, eno`,
+	`select count(*), sum(e.sal) from emp e, dept d
+	 where e.dno = d.dno and d.budget > 50`,
+	`select dno, count(*) as c from emp group by dno having count(*) > 10
+	 order by c desc, dno`,
+	`select dno, max(age), min(sal) from emp group by dno`,
+}
+
+func diffSpec() aggview.EmpDeptSpec {
+	spec := aggview.DefaultEmpDept()
+	spec.Employees = 2500
+	spec.Departments = 40
+	return spec
+}
+
+// canonicalRows renders a result as one sorted blob, so hash-aggregate map
+// iteration order (the only permitted nondeterminism for queries without
+// ORDER BY) cancels out and everything else must match byte for byte.
+func canonicalRows(res *aggview.Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%v", v)
+		}
+		lines[i] = strings.Join(parts, "\t")
+	}
+	sort.Strings(lines)
+	return strings.Join(res.Columns, "\t") + "\n" + strings.Join(lines, "\n")
+}
+
+// spillTotals sums the per-operator spill counters of one run.
+func spillTotals(res *aggview.Result) (reads, writes int64) {
+	for _, op := range res.Ops {
+		reads += op.SpillReads
+		writes += op.SpillWrites
+	}
+	return reads, writes
+}
+
+// TestConcurrentBatchDifferential proves the vectorized executor's core
+// invariant: batch size changes call granularity and nothing else. Every
+// workload query runs through the default executor and through a
+// batch-size-1 reference engine (row-at-a-time degeneration), under every
+// optimizer mode, and must produce identical rows, identical IOStats,
+// identical spill counters, and exact per-operator IO attribution. The
+// comparisons fan out across goroutines — with isolated engine pairs where
+// IO is asserted, and a shared engine pair hammered concurrently where
+// results are — so `make stress` runs the whole thing under the race
+// detector.
+func TestConcurrentBatchDifferential(t *testing.T) {
+	modes := []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full}
+
+	// Phase 1: isolated engine pairs, one per (query, mode), so cold-cache
+	// IO is deterministic and comparable down to the last page.
+	type job struct {
+		qi   int
+		mode aggview.OptimizerMode
+	}
+	var jobs []job
+	for qi := range diffQueries {
+		for _, m := range modes {
+			jobs = append(jobs, job{qi, m})
+		}
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			q := diffQueries[j.qi]
+			vec := aggview.Open(aggview.Config{PoolPages: 16})
+			ref := aggview.Open(aggview.Config{PoolPages: 16, BatchSize: 1})
+			if err := vec.LoadEmpDept(diffSpec()); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ref.LoadEmpDept(diffSpec()); err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := context.Background()
+			vres, err := vec.Query(ctx, q, aggview.WithMode(j.mode), aggview.WithColdCache())
+			if err != nil {
+				t.Errorf("q%d %v vectorized: %v", j.qi, j.mode, err)
+				return
+			}
+			rres, err := ref.Query(ctx, q, aggview.WithMode(j.mode), aggview.WithColdCache())
+			if err != nil {
+				t.Errorf("q%d %v reference: %v", j.qi, j.mode, err)
+				return
+			}
+			if got, want := canonicalRows(vres), canonicalRows(rres); got != want {
+				t.Errorf("q%d %v: results diverge\nvectorized:\n%s\nreference:\n%s", j.qi, j.mode, got, want)
+			}
+			if vres.IO != rres.IO {
+				t.Errorf("q%d %v: IOStats diverge: vectorized %+v, reference %+v", j.qi, j.mode, vres.IO, rres.IO)
+			}
+			vr, vw := spillTotals(vres)
+			rr, rw := spillTotals(rres)
+			if vr != rr || vw != rw {
+				t.Errorf("q%d %v: spill counters diverge: vectorized %d/%d, reference %d/%d",
+					j.qi, j.mode, vr, vw, rr, rw)
+			}
+			// Per-operator attribution stays exact at every batch size: the
+			// operator sums reproduce the query's IOStats delta.
+			for name, res := range map[string]*aggview.Result{"vectorized": vres, "reference": rres} {
+				var sum aggview.IOStats
+				for _, op := range res.Ops {
+					sum.Reads += op.Reads
+					sum.Writes += op.Writes
+					sum.Hits += op.Hits
+				}
+				if sum != res.IO {
+					t.Errorf("q%d %v %s: operator IO sums %+v != query IO %+v", j.qi, j.mode, name, sum, res.IO)
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Phase 2: a shared engine pair under concurrent load. IO interleaves
+	// across goroutines here, so only results are compared — this is the
+	// part that puts the batch pool, the sharded buffer pool, and the
+	// atomic counters in front of the race detector.
+	vec := aggview.Open(aggview.Config{PoolPages: 64})
+	ref := aggview.Open(aggview.Config{PoolPages: 64, BatchSize: 1})
+	if err := vec.LoadEmpDept(diffSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.LoadEmpDept(diffSpec()); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var cwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cwg.Add(1)
+		go func(w int) {
+			defer cwg.Done()
+			ctx := context.Background()
+			for i := 0; i < 2*len(diffQueries); i++ {
+				qi := (w + i) % len(diffQueries)
+				mode := modes[(w+i)%len(modes)]
+				vres, err := vec.Query(ctx, diffQueries[qi], aggview.WithMode(mode))
+				if err != nil {
+					t.Errorf("worker %d q%d %v vectorized: %v", w, qi, mode, err)
+					return
+				}
+				rres, err := ref.Query(ctx, diffQueries[qi], aggview.WithMode(mode))
+				if err != nil {
+					t.Errorf("worker %d q%d %v reference: %v", w, qi, mode, err)
+					return
+				}
+				if got, want := canonicalRows(vres), canonicalRows(rres); got != want {
+					t.Errorf("worker %d q%d %v: concurrent results diverge", w, qi, mode)
+					return
+				}
+			}
+		}(w)
+	}
+	cwg.Wait()
+}

@@ -140,7 +140,7 @@ func BenchmarkExecuteExample1(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			var io int64
 			for i := 0; i < b.N; i++ {
-				res, err := eng.QueryMode(context.Background(), example1Nested, mode)
+				res, err := eng.Query(context.Background(), example1Nested, aggview.WithMode(mode), aggview.WithColdCache())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -157,7 +157,7 @@ func BenchmarkExecuteGroupBy(b *testing.B) {
 	eng := exampleEngine(b, 50000, 500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eng.Query(`select dno, avg(sal), count(*) from emp group by dno`)
+		res, err := eng.Query(context.Background(), `select dno, avg(sal), count(*) from emp group by dno`)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func BenchmarkExecuteJoin(b *testing.B) {
 	eng := exampleEngine(b, 50000, 500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eng.Query(`select count(*) from emp e, dept d where e.dno = d.dno`)
+		res, err := eng.Query(context.Background(), `select count(*) from emp e, dept d where e.dno = d.dno`)
 		if err != nil {
 			b.Fatal(err)
 		}

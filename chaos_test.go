@@ -67,7 +67,7 @@ func TestChaosSweepWarehouse(t *testing.T) {
 	}
 	const followUp = `select count(*) from part`
 
-	cleanFollow, err := eng.Query(followUp)
+	cleanFollow, err := eng.Query(context.Background(), followUp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestChaosSweepWarehouse(t *testing.T) {
 		eng.ClearFault()
 		eng.DropCaches()
 		eng.InjectFault(aggview.FaultPlan{FailAt: -1})
-		clean, err := eng.Query(q)
+		clean, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d clean run: %v", qi, err)
 		}
@@ -98,7 +98,7 @@ func TestChaosSweepWarehouse(t *testing.T) {
 		for i := int64(0); i < ios; i += step {
 			eng.DropCaches()
 			eng.InjectFault(aggview.FaultPlan{FailAt: i})
-			_, err := eng.Query(q)
+			_, err := eng.Query(context.Background(), q)
 			if err == nil {
 				t.Fatalf("query %d FailAt=%d: expected an error", qi, i)
 			}
@@ -113,7 +113,7 @@ func TestChaosSweepWarehouse(t *testing.T) {
 			}
 			// The engine must keep answering after the failure.
 			eng.ClearFault()
-			follow, err := eng.Query(followUp)
+			follow, err := eng.Query(context.Background(), followUp)
 			if err != nil {
 				t.Fatalf("query %d FailAt=%d: follow-up failed: %v", qi, i, err)
 			}
@@ -124,7 +124,7 @@ func TestChaosSweepWarehouse(t *testing.T) {
 
 		// Full recovery: the swept query itself still gives the clean answer.
 		eng.DropCaches()
-		again, err := eng.Query(q)
+		again, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d after sweep: %v", qi, err)
 		}
@@ -243,7 +243,7 @@ func TestChaosProbabilisticStorm(t *testing.T) {
 	q := `select v.aqty, o.value from part_qty v, order_value o, lineitem l
 	      where l.partkey = v.partkey and l.orderkey = o.orderkey and l.qty > 45`
 
-	clean, err := eng.Query(q)
+	clean, err := eng.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestChaosProbabilisticStorm(t *testing.T) {
 	var failures int
 	for i := 0; i < 20; i++ {
 		eng.DropCaches()
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			if !errors.Is(err, aggview.ErrInjected) {
 				t.Fatalf("round %d: err = %v, want ErrInjected", i, err)
@@ -270,7 +270,7 @@ func TestChaosProbabilisticStorm(t *testing.T) {
 		t.Fatalf("storm never fired; raise Prob or rounds")
 	}
 	eng.ClearFault()
-	if _, err := eng.Query(q); err != nil {
+	if _, err := eng.Query(context.Background(), q); err != nil {
 		t.Fatalf("engine unusable after storm: %v", err)
 	}
 }
@@ -287,7 +287,7 @@ func TestQueryContextExpiredDeadline(t *testing.T) {
 	defer cancel()
 	eng.DropCaches()
 	before := eng.IOStats()
-	_, err := eng.QueryContext(ctx, q)
+	_, err := eng.Query(ctx, q)
 	if !errors.Is(err, aggview.ErrCanceled) {
 		t.Fatalf("err = %v, want wrapped ErrCanceled", err)
 	}
@@ -319,7 +319,7 @@ func TestQueryContextCancelMidSpill(t *testing.T) {
 		}
 		cancel()
 	}()
-	_, err := eng.QueryContext(ctx, q)
+	_, err := eng.Query(ctx, q)
 	if !errors.Is(err, aggview.ErrCanceled) {
 		t.Fatalf("err = %v, want wrapped ErrCanceled", err)
 	}
@@ -327,7 +327,7 @@ func TestQueryContextCancelMidSpill(t *testing.T) {
 		t.Fatalf("canceled query leaked spill files %v", leaks)
 	}
 	// The engine is still healthy.
-	if _, err := eng.Query(`select count(*) from lineitem`); err != nil {
+	if _, err := eng.Query(context.Background(), `select count(*) from lineitem`); err != nil {
 		t.Fatalf("engine unusable after cancellation: %v", err)
 	}
 }
@@ -336,12 +336,12 @@ func TestQueryContextCancelMidSpill(t *testing.T) {
 func TestConfigTimeout(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	limited := eng.WithConfig(aggview.Config{Timeout: time.Nanosecond})
-	_, err := limited.Query(`select count(*) from lineitem`)
+	_, err := limited.Query(context.Background(), `select count(*) from lineitem`)
 	if !errors.Is(err, aggview.ErrCanceled) {
 		t.Fatalf("err = %v, want wrapped ErrCanceled", err)
 	}
 	// The shared engine without the timeout still works.
-	if _, err := eng.Query(`select count(*) from lineitem`); err != nil {
+	if _, err := eng.Query(context.Background(), `select count(*) from lineitem`); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -350,7 +350,7 @@ func TestConfigTimeout(t *testing.T) {
 func TestMaxRowsOut(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	limited := eng.WithConfig(aggview.Config{MaxRowsOut: 5})
-	_, err := limited.Query(`select l.orderkey from lineitem l`)
+	_, err := limited.Query(context.Background(), `select l.orderkey from lineitem l`)
 	if !errors.Is(err, aggview.ErrRowLimit) {
 		t.Fatalf("err = %v, want wrapped ErrRowLimit", err)
 	}
@@ -358,7 +358,7 @@ func TestMaxRowsOut(t *testing.T) {
 		t.Fatalf("leaked spill files %v", leaks)
 	}
 	// Under the cap the same engine answers normally.
-	res, err := limited.Query(`select count(*) from customer`)
+	res, err := limited.Query(context.Background(), `select count(*) from customer`)
 	if err != nil {
 		t.Fatalf("query under the cap: %v", err)
 	}
@@ -373,7 +373,7 @@ func TestMaxIOPages(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	limited := eng.WithConfig(aggview.Config{MaxIOPages: 3})
 	limited.DropCaches()
-	_, err := limited.Query(`select v.aqty, o.value from part_qty v, order_value o, lineitem l
+	_, err := limited.Query(context.Background(), `select v.aqty, o.value from part_qty v, order_value o, lineitem l
 	      where l.partkey = v.partkey and l.orderkey = o.orderkey and l.qty > 45`)
 	if !errors.Is(err, aggview.ErrIOBudget) {
 		t.Fatalf("err = %v, want wrapped ErrIOBudget", err)
@@ -384,7 +384,7 @@ func TestMaxIOPages(t *testing.T) {
 	// A budget generous enough for the query succeeds.
 	roomy := eng.WithConfig(aggview.Config{MaxIOPages: 1 << 20})
 	roomy.DropCaches()
-	if _, err := roomy.Query(`select count(*) from lineitem`); err != nil {
+	if _, err := roomy.Query(context.Background(), `select count(*) from lineitem`); err != nil {
 		t.Fatalf("roomy budget: %v", err)
 	}
 }
@@ -405,7 +405,7 @@ func TestOptimizerBudgetDegradationLadder(t *testing.T) {
 	want := rowsFingerprint(clean)
 
 	tiny := eng.WithConfig(aggview.Config{OptimizerBudget: 2})
-	res, err := tiny.QueryMode(context.Background(), q, aggview.Full)
+	res, err := tiny.Query(context.Background(), q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 	if err != nil {
 		t.Fatalf("budgeted Full query should degrade, not fail: %v", err)
 	}
@@ -432,7 +432,7 @@ func TestOptimizerBudgetDegradationLadder(t *testing.T) {
 
 	// The same engine with an adequate budget does not degrade.
 	roomy := eng.WithConfig(aggview.Config{OptimizerBudget: 1 << 20})
-	rres, err := roomy.QueryMode(context.Background(), q, aggview.Full)
+	rres, err := roomy.Query(context.Background(), q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +442,7 @@ func TestOptimizerBudgetDegradationLadder(t *testing.T) {
 	}
 
 	// The plain Query path degrades too (Config.Mode defaults to Full).
-	if _, err := tiny.Query(q); err != nil {
+	if _, err := tiny.Query(context.Background(), q); err != nil {
 		t.Fatalf("Query under tiny budget: %v", err)
 	}
 }
@@ -473,7 +473,7 @@ func TestPanicRecoveryAtEngineBoundary(t *testing.T) {
 	}
 
 	q := `select boom(e.sal) from emp e`
-	_, err := eng.Query(q)
+	_, err := eng.Query(context.Background(), q)
 	if !errors.Is(err, aggview.ErrInternal) {
 		t.Fatalf("err = %v, want wrapped ErrInternal", err)
 	}
@@ -484,7 +484,7 @@ func TestPanicRecoveryAtEngineBoundary(t *testing.T) {
 		t.Fatalf("panicking query leaked spill files %v", leaks)
 	}
 	// The process survived and the engine still answers.
-	res, err := eng.Query(`select count(*) from emp`)
+	res, err := eng.Query(context.Background(), `select count(*) from emp`)
 	if err != nil || res.Len() != 1 {
 		t.Fatalf("engine unusable after panic: %v %v", res, err)
 	}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -31,7 +33,39 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	snapFlag := flag.String("snapshot", "", "write a benchmark snapshot (JSON) to this file and exit")
 	concFlag := flag.String("concurrency", "", "comma-separated worker counts for the snapshot's throughput section (default 1,4,16)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProf != "" {
+		// Sample every contention event: the runs are short and the point
+		// is to see which latch the workers queue on, not to ship this in
+		// production.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var levels []int
 	if *concFlag != "" {

@@ -1,0 +1,136 @@
+// Command benchdiff compares two benchmark snapshots written by
+// `aggbench -snapshot` (the committed BENCH_*.json files) and prints
+// delta tables: throughput and prepared-statement qps side by side with
+// percentage change, and any per-query result whose page IO, spill
+// counts, or plan-search effort moved between the two runs.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Exits 0 whether or not anything changed — the tables are for humans
+// reading a perf PR, not a regression gate (page-IO regressions are
+// gated by the test suite instead).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"aggview/internal/experiments"
+)
+
+func load(path string) (*experiments.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s experiments.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldSnap, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newSnap, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n",
+		os.Args[1], oldSnap.GeneratedAt, os.Args[2], newSnap.GeneratedAt)
+
+	// Throughput: match levels by concurrency.
+	if len(oldSnap.Throughput) > 0 || len(newSnap.Throughput) > 0 {
+		fmt.Printf("\nthroughput (qps)\n%-6s %10s %10s %8s\n", "conc", "old", "new", "delta")
+		byConc := map[int]float64{}
+		for _, tr := range oldSnap.Throughput {
+			byConc[tr.Concurrency] = tr.QPS
+		}
+		for _, tr := range newSnap.Throughput {
+			old, ok := byConc[tr.Concurrency]
+			if !ok {
+				fmt.Printf("%-6d %10s %10.1f %8s\n", tr.Concurrency, "-", tr.QPS, "new")
+				continue
+			}
+			fmt.Printf("%-6d %10.1f %10.1f %8s\n", tr.Concurrency, old, tr.QPS, pct(old, tr.QPS))
+		}
+	}
+
+	// Prepared: match by (concurrency, variant).
+	if len(oldSnap.Prepared) > 0 || len(newSnap.Prepared) > 0 {
+		type pkey struct {
+			conc    int
+			variant string
+		}
+		fmt.Printf("\nprepared (qps)\n%-6s %-14s %10s %10s %8s\n", "conc", "variant", "old", "new", "delta")
+		byKey := map[pkey]float64{}
+		for _, pr := range oldSnap.Prepared {
+			byKey[pkey{pr.Concurrency, pr.Variant}] = pr.QPS
+		}
+		for _, pr := range newSnap.Prepared {
+			old, ok := byKey[pkey{pr.Concurrency, pr.Variant}]
+			if !ok {
+				fmt.Printf("%-6d %-14s %10s %10.1f %8s\n", pr.Concurrency, pr.Variant, "-", pr.QPS, "new")
+				continue
+			}
+			fmt.Printf("%-6d %-14s %10.1f %10.1f %8s\n", pr.Concurrency, pr.Variant, old, pr.QPS, pct(old, pr.QPS))
+		}
+	}
+
+	// Per-query results: only rows where something other than timing moved.
+	// Optimize time is wall-clock noise; reads/writes/hits, spills, rows,
+	// and plans considered are deterministic, so any drift is a plan or
+	// executor change worth a human look.
+	type rkey struct {
+		name string
+		mode string
+	}
+	byKey := map[rkey]experiments.BenchResult{}
+	for _, r := range oldSnap.Results {
+		byKey[rkey{r.Name, r.Mode}] = r
+	}
+	changed := false
+	for _, r := range newSnap.Results {
+		o, ok := byKey[rkey{r.Name, r.Mode}]
+		if !ok {
+			continue
+		}
+		if o.Reads == r.Reads && o.Writes == r.Writes && o.Hits == r.Hits &&
+			o.SpillReads == r.SpillReads && o.SpillWrites == r.SpillWrites &&
+			o.Rows == r.Rows && o.PlansConsidered == r.PlansConsidered {
+			continue
+		}
+		if !changed {
+			changed = true
+			fmt.Printf("\nresults with changed IO/plan characteristics\n")
+			fmt.Printf("%-24s %-12s %18s %18s %14s %10s\n",
+				"query", "mode", "reads/writes/hits", "(old)", "spills r/w", "plans")
+		}
+		fmt.Printf("%-24s %-12s %6d/%d/%-8d %6d/%d/%-8d %6d/%-7d %4d→%d\n",
+			r.Name, r.Mode,
+			r.Reads, r.Writes, r.Hits, o.Reads, o.Writes, o.Hits,
+			r.SpillReads, r.SpillWrites, o.PlansConsidered, r.PlansConsidered)
+	}
+	if !changed {
+		fmt.Printf("\nper-query IO and plan characteristics: unchanged\n")
+	}
+}

@@ -55,7 +55,7 @@ func TestConcurrentMixedModeAttributionExact(t *testing.T) {
 					var ops []aggview.OpMetrics
 					switch (w + it + qi) % 4 {
 					case 0: // materializing Query
-						res, err := eng.Query(q)
+						res, err := eng.Query(context.Background(), q)
 						if err != nil {
 							errCh <- fmt.Errorf("worker %d Query %d: %w", w, qi, err)
 							return
@@ -63,7 +63,7 @@ func TestConcurrentMixedModeAttributionExact(t *testing.T) {
 						io, ops = res.IO, res.Ops
 					case 1: // cold QueryMode under a rotating optimizer mode
 						mode := []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full}[w%3]
-						res, err := eng.QueryMode(ctx, q, mode)
+						res, err := eng.Query(ctx, q, aggview.WithMode(mode), aggview.WithColdCache())
 						if err != nil {
 							errCh <- fmt.Errorf("worker %d QueryMode %d: %w", w, qi, err)
 							return
@@ -173,7 +173,7 @@ func TestConcurrentIOBudgetIsolation(t *testing.T) {
 	// queries evict shared pool pages, so this query's charged misses rise,
 	// but they must stay bounded by its own working set — never by the
 	// neighbors' total IO.
-	solo, err := eng.QueryMode(context.Background(), q, aggview.Full)
+	solo, err := eng.Query(context.Background(), q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,12 +192,12 @@ func TestConcurrentIOBudgetIsolation(t *testing.T) {
 			for it := 0; it < 3; it++ {
 				switch w % 3 {
 				case 0: // heavy unbudgeted traffic
-					if _, err := eng.Query(obsSuite[(w+it)%len(obsSuite)]); err != nil {
+					if _, err := eng.Query(context.Background(), obsSuite[(w+it)%len(obsSuite)]); err != nil {
 						errCh <- fmt.Errorf("heavy worker %d: %w", w, err)
 						return
 					}
 				case 1: // budget that fits this query alone
-					res, err := fits.Query(q)
+					res, err := fits.Query(context.Background(), q)
 					if err != nil {
 						errCh <- fmt.Errorf("budgeted worker %d: budget %d should fit, got %w (neighbors leaked into the budget?)", w, budget, err)
 						return
@@ -207,7 +207,7 @@ func TestConcurrentIOBudgetIsolation(t *testing.T) {
 						return
 					}
 				case 2: // hopeless budget must trip on its own pages only
-					_, err := starved.Query(q)
+					_, err := starved.Query(context.Background(), q)
 					if !errors.Is(err, aggview.ErrIOBudget) {
 						errCh <- fmt.Errorf("starved worker %d: err = %v, want ErrIOBudget", w, err)
 						return
@@ -231,7 +231,7 @@ func TestConcurrentCursorsInterleaved(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	q := `select l.orderkey, l.qty from lineitem l where l.qty < 40`
 
-	ref, err := eng.Query(q)
+	ref, err := eng.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestConcurrentDDLSerializesWithQueries(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				if _, err := eng.Query(obsSuite[(w+i)%len(obsSuite)]); err != nil {
+				if _, err := eng.Query(context.Background(), obsSuite[(w+i)%len(obsSuite)]); err != nil {
 					errCh <- fmt.Errorf("reader %d: %w", w, err)
 					return
 				}
@@ -399,7 +399,7 @@ func TestConcurrentDDLSerializesWithQueries(t *testing.T) {
 		t.Error(err)
 	}
 
-	res, err := eng.Query(`select count(*) as n from scratch s`)
+	res, err := eng.Query(context.Background(), `select count(*) as n from scratch s`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,7 +461,7 @@ func TestForceDropCachesBypassAudit(t *testing.T) {
 	}
 	want := make([]string, len(queries))
 	for i, q := range queries {
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -476,7 +476,7 @@ func TestForceDropCachesBypassAudit(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				qi := (w + i) % len(queries)
-				res, err := eng.Query(queries[qi])
+				res, err := eng.Query(context.Background(), queries[qi])
 				if err != nil {
 					errCh <- fmt.Errorf("reader %d: %w", w, err)
 					return
@@ -494,7 +494,7 @@ func TestForceDropCachesBypassAudit(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				qi := (w + i) % len(queries)
-				res, err := eng.QueryMode(ctx, queries[qi], aggview.Full)
+				res, err := eng.Query(ctx, queries[qi], aggview.WithMode(aggview.Full), aggview.WithColdCache())
 				if err != nil {
 					errCh <- fmt.Errorf("cold runner %d: %w", w, err)
 					return

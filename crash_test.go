@@ -117,7 +117,7 @@ func sweepCrashes(t *testing.T, steps []crashStep, fps []string, writes int64) {
 				t.Fatalf("n=%d torn=%v: post-crash write err = %v, want ErrEngineDead", n, torn, err)
 			}
 			if acked > 2 {
-				if _, err := eng.Query(`select count(*) from dept`); !errors.Is(err, aggview.ErrEngineDead) {
+				if _, err := eng.Query(context.Background(), `select count(*) from dept`); !errors.Is(err, aggview.ErrEngineDead) {
 					t.Fatalf("n=%d torn=%v: post-crash read err = %v, want ErrEngineDead", n, torn, err)
 				}
 			}
@@ -133,7 +133,7 @@ func sweepCrashes(t *testing.T, steps []crashStep, fps []string, writes int64) {
 			// And it is fully live: it answers queries and accepts and
 			// persists new mutations.
 			if acked >= 4 {
-				res, err := rec.Query(`select count(*) from emp`)
+				res, err := rec.Query(context.Background(), `select count(*) from emp`)
 				if err != nil || res.Len() != 1 {
 					t.Fatalf("n=%d torn=%v: recovered query: %v", n, torn, err)
 				}
@@ -145,7 +145,7 @@ func sweepCrashes(t *testing.T, steps []crashStep, fps []string, writes int64) {
 				t.Fatal(err)
 			}
 			rec2 := openDurable(t, dir)
-			if _, err := rec2.Query(`select count(*) from post_recovery`); err != nil {
+			if _, err := rec2.Query(context.Background(), `select count(*) from post_recovery`); err != nil {
 				t.Fatalf("n=%d torn=%v: second recovery lost post-recovery table: %v", n, torn, err)
 			}
 			rec2.Close()
@@ -223,7 +223,7 @@ func TestBulkLoadCrashPrefix(t *testing.T) {
 	wantTables := clean.Tables()
 	wantRows := map[string]int64{}
 	for _, tbl := range wantTables {
-		res, err := clean.Query(`select count(*) from ` + tbl)
+		res, err := clean.Query(context.Background(), `select count(*) from ` + tbl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestBulkLoadCrashPrefix(t *testing.T) {
 
 			rec := openDurable(t, dir)
 			for _, tbl := range rec.Tables() {
-				res, qerr := rec.Query(`select count(*) from ` + tbl)
+				res, qerr := rec.Query(context.Background(), `select count(*) from ` + tbl)
 				if qerr != nil {
 					t.Fatalf("n=%d torn=%v: recovered table %s unqueryable: %v", n, torn, tbl, qerr)
 				}
@@ -323,11 +323,11 @@ func TestRecoveryEquivalenceWarehouse(t *testing.T) {
 
 	ctx := context.Background()
 	for qi, q := range queries {
-		mres, err := mem.QueryMode(ctx, q, aggview.Full)
+		mres, err := mem.Query(ctx, q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 		if err != nil {
 			t.Fatalf("query %d on reference: %v", qi, err)
 		}
-		rres, err := rec.QueryMode(ctx, q, aggview.Full)
+		rres, err := rec.Query(ctx, q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 		if err != nil {
 			t.Fatalf("query %d on recovered: %v", qi, err)
 		}
@@ -409,7 +409,7 @@ func TestPlanCacheInvalidationAcrossRecovery(t *testing.T) {
 	}
 	// The plan reflects recovered state: the un-acknowledged insert is gone
 	// (row 5 never existed), the acknowledged one is present.
-	if cnt, err := rec.Query(`select count(*) from emp`); err != nil || cnt.Rows[0][0].(int64) != 4 {
+	if cnt, err := rec.Query(context.Background(), `select count(*) from emp`); err != nil || cnt.Rows[0][0].(int64) != 4 {
 		t.Fatalf("post-recovery count: %v %v", cnt, err)
 	}
 	if got := rowsFingerprint(res); got != rowsFingerprint(rec.MustExec(q)) {
@@ -439,7 +439,7 @@ func TestDurableBasics(t *testing.T) {
 	}
 	eng.MustExec(`create view pay (dno, total) as select dno, sum(sal) from emp group by dno`)
 	fp := eng.StateFingerprint()
-	want, err := eng.Query(`select * from pay order by total desc limit 5`)
+	want, err := eng.Query(context.Background(), `select * from pay order by total desc limit 5`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +466,7 @@ func TestDurableBasics(t *testing.T) {
 	if re2.StateFingerprint() != fp {
 		t.Fatal("snapshot recovery diverged")
 	}
-	got, err := re2.Query(`select * from pay order by total desc limit 5`)
+	got, err := re2.Query(context.Background(), `select * from pay order by total desc limit 5`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +544,7 @@ func TestInMemoryEngineUnaffected(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.MustExec(`create table t (x int)`)
-	if _, err := eng.Query(`select count(*) from t`); err != nil {
+	if _, err := eng.Query(context.Background(), `select count(*) from t`); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -26,10 +26,21 @@
 //	eng := aggview.Open(aggview.Config{})
 //	eng.MustExec(`create table emp (eno int primary key, dno int, sal float, age int)`)
 //	// … insert data, analyze …
-//	res, err := eng.Query(`
+//	res, err := eng.Query(ctx, `
 //	    select e1.sal from emp e1
 //	    where e1.age < 22
 //	      and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`)
+//
+// Query is the single query surface; options tune one run without touching
+// the engine configuration — WithMode picks the optimizer algorithm,
+// WithParams binds `?` placeholders, WithLimits overrides the resource
+// limits, WithColdCache drops the buffer pool first (the paper's
+// measurement setting):
+//
+//	res, err := eng.Query(ctx, sql,
+//	    aggview.WithMode(aggview.Traditional),
+//	    aggview.WithLimits(aggview.Limits{MaxIOPages: 10_000}),
+//	    aggview.WithColdCache())
 //
 // Use Explain to inspect the chosen plan under each optimizer mode
 // (traditional, push-down, full) and compare estimated costs.
@@ -41,8 +52,8 @@
 // measured actuals — rows, self-attributed page IO, spill traffic, and wall
 // time; summing the per-operator page counters reproduces the engine's
 // IOStats delta exactly. Materializing queries attach the same data to the
-// Result (Plan, IO, Ops); QueryRows streams results through a cursor with
-// per-row governance instead of materializing. Engine.Metrics returns the
+// Result (Plan, IO, Ops); QueryRows streams results through a cursor
+// instead of materializing, with governance applied as rows are pulled. Engine.Metrics returns the
 // engine-wide cumulative rollup of every governed query, and
 // Engine.SetMetricsSink installs a per-query export hook.
 //

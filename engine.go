@@ -125,6 +125,12 @@ type Config struct {
 	// 0 means DefaultPlanCacheSize; negative disables plan caching — every
 	// execution of a prepared statement then recompiles.
 	PlanCacheSize int
+	// BatchSize sets the executor's row-vector size: how many rows flow
+	// between operators per NextBatch call (0 means the default, 1024).
+	// Batch size never changes results, page IO or spill counts — only the
+	// per-call amortization; 1 degenerates to row-at-a-time execution and
+	// exists for differential testing.
+	BatchSize int
 
 	// DataDir, when non-empty, makes the engine durable: every mutation is
 	// written to a write-ahead log under this directory before it is
@@ -143,7 +149,7 @@ type Config struct {
 // optimizer and executor.
 //
 // Engines are safe for concurrent use: any number of goroutines may run
-// Query/QueryContext/QueryMode/QueryRows/Exec/ExplainAnalyze at once. Each
+// Query/QueryRows/Exec/ExplainAnalyze at once. Each
 // query is accounted through its own storage session, so Result.IO, the
 // per-operator metrics, and the MaxIOPages/MaxRowsOut budgets see only that
 // query's pages; Engine.IOStats remains the store-global sum. Statements
@@ -417,25 +423,34 @@ func (e *Engine) ExecScript(src string) (res *Result, err error) {
 	return last, nil
 }
 
-// Query executes a SELECT.
-func (e *Engine) Query(src string) (*Result, error) {
-	return e.QueryContext(context.Background(), src)
-}
-
-// QueryContext executes a SELECT under a context. A canceled context or an
-// expired deadline stops execution at the next page IO (even mid-spill
-// inside a join) and returns an error wrapping ErrCanceled.
-func (e *Engine) QueryContext(ctx context.Context, src string) (res *Result, err error) {
+// Query executes a SELECT and materializes the result. It is the single
+// query entry point: options tune one run without touching the engine
+// configuration —
+//
+//	res, err := eng.Query(ctx, sql)                              // engine defaults
+//	res, err := eng.Query(ctx, sql, aggview.WithMode(aggview.PushDown))
+//	res, err := eng.Query(ctx, sql, aggview.WithParams(42, "x"))
+//	res, err := eng.Query(ctx, sql, aggview.WithLimits(aggview.Limits{MaxIOPages: 1000}))
+//	res, err := eng.Query(ctx, sql, aggview.WithColdCache())     // paper's measurement setting
+//
+// A canceled context or an expired deadline stops execution at the next
+// page IO (even mid-spill inside a join) and returns an error wrapping
+// ErrCanceled. The plan, measured IO and per-operator metrics ride on the
+// Result. For a streaming result, use QueryRows with the same options.
+func (e *Engine) Query(ctx context.Context, src string, opts ...QueryOption) (res *Result, err error) {
 	defer recoverToError(&err, src)
-	stmt, err := sql.Parse(src)
+	rows, err := e.queryRows(ctx, src, opts)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
-	}
-	return e.runSelect(ctx, sel, src)
+	return rows.materialize()
+}
+
+// QueryContext executes a SELECT under a context.
+//
+// Deprecated: QueryContext is Query without options; call Query directly.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.Query(ctx, src)
 }
 
 func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (*Result, error) {
@@ -703,24 +718,12 @@ func (e *Engine) ExplainAll(src string) ([]*PlanInfo, error) {
 
 // QueryMode runs a SELECT under a specific optimizer mode with the buffer
 // pool dropped first, so Result.IO reflects a cold cache — the paper's
-// measurement setting. The plan, IO and per-operator metrics ride on the
-// Result. Per-query limits apply; if the optimizer budget trips, the plan
-// degrades down the ladder and Result.Plan reports the fallback.
-func (e *Engine) QueryMode(ctx context.Context, src string, mode OptimizerMode) (res *Result, err error) {
-	defer recoverToError(&err, src)
-	stmt, err := sql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return nil, fmt.Errorf("aggview: QueryMode requires a SELECT")
-	}
-	rows, err := e.openRows(ctx, sel, src, rowsOptions{mode: mode, cold: true})
-	if err != nil {
-		return nil, err
-	}
-	return rows.materialize()
+// measurement setting.
+//
+// Deprecated: QueryMode is Query with WithMode and WithColdCache; call
+// Query directly.
+func (e *Engine) QueryMode(ctx context.Context, src string, mode OptimizerMode) (*Result, error) {
+	return e.Query(ctx, src, WithMode(mode), WithColdCache())
 }
 
 // WriteCSV streams a base table as CSV (see cmd/datagen).

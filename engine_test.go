@@ -55,7 +55,7 @@ func itoa(n int) string {
 
 func TestEngineDDLAndQuery(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`select e.dno, avg(e.sal) as asal from emp e group by e.dno order by dno`)
+	res, err := e.Query(context.Background(), `select e.dno, avg(e.sal) as asal from emp e group by e.dno order by dno`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestEngineDDLAndQuery(t *testing.T) {
 
 func TestEngineNestedSubquery(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`
+	res, err := e.Query(context.Background(), `
 		select e1.sal from emp e1
 		where e1.age < 30 and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`)
 	if err != nil {
@@ -88,7 +88,7 @@ func TestEngineViewsAndModesAgree(t *testing.T) {
 	q := `select e1.sal from emp e1, a1 b where e1.dno = b.dno and e1.sal > b.asal and e1.age < 40`
 	var first *Result
 	for _, mode := range []OptimizerMode{Traditional, PushDown, Full} {
-		res, err := e.QueryMode(context.Background(), q, mode)
+		res, err := e.Query(context.Background(), q, WithMode(mode), WithColdCache())
 		if err != nil {
 			t.Fatalf("[%v] %v", mode, err)
 		}
@@ -133,7 +133,7 @@ func TestEngineExplain(t *testing.T) {
 
 func TestEngineLimit(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`select eno from emp order by eno limit 5`)
+	res, err := e.Query(context.Background(), `select eno from emp order by eno limit 5`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestEngineWriteCSV(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	e := setupEmpDept(t)
-	if _, err := e.Query(`create table t2 (a int)`); err == nil {
+	if _, err := e.Query(context.Background(), `create table t2 (a int)`); err == nil {
 		t.Errorf("Query accepted DDL")
 	}
 	if _, err := e.Exec(`insert into nosuch values (1)`); err == nil {
@@ -218,7 +218,7 @@ func TestEngineNegativeLiterals(t *testing.T) {
 	e := Open(Config{})
 	e.MustExec(`create table t (a int, b float)`)
 	e.MustExec(`insert into t values (-5, -2.5)`)
-	res, err := e.Query(`select a, b from t`)
+	res, err := e.Query(context.Background(), `select a, b from t`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestEngineSystemRJoins(t *testing.T) {
 func TestEngineWithConfigSharesData(t *testing.T) {
 	e := setupEmpDept(t)
 	e2 := e.WithConfig(Config{Mode: PushDown, KLevelPullUp: 1})
-	res, err := e2.Query(`select count(*) from emp`)
+	res, err := e2.Query(context.Background(), `select count(*) from emp`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestEngineWithConfigSharesData(t *testing.T) {
 
 func TestEngineResultString(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`select dno, budget from dept order by dno limit 2`)
+	res, err := e.Query(context.Background(), `select dno, budget from dept order by dno limit 2`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestEngineIOStatsLifecycle(t *testing.T) {
 	e := setupEmpDept(t)
 	e.ResetIOStats()
 	e.DropCaches()
-	if _, err := e.Query(`select count(*) from emp`); err != nil {
+	if _, err := e.Query(context.Background(), `select count(*) from emp`); err != nil {
 		t.Fatal(err)
 	}
 	if e.IOStats().Reads == 0 {
@@ -303,7 +303,7 @@ func TestEngineOrderByFloatAndString(t *testing.T) {
 	e := Open(Config{})
 	e.MustExec(`create table t (a varchar(10), b float)`)
 	e.MustExec(`insert into t values ('b', 2.5), ('a', 1.5), ('c', 0.5)`)
-	res, err := e.Query(`select a, b from t order by b desc`)
+	res, err := e.Query(context.Background(), `select a, b from t order by b desc`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestEngineOrderByFloatAndString(t *testing.T) {
 
 func TestEngineHavingPushdownEndToEnd(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`
+	res, err := e.Query(context.Background(), `
 		select dno, count(*) as n from emp
 		group by dno
 		having dno >= 4 and count(*) > 0

@@ -1,6 +1,7 @@
 package aggview_test
 
 import (
+	"context"
 	"fmt"
 
 	"aggview"
@@ -17,7 +18,7 @@ func ExampleEngine_Query() {
 		(4, 2, 80, 20), (5, 2, 90, 21), (6, 2, 10, 50)`)
 	eng.MustExec(`analyze`)
 
-	res, err := eng.Query(`
+	res, err := eng.Query(context.Background(), `
 		select e1.eno, e1.sal from emp e1
 		where e1.age < 22
 		  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
@@ -69,7 +70,7 @@ func ExampleRegisterAggregate() {
 	eng.MustExec(`create table t (g int, v float)`)
 	eng.MustExec(`insert into t values (1, 5), (1, 9), (1, 7), (2, 3), (2, 4)`)
 	eng.MustExec(`analyze`)
-	res, err := eng.Query(`select g, second_largest(v) from t group by g order by g`)
+	res, err := eng.Query(context.Background(), `select g, second_largest(v) from t group by g order by g`)
 	if err != nil {
 		panic(err)
 	}

@@ -35,11 +35,11 @@ func main() {
 				where e1.age < %d
 				  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)`, ageCut)
 
-			trad, err := eng.QueryMode(context.Background(), q, aggview.Traditional)
+			trad, err := eng.Query(context.Background(), q, aggview.WithMode(aggview.Traditional), aggview.WithColdCache())
 			if err != nil {
 				log.Fatal(err)
 			}
-			full, err := eng.QueryMode(context.Background(), q, aggview.Full)
+			full, err := eng.Query(context.Background(), q, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -30,7 +30,7 @@ func main() {
 		  and l.qty < 0.4 * (select avg(l2.qty) from lineitem l2 where l2.partkey = p.partkey)
 		order by price desc limit 10`
 
-	res, err := eng.QueryMode(context.Background(), q17, aggview.Full)
+	res, err := eng.Query(context.Background(), q17, aggview.WithMode(aggview.Full), aggview.WithColdCache())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func main() {
 		where o.custkey = c.custkey and o.total > 50000
 		group by c.nation
 		order by revenue desc limit 5`
-	res2, err := eng.Query(rev)
+	res2, err := eng.Query(context.Background(), rev)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		  and boss.age < 21 and boss.sal > v1.asal
 		order by msal desc limit 8`
 
-	res, err := eng.Query(q)
+	res, err := eng.Query(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

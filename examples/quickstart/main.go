@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 		  and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
 		order by sal desc limit 5`
 
-	res, err := eng.Query(q)
+	res, err := eng.Query(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func TestIntegrationWarehouse(t *testing.T) {
 	for i, q := range queries {
 		var want int = -1
 		for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full} {
-			res, err := eng.QueryMode(context.Background(), q, mode)
+			res, err := eng.Query(context.Background(), q, aggview.WithMode(mode), aggview.WithColdCache())
 			if err != nil {
 				t.Fatalf("query %d mode %v: %v", i, mode, err)
 			}
@@ -120,7 +120,7 @@ func TestIntegrationRandomizedQueries(t *testing.T) {
 		var want = -1
 		var tradCost float64
 		for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.Full} {
-			res, err := eng.QueryMode(context.Background(), q, mode)
+			res, err := eng.Query(context.Background(), q, aggview.WithMode(mode), aggview.WithColdCache())
 			if err != nil {
 				t.Fatalf("trial %d mode %v: %v\nquery: %s", i, mode, err, q)
 			}

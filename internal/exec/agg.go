@@ -18,7 +18,16 @@ type groupByCtx struct {
 	having   func(types.Row) (bool, error) // over the inner schema
 	outputs  []expr.Compiled               // over the inner schema; nil = identity
 	scalar   bool                          // no grouping columns: always emit one row
+
+	arena     rowArena     // backs group keys and finished output rows
+	inner     types.Row    // reusable scratch when outputs re-project the inner row
+	stateSlab []groupState // slab for group states (one alloc per stateSlabLen groups)
+	accSlab   []expr.Accumulator
 }
+
+// stateSlabLen is how many groupState records (and accumulator slots, scaled
+// by aggregate count) each slab allocation covers.
+const stateSlabLen = 256
 
 func (e *Executor) groupByCtxOf(g *lplan.GroupBy) (*groupByCtx, error) {
 	in := g.In.Schema()
@@ -26,7 +35,8 @@ func (e *Executor) groupByCtxOf(g *lplan.GroupBy) (*groupByCtx, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &groupByCtx{groupPos: groupPos, scalar: len(g.GroupCols) == 0}
+	ctx := &groupByCtx{groupPos: groupPos, scalar: len(g.GroupCols) == 0,
+		arena: rowArena{rec: &e.arenas}}
 	for _, a := range g.Aggs {
 		ctx.aggs = append(ctx.aggs, a)
 		if a.Arg == nil {
@@ -64,8 +74,23 @@ type groupState struct {
 }
 
 func (c *groupByCtx) newState(row types.Row) *groupState {
-	gs := &groupState{accs: make([]expr.Accumulator, len(c.aggs))}
-	gs.groupVals = make(types.Row, len(c.groupPos))
+	// Group states, accumulator slots, and key rows all come from slabs:
+	// a grouped aggregation over many groups costs a handful of allocations
+	// per slab instead of three per group. Slab space is never reused, so a
+	// state stays valid for as long as its group table retains it.
+	if len(c.stateSlab) == 0 {
+		c.stateSlab = make([]groupState, stateSlabLen)
+	}
+	gs := &c.stateSlab[0]
+	c.stateSlab = c.stateSlab[1:]
+	if n := len(c.aggs); n > 0 {
+		if len(c.accSlab) < n {
+			c.accSlab = make([]expr.Accumulator, n*stateSlabLen)
+		}
+		gs.accs = c.accSlab[:n:n]
+		c.accSlab = c.accSlab[n:]
+	}
+	gs.groupVals = c.arena.carve(len(c.groupPos))
 	for i, p := range c.groupPos {
 		gs.groupVals[i] = row[p]
 	}
@@ -97,21 +122,33 @@ func (c *groupByCtx) add(gs *groupState, row types.Row) error {
 // finish converts a group state into the output row, applying Having and
 // Outputs. ok=false means the group was filtered out.
 func (c *groupByCtx) finish(gs *groupState) (types.Row, bool, error) {
-	inner := make(types.Row, 0, len(gs.groupVals)+len(gs.accs))
-	inner = append(inner, gs.groupVals...)
-	for _, acc := range gs.accs {
-		inner = append(inner, acc.Result())
+	// Without an output projection the inner row is the emitted row, so it
+	// is carved from the arena (a Having rejection wastes the carve, which
+	// is slab space, not an allocation). With outputs, the inner row only
+	// feeds the evaluators and lives in a reusable scratch buffer.
+	if c.outputs == nil {
+		inner := c.arena.carve(len(gs.groupVals) + len(gs.accs))
+		n := copy(inner, gs.groupVals)
+		for i, acc := range gs.accs {
+			inner[n+i] = acc.Result()
+		}
+		keep, err := c.having(inner)
+		if err != nil || !keep {
+			return nil, false, err
+		}
+		return inner, true, nil
 	}
-	keep, err := c.having(inner)
+	c.inner = append(c.inner[:0], gs.groupVals...)
+	for _, acc := range gs.accs {
+		c.inner = append(c.inner, acc.Result())
+	}
+	keep, err := c.having(c.inner)
 	if err != nil || !keep {
 		return nil, false, err
 	}
-	if c.outputs == nil {
-		return inner, true, nil
-	}
-	out := make(types.Row, len(c.outputs))
+	out := c.arena.carve(len(c.outputs))
 	for i, fn := range c.outputs {
-		v, err := fn(inner)
+		v, err := fn(c.inner)
 		if err != nil {
 			return nil, false, err
 		}
@@ -120,7 +157,7 @@ func (c *groupByCtx) finish(gs *groupState) (types.Row, bool, error) {
 	return out, true, nil
 }
 
-func (e *Executor) buildGroupBy(g *lplan.GroupBy) (iterator, error) {
+func (e *Executor) buildGroupBy(g *lplan.GroupBy) (BatchIterator, error) {
 	ctx, err := e.groupByCtxOf(g)
 	if err != nil {
 		return nil, err
@@ -131,7 +168,10 @@ func (e *Executor) buildGroupBy(g *lplan.GroupBy) (iterator, error) {
 	}
 	switch g.Method {
 	case lplan.AggSort:
-		return &sortAggIter{ctx: ctx, in: newSortIter(e, in, ctx.groupPos)}, nil
+		return &sortAggIter{
+			ctx: ctx, target: e.batchSize,
+			in: newRowIter(newSortIter(e, in, ctx.groupPos)),
+		}, nil
 	case lplan.AggHash, lplan.AggUnset:
 		return &hashAggIter{exec: e, ctx: ctx, in: in}, nil
 	default:
@@ -140,11 +180,12 @@ func (e *Executor) buildGroupBy(g *lplan.GroupBy) (iterator, error) {
 }
 
 // hashAggIter aggregates through an in-memory group table, partitioning the
-// input to spill files when the table exceeds the budget.
+// input to spill files when the table exceeds the budget. The input drains
+// batch-at-a-time; the finished groups stream out in batches.
 type hashAggIter struct {
 	exec *Executor
 	ctx  *groupByCtx
-	in   iterator
+	in   BatchIterator
 
 	// parts holds the overflow partitions as a field (not an Open local) so
 	// Close drops them when Open fails after partitioning started.
@@ -166,7 +207,7 @@ func (it *hashAggIter) Open() error {
 		return it.parts[h.Sum32()%aggPartitions].add(row)
 	}
 
-	err := drain(it.in, func(row types.Row) error {
+	err := drainBatches(it.in, func(row types.Row) error {
 		buf = row.AppendKey(buf[:0], it.ctx.groupPos)
 		// Rows of groups already resident keep accumulating in memory, so a
 		// group never splits between the table and the partitions.
@@ -208,8 +249,8 @@ func (it *hashAggIter) Open() error {
 
 	// The in-memory shard. Note: when partitioning kicked in, rows for
 	// groups that were already in the table kept accumulating there (see
-	// drain above: lookup happens before the partition check), so a group
-	// never splits between the table and the partitions.
+	// the drain above: lookup happens before the partition check), so a
+	// group never splits between the table and the partitions.
 	for _, gs := range groups {
 		if err := emit(gs); err != nil {
 			return err
@@ -257,14 +298,14 @@ func (it *hashAggIter) Open() error {
 		}
 	}
 
-	it.out = &sliceIter{rows: rows}
+	it.out = newSliceIter(rows, it.exec.batchSize)
 	return it.out.Open()
 }
 
-func (it *hashAggIter) Next() (types.Row, bool, error) { return it.out.Next() }
+func (it *hashAggIter) NextBatch(dst *Batch) error { return it.out.NextBatch(dst) }
 
 func (it *hashAggIter) Close() error {
-	it.in.Close() // drain already closed it on the Open path; idempotent
+	it.in.Close() // drainBatches already closed it on the Open path; idempotent
 	for _, p := range it.parts {
 		p.drop()
 	}
@@ -273,10 +314,12 @@ func (it *hashAggIter) Close() error {
 }
 
 // sortAggIter aggregates an input sorted on the grouping columns by
-// streaming group boundaries.
+// streaming group boundaries. Boundary detection is row-wise over a rowIter
+// view of the sort; finished groups accumulate into output batches.
 type sortAggIter struct {
-	ctx *groupByCtx
-	in  *sortIter
+	ctx    *groupByCtx
+	target int
+	in     *rowIter
 
 	cur     *groupState
 	curKey  []byte
@@ -290,7 +333,11 @@ func (it *sortAggIter) Open() error {
 	return it.in.Open()
 }
 
-func (it *sortAggIter) Next() (types.Row, bool, error) {
+func (it *sortAggIter) NextBatch(dst *Batch) error {
+	return fillFromStep(dst, it.target, it.step)
+}
+
+func (it *sortAggIter) step() (types.Row, bool, error) {
 	var buf []byte
 	for {
 		if it.done {

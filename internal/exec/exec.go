@@ -1,13 +1,3 @@
-// Package exec is a Volcano-style executor for lplan trees.
-//
-// Every operator that exceeds the memory budget spills through the storage
-// layer — external sort runs, Grace hash-join partitions, hash-aggregate
-// partitions, block-nested-loops inner materialization — so the IO counters
-// of the backing store reflect the same trade-offs the cost model estimates.
-// The executor exists for two reasons: to machine-check that transformed
-// plans are equivalent (the paper's Definition 1 and the push-down
-// transformations), and to validate the cost model's shape against measured
-// page IO in the experiment harness.
 package exec
 
 import (
@@ -34,9 +24,14 @@ type Executor struct {
 	// budgetBytes is the memory an operator may hold before spilling,
 	// mirroring the cost model's PoolPages budget.
 	budgetBytes int
-	// gov, when set, is ticked once per output row (cancellation and row
-	// limits); page-IO granularity checks run inside the storage layer via
-	// the session's IO hook. A nil governor means ungoverned.
+	// batchSize is the target rows per Batch. DefaultBatchSize unless
+	// overridden via WithBatchSize (a size of 1 is the row-at-a-time
+	// reference configuration used by the differential harness).
+	batchSize int
+	// gov, when set, is ticked once per output batch (cancellation and row
+	// limits, with an exact cutoff inside the final batch); page-IO
+	// granularity checks run inside the storage layer via the session's IO
+	// hook. A nil governor means ungoverned.
 	gov *govern.Governor
 	// col, when set, receives per-operator runtime metrics: every operator
 	// is wrapped in a metering iterator registered against its plan node.
@@ -46,6 +41,9 @@ type Executor struct {
 	// the plan tree itself), so a cached plan containing parameters is
 	// reusable across executions with different arguments.
 	params []types.Value
+	// arenas tracks the pooled row-arena slabs carved by this executor's
+	// operators; the cursor returns them on Close. See arenaRecycler.
+	arenas arenaRecycler
 }
 
 // New creates an executor whose operators spill once they exceed the
@@ -55,6 +53,7 @@ func New(store *storage.Store) *Executor {
 		store:       store,
 		pg:          store,
 		budgetBytes: store.PoolPages() * storage.PageSize,
+		batchSize:   DefaultBatchSize,
 	}
 }
 
@@ -87,6 +86,18 @@ func (e *Executor) WithCollector(c *obs.Collector) *Executor {
 // tree is left untouched.
 func (e *Executor) WithParams(vals []types.Value) *Executor {
 	e.params = vals
+	return e
+}
+
+// WithBatchSize overrides the target rows per batch and returns the
+// executor. Sizes below 1 are ignored. Batch size never changes results,
+// IO, or spill behavior — only the granularity of inter-operator calls —
+// and the differential harness holds the engine to that by running every
+// workload at size 1 against the default.
+func (e *Executor) WithBatchSize(n int) *Executor {
+	if n > 0 {
+		e.batchSize = n
+	}
 	return e
 }
 
@@ -132,7 +143,9 @@ type Result struct {
 	Rows   []types.Row
 }
 
-// Run executes the plan and materializes its output.
+// Run executes the plan and materializes its output. Rows are cloned out
+// of the cursor: cursor rows live in arena slabs that are recycled on
+// Close, and Run's result must outlive the cursor.
 func (e *Executor) Run(n lplan.Node) (*Result, error) {
 	cur, err := e.OpenCursor(n)
 	if err != nil {
@@ -148,19 +161,28 @@ func (e *Executor) Run(n lplan.Node) (*Result, error) {
 		if !ok {
 			return res, nil
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, row.Clone())
 	}
 }
 
-// Cursor is a streaming handle over an open operator tree. Next pulls one
-// row at a time, ticking the governor (cancellation, row limits) per row.
-// Close releases operator resources (spill files) and is idempotent; it
-// must be called even when Next returns an error.
+// Cursor is a streaming handle over an open operator tree. It pulls whole
+// batches from the tree and hands rows out one at a time, ticking the
+// governor once per batch (cancellation, row limits) rather than once per
+// row. Row-limit cutoffs are exact: when a batch crosses MaxRowsOut, the
+// allowed prefix is still delivered row by row and the limit error
+// surfaces on the pull after the last permitted row — byte-identical
+// behavior to a row-at-a-time executor. Close releases operator resources
+// (spill files) and is idempotent; it must be called even when Next
+// returns an error.
 type Cursor struct {
-	it     iterator
-	ex     *Executor
-	sch    schema.Schema
-	closed bool
+	it      BatchIterator
+	ex      *Executor
+	sch     schema.Schema
+	b       *Batch
+	pos     int
+	eos     bool
+	pending error // governance error to surface after the allowed prefix
+	closed  bool
 }
 
 // OpenCursor validates and compiles the plan, opens the operator tree, and
@@ -176,11 +198,14 @@ func (e *Executor) OpenCursor(n lplan.Node) (*Cursor, error) {
 	}
 	if err := it.Open(); err != nil {
 		// A partially opened operator tree (e.g. a grace join that spilled
-		// its build side before its probe failed) must still drop its spills.
+		// its build side before its probe failed) must still drop its spills
+		// — and any arena slabs carved while materializing (hash builds run
+		// inside Open).
 		it.Close()
+		e.arenas.release()
 		return nil, err
 	}
-	return &Cursor{it: it, ex: e, sch: n.Schema()}, nil
+	return &Cursor{it: it, ex: e, sch: n.Schema(), b: getBatch()}, nil
 }
 
 // Schema returns the output schema of the plan.
@@ -188,14 +213,33 @@ func (c *Cursor) Schema() schema.Schema { return c.sch }
 
 // Next returns the next row. ok is false at end of stream.
 func (c *Cursor) Next() (types.Row, bool, error) {
-	row, ok, err := c.it.Next()
-	if err != nil || !ok {
-		return nil, false, err
+	for {
+		if c.pos < len(c.b.Rows) {
+			row := c.b.Rows[c.pos]
+			c.pos++
+			return row, true, nil
+		}
+		if c.pending != nil {
+			return nil, false, c.pending
+		}
+		if c.eos {
+			return nil, false, nil
+		}
+		if err := c.it.NextBatch(c.b); err != nil {
+			return nil, false, err
+		}
+		c.pos = 0
+		if c.b.Len() == 0 {
+			c.eos = true
+			continue
+		}
+		allowed, err := c.ex.gov.TickRows(int64(c.b.Len()))
+		if err != nil {
+			// Deliver the in-budget prefix, then surface the error.
+			c.b.Rows = c.b.Rows[:allowed]
+			c.pending = err
+		}
 	}
-	if err := c.ex.gov.TickRow(); err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
 }
 
 // Close releases the operator tree's resources. Safe to call repeatedly.
@@ -204,19 +248,19 @@ func (c *Cursor) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.it.Close()
+	putBatch(c.b)
+	c.b = nil
+	err := c.it.Close()
+	// Safe only now: the operator tree is gone, the engine has copied every
+	// row it hands out before closing, and nothing else can reference rows
+	// carved from this executor's slabs.
+	c.ex.arenas.release()
+	return err
 }
 
-// iterator is the Volcano operator interface.
-type iterator interface {
-	Open() error
-	Next() (types.Row, bool, error)
-	Close() error
-}
-
-// build compiles a plan node into an iterator tree, wrapping every operator
+// build compiles a plan node into an operator tree, wrapping every operator
 // in a metering iterator when a collector is attached.
-func (e *Executor) build(n lplan.Node) (iterator, error) {
+func (e *Executor) build(n lplan.Node) (BatchIterator, error) {
 	it, err := e.buildOp(n)
 	if err != nil || e.col == nil {
 		return it, err
@@ -226,7 +270,7 @@ func (e *Executor) build(n lplan.Node) (iterator, error) {
 
 // buildOp compiles a single plan node (children recurse through build, so
 // they pick up their own metering wrappers).
-func (e *Executor) buildOp(n lplan.Node) (iterator, error) {
+func (e *Executor) buildOp(n lplan.Node) (BatchIterator, error) {
 	switch t := n.(type) {
 	case *lplan.Scan:
 		return e.buildScan(t)
@@ -298,15 +342,18 @@ func compilePreds(preds []expr.Expr, s schema.Schema) (func(types.Row) (bool, er
 }
 
 // scanIter reads a base table, filters, optionally appends $tid, projects.
+// It is fully vectorized: one NextBatch call consumes as many storage rows
+// as it takes to fill the batch (or hit end of file).
 type scanIter struct {
 	exec   *Executor
 	node   *lplan.Scan
 	filter func(types.Row) (bool, error)
 	proj   []int // indexes into the (possibly tid-extended) base row; nil = all
 	sc     *storage.Scanner
+	arena  rowArena // backs tid-extended and projected output rows
 }
 
-func (e *Executor) buildScan(s *lplan.Scan) (iterator, error) {
+func (e *Executor) buildScan(s *lplan.Scan) (BatchIterator, error) {
 	base := s.Table.Schema.Rename(s.Alias)
 	if s.WithTID {
 		base = append(base, schema.Column{
@@ -323,7 +370,8 @@ func (e *Executor) buildScan(s *lplan.Scan) (iterator, error) {
 			return nil, err
 		}
 	}
-	return &scanIter{exec: e, node: s, filter: filter, proj: proj}, nil
+	return &scanIter{exec: e, node: s, filter: filter, proj: proj,
+		arena: rowArena{rec: &e.arenas}}, nil
 }
 
 func (it *scanIter) Open() error {
@@ -331,74 +379,108 @@ func (it *scanIter) Open() error {
 	return nil
 }
 
-func (it *scanIter) Next() (types.Row, bool, error) {
-	for {
+func (it *scanIter) NextBatch(dst *Batch) error {
+	dst.Reset()
+	target := it.exec.batchSize
+	for dst.Len() < target {
 		row, rid, ok, err := it.sc.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 		if it.node.WithTID {
-			row = append(row.Clone(), types.NewInt(rid))
+			ext := it.arena.carve(len(row) + 1)
+			copy(ext, row)
+			ext[len(row)] = types.NewInt(rid)
+			row = ext
 		}
 		keep, err := it.filter(row)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if !keep {
 			continue
 		}
 		if it.proj != nil {
-			out := make(types.Row, len(it.proj))
+			out := it.arena.carve(len(it.proj))
 			for i, j := range it.proj {
 				out[i] = row[j]
 			}
 			row = out
 		}
-		return row, true, nil
+		dst.Append(row)
 	}
+	return nil
 }
 
 func (it *scanIter) Close() error { return nil }
 
-// filterIter applies residual predicates.
+// filterIter applies residual predicates batch-at-a-time: it keeps pulling
+// input batches until the output batch is full or the input is exhausted,
+// so a selective filter still hands full batches downstream.
 type filterIter struct {
-	in   iterator
-	pred func(types.Row) (bool, error)
+	in      BatchIterator
+	pred    func(types.Row) (bool, error)
+	target  int
+	scratch *Batch
+	done    bool
 }
 
-func (e *Executor) newFilterIter(in iterator, preds []expr.Expr, s schema.Schema) (iterator, error) {
+func (e *Executor) newFilterIter(in BatchIterator, preds []expr.Expr, s schema.Schema) (BatchIterator, error) {
 	pred, err := e.compilePreds(preds, s)
 	if err != nil {
 		return nil, err
 	}
-	return &filterIter{in: in, pred: pred}, nil
+	return &filterIter{in: in, pred: pred, target: e.batchSize}, nil
 }
 
-func (it *filterIter) Open() error { return it.in.Open() }
-func (it *filterIter) Next() (types.Row, bool, error) {
-	for {
-		row, ok, err := it.in.Next()
-		if err != nil || !ok {
-			return nil, false, err
+func (it *filterIter) Open() error {
+	it.scratch = getBatch()
+	it.done = false
+	return it.in.Open()
+}
+
+func (it *filterIter) NextBatch(dst *Batch) error {
+	dst.Reset()
+	for !it.done && dst.Len() < it.target {
+		if err := it.in.NextBatch(it.scratch); err != nil {
+			return err
 		}
-		keep, err := it.pred(row)
-		if err != nil {
-			return nil, false, err
+		if it.scratch.Len() == 0 {
+			it.done = true
+			return nil
 		}
-		if keep {
-			return row, true, nil
+		for _, row := range it.scratch.Rows {
+			keep, err := it.pred(row)
+			if err != nil {
+				return err
+			}
+			if keep {
+				dst.Append(row)
+			}
 		}
 	}
+	return nil
 }
-func (it *filterIter) Close() error { return it.in.Close() }
 
-// projectIter computes output expressions.
+func (it *filterIter) Close() error {
+	putBatch(it.scratch)
+	it.scratch = nil
+	return it.in.Close()
+}
+
+// projectIter computes output expressions over each input batch. Output
+// cardinality equals input cardinality, so one input batch fills one
+// output batch.
 type projectIter struct {
-	in    iterator
-	exprs []expr.Compiled
+	in      BatchIterator
+	exprs   []expr.Compiled
+	scratch *Batch
 }
 
-func (e *Executor) newProjectIter(in iterator, items []lplan.NamedExpr, s schema.Schema) (iterator, error) {
+func (e *Executor) newProjectIter(in BatchIterator, items []lplan.NamedExpr, s schema.Schema) (BatchIterator, error) {
 	exprs := make([]expr.Compiled, len(items))
 	for i, ne := range items {
 		c, err := e.compileExpr(ne.E, s)
@@ -410,23 +492,35 @@ func (e *Executor) newProjectIter(in iterator, items []lplan.NamedExpr, s schema
 	return &projectIter{in: in, exprs: exprs}, nil
 }
 
-func (it *projectIter) Open() error { return it.in.Open() }
-func (it *projectIter) Next() (types.Row, bool, error) {
-	row, ok, err := it.in.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	out := make(types.Row, len(it.exprs))
-	for i, c := range it.exprs {
-		v, err := c(row)
-		if err != nil {
-			return nil, false, err
-		}
-		out[i] = v
-	}
-	return out, true, nil
+func (it *projectIter) Open() error {
+	it.scratch = getBatch()
+	return it.in.Open()
 }
-func (it *projectIter) Close() error { return it.in.Close() }
+
+func (it *projectIter) NextBatch(dst *Batch) error {
+	dst.Reset()
+	if err := it.in.NextBatch(it.scratch); err != nil {
+		return err
+	}
+	for _, row := range it.scratch.Rows {
+		out := make(types.Row, len(it.exprs))
+		for i, c := range it.exprs {
+			v, err := c(row)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		dst.Append(out)
+	}
+	return nil
+}
+
+func (it *projectIter) Close() error {
+	putBatch(it.scratch)
+	it.scratch = nil
+	return it.in.Close()
+}
 
 // projRow applies a precomputed index projection, or returns the row as-is.
 func projRow(row types.Row, proj []int) types.Row {
@@ -439,44 +533,6 @@ func projRow(row types.Row, proj []int) types.Row {
 	}
 	return out
 }
-
-// drain reads an iterator to completion, invoking fn per row. Close runs
-// even when Open fails, so a partially opened subtree releases its spills.
-func drain(it iterator, fn func(types.Row) error) error {
-	defer it.Close()
-	if err := it.Open(); err != nil {
-		return err
-	}
-	for {
-		row, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		if err := fn(row); err != nil {
-			return err
-		}
-	}
-}
-
-// sliceIter yields an in-memory row slice.
-type sliceIter struct {
-	rows []types.Row
-	pos  int
-}
-
-func (it *sliceIter) Open() error { it.pos = 0; return nil }
-func (it *sliceIter) Next() (types.Row, bool, error) {
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
-}
-func (it *sliceIter) Close() error { return nil }
 
 // spill is a temporary file owned by an operator. It registers with the
 // store's temp-file census, so a leaked spill shows up in LiveTempFiles.
@@ -515,9 +571,12 @@ func (s *spill) drop() {
 // operator's attribution frame around every lifecycle call, so page IO
 // charged by the storage hook lands on the innermost active operator:
 // children are wrapped too, making the page counters exclusive (self-only)
-// while the wall times stay inclusive of children.
+// while the wall times stay inclusive of children. Metering is the textbook
+// beneficiary of batching — one Enter/Leave frame and one clock pair per
+// batch instead of per row — while RowsOut stays exact (the sum of batch
+// lengths).
 type meteredIter struct {
-	in  iterator
+	in  BatchIterator
 	st  *obs.OpStats
 	col *obs.Collector
 }
@@ -531,17 +590,17 @@ func (m *meteredIter) Open() error {
 	return err
 }
 
-func (m *meteredIter) Next() (types.Row, bool, error) {
+func (m *meteredIter) NextBatch(dst *Batch) error {
 	m.col.Enter(m.st)
 	start := time.Now()
-	row, ok, err := m.in.Next()
+	err := m.in.NextBatch(dst)
 	m.st.NextNS += time.Since(start).Nanoseconds()
 	m.col.Leave()
 	m.st.NextCalls++
-	if ok && err == nil {
-		m.st.RowsOut++
+	if err == nil {
+		m.st.RowsOut += int64(dst.Len())
 	}
-	return row, ok, err
+	return err
 }
 
 func (m *meteredIter) Close() error {

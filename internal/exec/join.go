@@ -16,8 +16,10 @@ import (
 type joinCommon struct {
 	lKeys, rKeys []int // equi-join column positions (parallel slices)
 	residual     func(types.Row) (bool, error)
-	proj         []int // output projection over concat schema; nil = all
-	lWidth       int   // arity of the left input
+	proj         []int     // output projection over concat schema; nil = all
+	lWidth       int       // arity of the left input
+	scratch      types.Row // reusable concat buffer for residual evaluation
+	arena        rowArena  // backs emitted output rows
 }
 
 func (e *Executor) joinCommonOf(j *lplan.Join) (*joinCommon, error) {
@@ -62,10 +64,11 @@ func (e *Executor) joinCommonOf(j *lplan.Join) (*joinCommon, error) {
 	return &joinCommon{
 		lKeys: lKeys, rKeys: rKeys,
 		residual: residual, proj: proj, lWidth: len(ls),
+		arena: rowArena{rec: &e.arenas},
 	}, nil
 }
 
-func (e *Executor) buildJoin(j *lplan.Join) (iterator, error) {
+func (e *Executor) buildJoin(j *lplan.Join) (BatchIterator, error) {
 	jc, err := e.joinCommonOf(j)
 	if err != nil {
 		return nil, err
@@ -80,7 +83,10 @@ func (e *Executor) buildJoin(j *lplan.Join) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &hashJoinIter{exec: e, jc: jc, probe: l, buildNode: j.R}, nil
+		return &hashJoinIter{
+			exec: e, jc: jc, target: e.batchSize,
+			probeSrc: l, probe: newRowIter(l), buildNode: j.R,
+		}, nil
 	case lplan.JoinBlockNL:
 		return e.buildBlockNL(j, jc)
 	case lplan.JoinIndexNL:
@@ -98,9 +104,9 @@ func (e *Executor) buildJoin(j *lplan.Join) (iterator, error) {
 			return nil, err
 		}
 		return &mergeJoinIter{
-			jc: jc,
-			l:  newSortIter(e, l, jc.lKeys),
-			r:  newSortIter(e, r, jc.rKeys),
+			jc: jc, target: e.batchSize,
+			l: newRowIter(newSortIter(e, l, jc.lKeys)),
+			r: newRowIter(newSortIter(e, r, jc.rKeys)),
 		}, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown join method %v", j.Method)
@@ -109,23 +115,55 @@ func (e *Executor) buildJoin(j *lplan.Join) (iterator, error) {
 
 // emit applies residual predicates and projection to a joined row pair.
 func (jc *joinCommon) emit(l, r types.Row) (types.Row, bool, error) {
-	row := make(types.Row, 0, len(l)+len(r))
-	row = append(row, l...)
-	row = append(row, r...)
-	ok, err := jc.residual(row)
+	// The concat row only feeds the residual predicate and the projection
+	// copy below, so it lives in a reusable scratch buffer; the emitted row
+	// is always a fresh arena carve and never aliases it.
+	jc.scratch = append(append(jc.scratch[:0], l...), r...)
+	ok, err := jc.residual(jc.scratch)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	return projRow(row, jc.proj), true, nil
+	if jc.proj == nil {
+		out := jc.arena.carve(len(jc.scratch))
+		copy(out, jc.scratch)
+		return out, true, nil
+	}
+	out := jc.arena.carve(len(jc.proj))
+	for i, j := range jc.proj {
+		out[i] = jc.scratch[j]
+	}
+	return out, true, nil
+}
+
+// fillFromStep is the shared NextBatch body of the join and sort-aggregate
+// operators whose matching logic is inherently row- or group-wise: step
+// produces one output row at a time (over batch-fed inputs), and the batch
+// layer simply accumulates up to target rows per call.
+func fillFromStep(dst *Batch, target int, step func() (types.Row, bool, error)) error {
+	dst.Reset()
+	for dst.Len() < target {
+		row, ok, err := step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		dst.Append(row)
+	}
+	return nil
 }
 
 // hashJoinIter builds a hash table on the right input; if the build side
 // exceeds the budget it falls back to Grace partitioning, writing both
-// inputs to spill partitions and joining them pairwise.
+// inputs to spill partitions and joining them pairwise. The probe side
+// streams through a rowIter, so the child still executes batch-at-a-time.
 type hashJoinIter struct {
 	exec      *Executor
 	jc        *joinCommon
-	probe     iterator
+	target    int
+	probeSrc  BatchIterator // the built left child (drained directly on grace)
+	probe     *rowIter      // row view of probeSrc for the in-memory path
 	buildNode lplan.Node
 
 	// in-memory path
@@ -133,7 +171,9 @@ type hashJoinIter struct {
 	// grace path
 	lParts, rParts []*spill
 	part           int
-	partProbe      *sliceIter
+	probeRows      []types.Row // current partition's probe rows
+	probePos       int
+	partActive     bool
 
 	pending []types.Row // matches of the current probe row
 	curL    types.Row
@@ -150,7 +190,7 @@ func (it *hashJoinIter) Open() error {
 	// Materialize the build side, counting bytes.
 	var rows []types.Row
 	bytes := 0
-	if err := drain(build, func(r types.Row) error {
+	if err := drainBatches(build, func(r types.Row) error {
 		rows = append(rows, r)
 		bytes += r.DiskWidth()
 		return nil
@@ -186,7 +226,7 @@ func (it *hashJoinIter) Open() error {
 		}
 	}
 	rows = nil
-	if err := drain(it.probe, func(l types.Row) error {
+	if err := drainBatches(it.probeSrc, func(l types.Row) error {
 		buf = l.AppendKey(buf[:0], it.jc.lKeys)
 		return it.lParts[partitionOf(buf)].add(l)
 	}); err != nil {
@@ -210,7 +250,13 @@ func partitionOf(key []byte) int {
 	return int(h.Sum32() % gracePartitions)
 }
 
-func (it *hashJoinIter) Next() (types.Row, bool, error) {
+func (it *hashJoinIter) NextBatch(dst *Batch) error {
+	return fillFromStep(dst, it.target, it.step)
+}
+
+// step produces one joined row, advancing probe rows and (on the grace
+// path) partitions as needed.
+func (it *hashJoinIter) step() (types.Row, bool, error) {
 	var buf []byte
 	for {
 		// Flush pending matches for the current probe row.
@@ -241,18 +287,16 @@ func (it *hashJoinIter) Next() (types.Row, bool, error) {
 		}
 
 		// Grace path: stream the current partition's probe rows.
-		if it.partProbe != nil {
-			l, ok, err := it.partProbe.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if ok {
+		if it.partActive {
+			if it.probePos < len(it.probeRows) {
+				l := it.probeRows[it.probePos]
+				it.probePos++
 				buf = l.AppendKey(buf[:0], it.jc.lKeys)
 				it.curL = l
 				it.pending = it.table[string(buf)]
 				continue
 			}
-			it.partProbe = nil
+			it.partActive = false
 		}
 		// Advance to the next partition.
 		it.part++
@@ -272,7 +316,7 @@ func (it *hashJoinIter) Next() (types.Row, bool, error) {
 			buf = r.AppendKey(buf[:0], it.jc.rKeys)
 			it.table[string(buf)] = append(it.table[string(buf)], r)
 		}
-		var probeRows []types.Row
+		it.probeRows = it.probeRows[:0]
 		lsc := it.lParts[it.part].scan()
 		for {
 			l, _, ok, err := lsc.Next()
@@ -282,16 +326,18 @@ func (it *hashJoinIter) Next() (types.Row, bool, error) {
 			if !ok {
 				break
 			}
-			probeRows = append(probeRows, l)
+			it.probeRows = append(it.probeRows, l)
 		}
-		it.partProbe = &sliceIter{rows: probeRows}
+		it.probePos = 0
+		it.partActive = true
 	}
 }
 
 func (it *hashJoinIter) Close() error {
 	// Unconditional cascade: Close is idempotent at every lifecycle point
-	// (before Open, after a failed Open, mid-Next). On the grace path the
-	// probe was already closed by drain; closing again is harmless.
+	// (before Open, after a failed Open, mid-step). On the grace path the
+	// probe source was already closed by drainBatches; closing again is
+	// harmless.
 	it.probe.Close()
 	for _, p := range it.lParts {
 		p.drop()
@@ -308,32 +354,33 @@ func (it *hashJoinIter) Close() error {
 // charges the repeated reads); any other inner is materialized to a spill
 // file first.
 type blockNLIter struct {
-	exec  *Executor
-	jc    *joinCommon
-	outer iterator
-	inner func() (iterator, error) // fresh inner scan per block
+	exec   *Executor
+	jc     *joinCommon
+	target int
+	outer  *rowIter
+	inner  func() (BatchIterator, error) // fresh inner scan per block
 	// matSrc is a non-base-table inner, materialized to a spill at Open
 	// (not at build time: build must not allocate resources, so an error
 	// while assembling the tree can never leak files).
-	matSrc iterator
+	matSrc BatchIterator
 
 	spilled *spill
 	block   []types.Row
-	inIt    iterator
+	inIt    *rowIter
 	inRow   types.Row
 	pos     int
 	done    bool
 }
 
-func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (iterator, error) {
+func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (BatchIterator, error) {
 	outer, err := e.build(j.L)
 	if err != nil {
 		return nil, err
 	}
-	it := &blockNLIter{exec: e, jc: jc, outer: outer}
+	it := &blockNLIter{exec: e, jc: jc, target: e.batchSize, outer: newRowIter(outer)}
 	if _, isScan := j.R.(*lplan.Scan); isScan {
 		inner := j.R
-		it.inner = func() (iterator, error) { return e.build(inner) }
+		it.inner = func() (BatchIterator, error) { return e.build(inner) }
 	} else {
 		in, err := e.build(j.R)
 		if err != nil {
@@ -344,34 +391,21 @@ func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (iterator, error)
 	return it, nil
 }
 
-// spillIter scans a spill file.
-type spillIter struct {
-	sp *spill
-	sc interface {
-		Next() (types.Row, int64, bool, error)
-	}
-}
-
-func (it *spillIter) Open() error { it.sc = it.sp.scan(); return nil }
-func (it *spillIter) Next() (types.Row, bool, error) {
-	r, _, ok, err := it.sc.Next()
-	return r, ok, err
-}
-func (it *spillIter) Close() error { return nil }
-
 func (it *blockNLIter) Open() error {
 	if it.matSrc != nil && it.spilled == nil {
 		// Materialize the inner once, then scan the spill per block. The
 		// spill is assigned before writing so Close drops it on any error.
 		sp := newSpill(it.exec.pg, "bnl-inner")
 		it.spilled = sp
-		if err := drain(it.matSrc, func(r types.Row) error { return sp.add(r) }); err != nil {
+		if err := drainBatches(it.matSrc, func(r types.Row) error { return sp.add(r) }); err != nil {
 			return err
 		}
 		if err := sp.finish(); err != nil {
 			return err
 		}
-		it.inner = func() (iterator, error) { return &spillIter{sp: sp}, nil }
+		it.inner = func() (BatchIterator, error) {
+			return &spillIter{sp: sp, target: it.exec.batchSize}, nil
+		}
 	}
 	if err := it.outer.Open(); err != nil {
 		return err
@@ -406,16 +440,25 @@ func (it *blockNLIter) nextBlock() error {
 	if err != nil {
 		return err
 	}
-	if err := in.Open(); err != nil {
+	inRows := newRowIter(in)
+	if err := inRows.Open(); err != nil {
+		inRows.Close()
 		return err
 	}
-	it.inIt = in
+	if it.inIt != nil {
+		it.inIt.Close()
+	}
+	it.inIt = inRows
 	it.inRow = nil
 	it.pos = 0
 	return nil
 }
 
-func (it *blockNLIter) Next() (types.Row, bool, error) {
+func (it *blockNLIter) NextBatch(dst *Batch) error {
+	return fillFromStep(dst, it.target, it.step)
+}
+
+func (it *blockNLIter) step() (types.Row, bool, error) {
 	for {
 		if it.done {
 			return nil, false, nil
@@ -427,6 +470,7 @@ func (it *blockNLIter) Next() (types.Row, bool, error) {
 			}
 			if !ok {
 				it.inIt.Close()
+				it.inIt = nil
 				if err := it.nextBlock(); err != nil {
 					return nil, false, err
 				}
@@ -470,6 +514,7 @@ func (it *blockNLIter) Close() error {
 	}
 	if it.inIt != nil {
 		it.inIt.Close()
+		it.inIt = nil
 	}
 	it.spilled.drop()
 	it.spilled = nil
@@ -480,7 +525,8 @@ func (it *blockNLIter) Close() error {
 type indexNLIter struct {
 	exec    *Executor
 	jc      *joinCommon
-	outer   iterator
+	target  int
+	outer   *rowIter
 	scan    *lplan.Scan
 	index   indexLookup
 	rFilter func(types.Row) (bool, error)
@@ -498,7 +544,7 @@ type indexLookup interface {
 	Lookup(key []types.Value) []int64
 }
 
-func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (iterator, error) {
+func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (BatchIterator, error) {
 	scan, ok := j.R.(*lplan.Scan)
 	if !ok {
 		return nil, fmt.Errorf("exec: index-nl join requires a base-table inner")
@@ -562,8 +608,10 @@ func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (iterator, error)
 		exec: e, jc: &joinCommon{
 			// Keys already applied via the index; only residual+emit remain.
 			residual: jc.residual, proj: jc.proj, lWidth: jc.lWidth,
+			arena: rowArena{rec: &e.arenas},
 		},
-		outer: outer, scan: scan, index: ix,
+		target: e.batchSize,
+		outer:  newRowIter(outer), scan: scan, index: ix,
 		rFilter: filter, rProj: proj, withTID: scan.WithTID,
 		lKeyPos: ordered,
 	}, nil
@@ -571,7 +619,11 @@ func (e *Executor) buildIndexNL(j *lplan.Join, jc *joinCommon) (iterator, error)
 
 func (it *indexNLIter) Open() error { return it.outer.Open() }
 
-func (it *indexNLIter) Next() (types.Row, bool, error) {
+func (it *indexNLIter) NextBatch(dst *Batch) error {
+	return fillFromStep(dst, it.target, it.step)
+}
+
+func (it *indexNLIter) step() (types.Row, bool, error) {
 	for {
 		for it.mpos < len(it.matches) {
 			rid := it.matches[it.mpos]
@@ -616,10 +668,13 @@ func (it *indexNLIter) Next() (types.Row, bool, error) {
 func (it *indexNLIter) Close() error { return it.outer.Close() }
 
 // mergeJoinIter joins two inputs sorted on their equi-join keys, buffering
-// the right-side group of equal keys.
+// the right-side group of equal keys. Both sorted inputs stream through
+// rowIter adapters (group-boundary logic is inherently row-wise); the sorts
+// underneath still drain their children batch-at-a-time.
 type mergeJoinIter struct {
-	jc   *joinCommon
-	l, r *sortIter
+	jc     *joinCommon
+	target int
+	l, r   *rowIter
 
 	curL  types.Row
 	group []types.Row // right rows equal to curL's key
@@ -673,7 +728,11 @@ func compareKeys(l types.Row, lKeys []int, r types.Row, rKeys []int) int {
 	return 0
 }
 
-func (it *mergeJoinIter) Next() (types.Row, bool, error) {
+func (it *mergeJoinIter) NextBatch(dst *Batch) error {
+	return fillFromStep(dst, it.target, it.step)
+}
+
+func (it *mergeJoinIter) step() (types.Row, bool, error) {
 	for {
 		for it.curL != nil && it.gpos < len(it.group) {
 			r := it.group[it.gpos]

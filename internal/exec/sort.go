@@ -10,17 +10,19 @@ import (
 
 // sortIter sorts its input by the given column positions (ascending,
 // types.Compare order). Inputs within the memory budget sort in place;
-// larger inputs write sorted runs to spill files and k-way merge them.
+// larger inputs write sorted runs to spill files and k-way merge them. The
+// input drains batch-at-a-time; the sorted output streams out in batches
+// from an in-memory slice or the run merger.
 type sortIter struct {
 	exec *Executor
-	in   iterator
+	in   BatchIterator
 	cols []int
 
-	out  iterator
+	out  BatchIterator
 	runs []*spill
 }
 
-func newSortIter(e *Executor, in iterator, cols []int) *sortIter {
+func newSortIter(e *Executor, in BatchIterator, cols []int) *sortIter {
 	return &sortIter{exec: e, in: in, cols: cols}
 }
 
@@ -48,7 +50,7 @@ func (it *sortIter) Open() error {
 		return nil
 	}
 
-	err := drain(it.in, func(row types.Row) error {
+	err := drainBatches(it.in, func(row types.Row) error {
 		buf = append(buf, row)
 		bytes += row.DiskWidth()
 		if bytes > it.exec.budgetBytes {
@@ -64,7 +66,7 @@ func (it *sortIter) Open() error {
 		sort.SliceStable(buf, func(i, j int) bool {
 			return types.CompareRows(buf[i], buf[j], it.cols) < 0
 		})
-		it.out = &sliceIter{rows: buf}
+		it.out = newSliceIter(buf, it.exec.batchSize)
 		return it.out.Open()
 	}
 	if len(buf) > 0 {
@@ -72,7 +74,7 @@ func (it *sortIter) Open() error {
 			return err
 		}
 	}
-	merge, err := newMergeRuns(it.runs, it.cols)
+	merge, err := newMergeRuns(it.runs, it.cols, it.exec.batchSize)
 	if err != nil {
 		return err
 	}
@@ -80,10 +82,10 @@ func (it *sortIter) Open() error {
 	return it.out.Open()
 }
 
-func (it *sortIter) Next() (types.Row, bool, error) { return it.out.Next() }
+func (it *sortIter) NextBatch(dst *Batch) error { return it.out.NextBatch(dst) }
 
 func (it *sortIter) Close() error {
-	it.in.Close() // drain already closed it on the Open path; idempotent
+	it.in.Close() // drainBatches already closed it on the Open path; idempotent
 	if it.out != nil {
 		it.out.Close()
 	}
@@ -94,12 +96,13 @@ func (it *sortIter) Close() error {
 	return nil
 }
 
-// mergeRuns k-way merges sorted spill runs with a heap. Run scanners come
-// from the spills themselves, so their reads carry the owning query's
-// session attribution.
+// mergeRuns k-way merges sorted spill runs with a heap, emitting batches.
+// Run scanners come from the spills themselves, so their reads carry the
+// owning query's session attribution.
 type mergeRuns struct {
-	cols  []int
-	items mergeHeap
+	cols   []int
+	target int
+	items  mergeHeap
 }
 
 type mergeItem struct {
@@ -126,8 +129,11 @@ func (h *mergeHeap) Pop() any {
 	return x
 }
 
-func newMergeRuns(runs []*spill, cols []int) (*mergeRuns, error) {
-	m := &mergeRuns{cols: cols, items: mergeHeap{cols: cols}}
+func newMergeRuns(runs []*spill, cols []int, target int) (*mergeRuns, error) {
+	if target <= 0 {
+		target = DefaultBatchSize
+	}
+	m := &mergeRuns{cols: cols, target: target, items: mergeHeap{cols: cols}}
 	for _, r := range runs {
 		sc := r.scan()
 		row, _, ok, err := sc.Next()
@@ -144,23 +150,27 @@ func newMergeRuns(runs []*spill, cols []int) (*mergeRuns, error) {
 
 func (m *mergeRuns) Open() error { return nil }
 
-func (m *mergeRuns) Next() (types.Row, bool, error) {
-	if m.items.Len() == 0 {
-		return nil, false, nil
+func (m *mergeRuns) NextBatch(dst *Batch) error {
+	dst.Reset()
+	for dst.Len() < m.target {
+		if m.items.Len() == 0 {
+			return nil
+		}
+		top := m.items.items[0]
+		out := top.row
+		row, _, ok, err := top.sc.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			top.row = row
+			heap.Fix(&m.items, 0)
+		} else {
+			heap.Pop(&m.items)
+		}
+		dst.Append(out)
 	}
-	top := m.items.items[0]
-	out := top.row
-	row, _, ok, err := top.sc.Next()
-	if err != nil {
-		return nil, false, err
-	}
-	if ok {
-		top.row = row
-		heap.Fix(&m.items, 0)
-	} else {
-		heap.Pop(&m.items)
-	}
-	return out, true, nil
+	return nil
 }
 
 func (m *mergeRuns) Close() error { return nil }

@@ -40,7 +40,7 @@ func runUnderModes(e *aggview.Engine, query string, modes []aggview.OptimizerMod
 	out := map[aggview.OptimizerMode]modeRun{}
 	var wantRows = -1
 	for _, m := range modes {
-		res, err := e.QueryMode(context.Background(), query, m)
+		res, err := e.Query(context.Background(), query, aggview.WithMode(m), aggview.WithColdCache())
 		if err != nil {
 			return nil, fmt.Errorf("mode %v: %w", m, err)
 		}

@@ -215,7 +215,7 @@ func runE6(quick bool) (*Table, error) {
 	}
 	var refRows = -1
 	for _, mode := range []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full} {
-		res, err := e.QueryMode(context.Background(), q, mode)
+		res, err := e.Query(context.Background(), q, aggview.WithMode(mode), aggview.WithColdCache())
 		if err != nil {
 			return nil, fmt.Errorf("mode %v: %w", mode, err)
 		}

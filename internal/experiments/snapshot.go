@@ -182,7 +182,7 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 	for _, c := range cases {
 		for _, mode := range modes {
 			m0 := c.eng.Metrics()
-			res, err := c.eng.QueryMode(context.Background(), c.sql, mode)
+			res, err := c.eng.Query(context.Background(), c.sql, aggview.WithMode(mode), aggview.WithColdCache())
 			if err != nil {
 				return nil, err
 			}
@@ -218,12 +218,21 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 			whQueries = append(whQueries, c.sql)
 		}
 	}
-	iters := 5
+	// Every level runs the same total number of queries, so each window is
+	// seconds long regardless of worker count — short windows put GC pauses
+	// and host scheduler noise on the same order as the measurement, which
+	// made cross-level comparisons a coin flip.
+	totalQueries := 2400
+	iters := 40
 	if quick {
-		iters = 2
+		totalQueries, iters = 240, 4
 	}
 	for _, n := range levels {
-		tr, err := measureThroughput(wh, whQueries, n, iters)
+		perWorker := totalQueries / (n * len(whQueries))
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		tr, err := measureThroughput(wh, whQueries, n, perWorker)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +331,7 @@ func measureDurability(quick bool, levels []int, iters int) ([]DurabilityResult,
 					defer wg.Done()
 					for it := 0; it < iters; it++ {
 						for qi := range queries {
-							if _, err := eng.Query(queries[(qi+w)%len(queries)]); err != nil {
+							if _, err := eng.Query(context.Background(), queries[(qi+w)%len(queries)]); err != nil {
 								errCh <- err
 								return
 							}
@@ -442,7 +451,7 @@ func measurePrepared(wh *aggview.Engine, workers, iters int) ([]PreparedResult, 
 	}{
 		{"adhoc", func(w, qi, it int) error {
 			q := preparedWorkload[qi]
-			_, err := wh.Query(inline(q.sql, q.args[it%len(q.args)]))
+			_, err := wh.Query(context.Background(), inline(q.sql, q.args[it%len(q.args)]))
 			return err
 		}},
 		{"prepared-cold", func(w, qi, it int) error {
@@ -527,7 +536,7 @@ func measureThroughput(eng *aggview.Engine, queries []string, workers, iters int
 				for qi := range queries {
 					// Stagger starting points so workers do not convoy on
 					// the same table pages in lockstep.
-					if _, err := eng.Query(queries[(qi+w)%len(queries)]); err != nil {
+					if _, err := eng.Query(context.Background(), queries[(qi+w)%len(queries)]); err != nil {
 						errCh <- err
 						return
 					}

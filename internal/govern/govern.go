@@ -116,6 +116,31 @@ func (g *Governor) TickRow() error {
 	return nil
 }
 
+// TickRows accounts n executor output rows at once — the batch-boundary
+// form of TickRow. It polls cancellation once for the whole batch and
+// returns the number of rows that fit under MaxRowsOut. When the batch
+// crosses the limit the cutoff is exact: allowed reports how many of these
+// n rows the caller may still emit (possibly zero) before surfacing the
+// accompanying ErrRowLimit, so a batched executor emits precisely the same
+// row prefix a row-at-a-time executor would.
+func (g *Governor) TickRows(n int64) (allowed int64, err error) {
+	if g == nil {
+		return n, nil
+	}
+	if err := g.Err(); err != nil {
+		return 0, err
+	}
+	total := g.rowsOut.Add(n)
+	if g.limits.MaxRowsOut > 0 && total > g.limits.MaxRowsOut {
+		allowed = g.limits.MaxRowsOut - (total - n)
+		if allowed < 0 {
+			allowed = 0
+		}
+		return allowed, fmt.Errorf("%w (limit %d rows)", ErrRowLimit, g.limits.MaxRowsOut)
+	}
+	return n, nil
+}
+
 // TickPlan accounts one costed candidate plan in the optimizer.
 func (g *Governor) TickPlan() error {
 	if g == nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // ErrInjected is the base error of every injected storage fault; callers
@@ -34,8 +35,12 @@ type FaultPlan struct {
 	Err error
 }
 
-// faultState is the live injector: the plan plus the IO counter.
+// faultState is the live injector: the plan plus the IO counter. It carries
+// its own mutex — the store no longer has a global lock to piggyback on —
+// so the IO counter and the seeded generator stay deterministic even when
+// concurrent sessions fault pages in parallel.
 type faultState struct {
+	mu    sync.Mutex
 	plan  FaultPlan
 	count int64
 	rng   *rand.Rand
@@ -43,6 +48,8 @@ type faultState struct {
 
 // tick observes one accounted IO and decides whether it fails.
 func (f *faultState) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n := f.count
 	f.count++
 	if f.plan.FailAt >= 0 && n == f.plan.FailAt {
@@ -64,25 +71,22 @@ func (f *faultState) fail(n int64) error {
 // InjectFault arms fault injection for subsequent accounted IOs, replacing
 // any previous plan and resetting the IO counter.
 func (s *Store) InjectFault(p FaultPlan) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fault = &faultState{plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+	s.fault.Store(&faultState{plan: p, rng: rand.New(rand.NewSource(p.Seed))})
 }
 
 // ClearFault disarms fault injection.
 func (s *Store) ClearFault() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fault = nil
+	s.fault.Store(nil)
 }
 
 // FaultIOCount returns the number of accounted IOs observed since the last
 // InjectFault, for sizing deterministic sweeps.
 func (s *Store) FaultIOCount() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.fault == nil {
+	fs := s.fault.Load()
+	if fs == nil {
 		return 0
 	}
-	return s.fault.count
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.count
 }

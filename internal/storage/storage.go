@@ -1,5 +1,5 @@
 // Package storage implements the disk substrate of the engine: paged heap
-// files, an LRU buffer pool, and IO accounting.
+// files, a sharded LRU buffer pool, and IO accounting.
 //
 // The paper optimizes IO cost over a disk-resident decision-support
 // database. This package simulates that substrate faithfully enough for the
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aggview/internal/types"
 )
@@ -32,16 +33,38 @@ const PageSize = 4096
 // choices (early vs. late aggregation) have visible IO consequences.
 const DefaultPoolPages = 128
 
+// pagesPerShard is the sizing divisor for the buffer pool's latch shards:
+// one shard per pagesPerShard pages of capacity, clamped to
+// [1, maxPoolShards]. Pools smaller than one shard's worth of pages (the
+// LRU-sensitive test configurations and the deliberately tiny experiment
+// pools) resolve to a single shard and keep exact global-LRU semantics;
+// larger pools trade strict global LRU for per-shard latches that stop
+// concurrent queries from serializing on residency bookkeeping.
+const pagesPerShard = 16
+
+// maxPoolShards caps the shard count; past ~16 latches the contention win
+// flattens while per-shard capacity (and LRU quality) keeps shrinking.
+const maxPoolShards = 16
+
 // page holds the rows of one on-disk page.
 type page struct {
 	rows []types.Row
 }
 
 // File is a sequence of pages. Heap tables and spill runs are files.
+//
+// A File carries its own read-write latch guarding the page slice, the page
+// directory and the write buffer. Readers of different files — and readers
+// of the same file — never contend on a store-wide lock; a writer excludes
+// readers of that one file only. Concurrent writes to the same File are NOT
+// coordinated beyond that latch — the engine serializes table writes (DDL,
+// INSERT, LOAD) against all readers with its own read-write lock.
 type File struct {
-	id     int
-	name   string
-	temp   bool // query-temporary file (spill run, partition); see CreateTemp
+	id   int
+	name string
+	temp bool // query-temporary file (spill run, partition); see CreateTemp
+
+	mu     sync.RWMutex
 	pages  []*page
 	starts []int64 // page directory: rowid of the first row on each flushed page
 	rows   int64
@@ -60,6 +83,12 @@ func (f *File) Name() string { return f.name }
 
 // Pages returns the number of complete pages plus any partial tail page.
 func (f *File) Pages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.pagesLocked()
+}
+
+func (f *File) pagesLocked() int {
 	n := len(f.pages)
 	if f.cur != nil && len(f.cur.rows) > 0 {
 		n++
@@ -68,7 +97,11 @@ func (f *File) Pages() int {
 }
 
 // Rows returns the number of rows appended to the file.
-func (f *File) Rows() int64 { return f.rows }
+func (f *File) Rows() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.rows
+}
 
 // IOStats counts accounted page IO.
 type IOStats struct {
@@ -112,33 +145,48 @@ const (
 // at page granularity.
 //
 // Hooks are per-Session: each query registers its own via NewSession, so
-// concurrent queries observe only their own page accesses. A hook runs with
-// the store lock held, on the goroutine performing the access; it must be
-// fast and must not call back into the store.
+// concurrent queries observe only their own page accesses. A hook runs on
+// the goroutine performing the access, with a file latch or pool-shard latch
+// held; it must be fast and must not call back into the store.
 type IOHook func(op IOOp, temp bool) error
 
 // Store owns files and the shared buffer pool.
 //
-// Locking contract: all Store methods are safe for concurrent use; one
-// internal mutex guards the file table, the buffer pool, the counters and
-// the session registry. Page accesses performed through different Sessions
-// interleave freely — each access is atomic under the store lock, charging
-// the global counters and the owning session's counters together. The
-// store-wide maintenance operations DropCaches and ResetStats refuse to run
+// Locking contract: all Store methods are safe for concurrent use, and the
+// hot page-access path takes no store-wide lock. State is decomposed:
+//
+//   - the file table (map of live files) sits behind a small store mutex
+//     touched only by create/drop/census operations;
+//   - each File's pages and write buffer sit behind that File's own
+//     read-write latch;
+//   - buffer-pool residency is hash-partitioned into shards, each behind its
+//     own latch, so two queries faulting different pages proceed in
+//     parallel;
+//   - the global and per-session IO counters are atomics.
+//
+// A page access charges the global counters and the owning session's
+// counters together — an access aborted by the fault injector or the
+// session hook is counted by neither side, so the global counters remain
+// the exact sum over all sessions plus unattributed access. The store-wide
+// maintenance operations DropCaches and ResetStats refuse to run
 // (ErrStoreBusy) while any session is open, because they would perturb
 // in-flight measurements; callers that can exclude queries externally (the
-// engine's write lock) use ForceDropCaches/ForceResetStats. Concurrent
-// writes to the same File are NOT coordinated here — the engine serializes
-// table writes (DDL, INSERT, LOAD) against all readers with its own
-// read-write lock.
+// engine's write lock) use ForceDropCaches/ForceResetStats, which sweep the
+// pool one shard at a time — a concurrent reader contends with the sweep
+// for at most one shard latch, never the whole pool.
 type Store struct {
-	mu       sync.Mutex
-	files    map[int]*File
-	nextID   int
-	pool     *bufferPool
-	stats    IOStats
-	sessions int
-	fault    *faultState
+	mu     sync.Mutex // guards files and nextID only
+	files  map[int]*File
+	nextID int
+
+	pool *shardedPool
+
+	reads    atomic.Int64
+	writes   atomic.Int64
+	hits     atomic.Int64
+	sessions atomic.Int64
+
+	fault atomic.Pointer[faultState]
 }
 
 // NewStore creates a store with a buffer pool of poolPages pages
@@ -149,18 +197,21 @@ func NewStore(poolPages int) *Store {
 	}
 	return &Store{
 		files: map[int]*File{},
-		pool:  newBufferPool(poolPages),
+		pool:  newShardedPool(poolPages),
 	}
 }
 
 // PoolPages returns the buffer pool capacity in pages.
 func (s *Store) PoolPages() int { return s.pool.cap }
 
+// PoolShards returns the number of latch shards the buffer pool is split
+// into. Small pools (under pagesPerShard pages) use a single shard and
+// behave as one global LRU.
+func (s *Store) PoolShards() int { return len(s.pool.shards) }
+
 // Stats returns the cumulative IO counters.
 func (s *Store) Stats() IOStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return IOStats{Reads: s.reads.Load(), Writes: s.writes.Load(), Hits: s.hits.Load()}
 }
 
 // ResetStats zeroes the global IO counters (the pool contents are kept).
@@ -168,31 +219,29 @@ func (s *Store) Stats() IOStats {
 // running query would not corrupt that query's per-session counters, but
 // the global counters would no longer be the sum of all queries.
 func (s *Store) ResetStats() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sessions > 0 {
-		return fmt.Errorf("%w: ResetStats with %d open sessions", ErrStoreBusy, s.sessions)
+	if n := s.sessions.Load(); n > 0 {
+		return fmt.Errorf("%w: ResetStats with %d open sessions", ErrStoreBusy, n)
 	}
-	s.stats = IOStats{}
+	s.forceResetStats()
 	return nil
 }
 
 // ForceResetStats zeroes the global IO counters regardless of open
 // sessions, for callers that exclude queries externally.
-func (s *Store) ForceResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = IOStats{}
+func (s *Store) ForceResetStats() { s.forceResetStats() }
+
+func (s *Store) forceResetStats() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.hits.Store(0)
 }
 
 // DropCaches empties the buffer pool so the next scan pays cold-cache IO.
 // It returns ErrStoreBusy while sessions are active, because evicting pages
 // under a running query silently inflates that query's measured misses.
 func (s *Store) DropCaches() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sessions > 0 {
-		return fmt.Errorf("%w: DropCaches with %d open sessions", ErrStoreBusy, s.sessions)
+	if n := s.sessions.Load(); n > 0 {
+		return fmt.Errorf("%w: DropCaches with %d open sessions", ErrStoreBusy, n)
 	}
 	s.pool.reset()
 	return nil
@@ -204,14 +253,11 @@ func (s *Store) DropCaches() error {
 // cold pool; per-session accounting stays exact either way, but concurrent
 // queries will see extra cold misses. Bypassing the session guard is safe
 // for correctness (not just accounting) because the pool tracks page
-// identity only — it holds no data and no dirty state, and reset runs
-// atomically under the store lock — so a concurrent reader can never
-// observe a half-dropped cache, only a colder one.
-func (s *Store) ForceDropCaches() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pool.reset()
-}
+// identity only — it holds no data and no dirty state — so a concurrent
+// reader can never observe corrupt state, only a colder cache. The sweep
+// runs shard by shard: a reader faulting a page contends for at most its
+// own shard's latch, never the whole pool.
+func (s *Store) ForceDropCaches() { s.pool.reset() }
 
 // Session is one query's registered view of the store: page accesses
 // performed through it tick the session's IOHook (governance, attribution)
@@ -222,37 +268,31 @@ func (s *Store) ForceDropCaches() {
 type Session struct {
 	store  *Store
 	hook   IOHook
-	stats  IOStats // guarded by store.mu
-	closed bool    // guarded by store.mu
+	reads  atomic.Int64
+	writes atomic.Int64
+	hits   atomic.Int64
+	closed atomic.Bool
 }
 
 // NewSession registers a query-scoped session with an optional IO hook
 // (nil = accounting only). The caller must Close it when the query ends.
 func (s *Store) NewSession(hook IOHook) *Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sessions++
+	s.sessions.Add(1)
 	return &Session{store: s, hook: hook}
 }
 
 // Close unregisters the session. Idempotent; accesses through a closed
 // session still work but stop being a DropCaches/ResetStats blocker.
 func (se *Session) Close() {
-	s := se.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !se.closed {
-		se.closed = true
-		s.sessions--
+	if !se.closed.Swap(true) {
+		se.store.sessions.Add(-1)
 	}
 }
 
 // Stats returns the page IO performed through this session so far. It is
 // safe to call while the query is still running.
 func (se *Session) Stats() IOStats {
-	se.store.mu.Lock()
-	defer se.store.mu.Unlock()
-	return se.stats
+	return IOStats{Reads: se.reads.Load(), Writes: se.writes.Load(), Hits: se.hits.Load()}
 }
 
 // Store returns the backing store.
@@ -308,24 +348,22 @@ var (
 )
 
 // ActiveSessions returns the number of open sessions.
-func (s *Store) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions
-}
+func (s *Store) ActiveSessions() int { return int(s.sessions.Load()) }
 
-// chargeLocked accounts one page access on behalf of a session (nil for
+// charge accounts one page access on behalf of a session (nil for
 // unattributed store-level access). Real IOs (OpRead/OpWrite) pass through
 // fault injection first — the simulated disk error — then the session's
-// hook (cancellation, budgets, attribution), then the counters: global and
-// per-session together, so an aborted access is counted by neither side and
-// the global counters remain the exact sum over all sessions plus
-// unattributed access. Pool hits skip fault injection and charging but
-// still reach the hook.
-func (s *Store) chargeLocked(op IOOp, f *File, se *Session) error {
-	if op != OpHit && s.fault != nil {
-		if err := s.fault.tick(); err != nil {
-			return err
+// hook (cancellation, budgets, attribution), then the atomic counters:
+// global and per-session together, so an aborted access is counted by
+// neither side and the global counters remain the exact sum over all
+// sessions plus unattributed access. Pool hits skip fault injection and
+// charging but still reach the hook.
+func (s *Store) charge(op IOOp, f *File, se *Session) error {
+	if op != OpHit {
+		if fs := s.fault.Load(); fs != nil {
+			if err := fs.tick(); err != nil {
+				return err
+			}
 		}
 	}
 	if se != nil && se.hook != nil {
@@ -335,42 +373,38 @@ func (s *Store) chargeLocked(op IOOp, f *File, se *Session) error {
 	}
 	switch op {
 	case OpRead:
-		s.stats.Reads++
+		s.reads.Add(1)
 		if se != nil {
-			se.stats.Reads++
+			se.reads.Add(1)
 		}
 	case OpWrite:
-		s.stats.Writes++
+		s.writes.Add(1)
 		if se != nil {
-			se.stats.Writes++
+			se.writes.Add(1)
 		}
 	case OpHit:
-		s.stats.Hits++
+		s.hits.Add(1)
 		if se != nil {
-			se.stats.Hits++
+			se.hits.Add(1)
 		}
 	}
 	return nil
 }
 
 // CreateFile allocates a new empty file.
-func (s *Store) CreateFile(name string) *File {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	f := &File{id: s.nextID, name: name}
-	s.files[f.id] = f
-	return f
-}
+func (s *Store) CreateFile(name string) *File { return s.create(name, false) }
 
 // CreateTemp allocates a query-temporary file (a spill run or partition).
 // Temp files appear in the LiveTempFiles census: a robust executor drops
 // every one of them by the time a query ends, successful or not.
-func (s *Store) CreateTemp(name string) *File {
-	f := s.CreateFile(name)
+func (s *Store) CreateTemp(name string) *File { return s.create(name, true) }
+
+func (s *Store) create(name string, temp bool) *File {
 	s.mu.Lock()
-	f.temp = true
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	s.nextID++
+	f := &File{id: s.nextID, name: name, temp: temp}
+	s.files[f.id] = f
 	return f
 }
 
@@ -400,10 +434,10 @@ func (s *Store) LiveTempFiles() []string {
 
 // DropFile releases a file and evicts its pages from the pool.
 func (s *Store) DropFile(f *File) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.pool.evictFile(f.id)
+	s.mu.Lock()
 	delete(s.files, f.id)
+	s.mu.Unlock()
 }
 
 // Append adds a row to the file's write buffer, flushing full pages to
@@ -413,8 +447,8 @@ func (s *Store) DropFile(f *File) {
 func (s *Store) Append(f *File, row types.Row) error { return s.appendAs(nil, f, row) }
 
 func (s *Store) appendAs(se *Session, f *File, row types.Row) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	w := row.DiskWidth()
 	if f.cur == nil {
 		f.cur = &page{}
@@ -435,16 +469,17 @@ func (s *Store) appendAs(se *Session, f *File, row types.Row) error {
 func (s *Store) Flush(f *File) error { return s.flushAs(nil, f) }
 
 func (s *Store) flushAs(se *Session, f *File) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.cur != nil && len(f.cur.rows) > 0 {
 		return s.flushLocked(f, se)
 	}
 	return nil
 }
 
+// flushLocked flushes the write buffer; the caller holds f.mu.
 func (s *Store) flushLocked(f *File, se *Session) error {
-	if err := s.chargeLocked(OpWrite, f, se); err != nil {
+	if err := s.charge(OpWrite, f, se); err != nil {
 		return fmt.Errorf("file %q: write: %w", f.name, err)
 	}
 	f.starts = append(f.starts, f.rows-int64(len(f.cur.rows)))
@@ -459,34 +494,49 @@ func (s *Store) flushLocked(f *File, se *Session) error {
 func (s *Store) ReadPage(f *File, n int) ([]types.Row, error) { return s.readPageAs(nil, f, n) }
 
 func (s *Store) readPageAs(se *Session, f *File, n int) ([]types.Row, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.RLock()
 	flushed := len(f.pages)
-	if n < flushed {
-		op := OpRead
-		if s.pool.touch(f.id, n) {
-			op = OpHit
+	if n >= flushed {
+		if n == flushed && f.cur != nil && len(f.cur.rows) > 0 {
+			rows := f.cur.rows
+			f.mu.RUnlock()
+			// The unflushed tail page lives in the writer's memory: no IO is
+			// charged, but the hook still observes the access so cancellation
+			// reaches queries running out of the write buffer.
+			if se != nil && se.hook != nil {
+				if err := se.hook(OpHit, f.temp); err != nil {
+					return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
+				}
+			}
+			return rows, nil
 		}
-		if err := s.chargeLocked(op, f, se); err != nil {
+		pages := f.pagesLocked()
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("file %q: page %d out of range (%d pages)", f.name, n, pages)
+	}
+	rows := f.pages[n].rows
+	f.mu.RUnlock()
+
+	sh := s.pool.shardFor(f.id, n)
+	sh.mu.Lock()
+	if sh.lru.touch(f.id, n) {
+		sh.mu.Unlock()
+		if err := s.charge(OpHit, f, se); err != nil {
 			return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 		}
-		if op == OpRead {
-			s.pool.insert(f.id, n)
-		}
-		return f.pages[n].rows, nil
+		return rows, nil
 	}
-	if n == flushed && f.cur != nil && len(f.cur.rows) > 0 {
-		// The unflushed tail page lives in the writer's memory: no IO is
-		// charged, but the hook still observes the access so cancellation
-		// reaches queries running out of the write buffer.
-		if se != nil && se.hook != nil {
-			if err := se.hook(OpHit, f.temp); err != nil {
-				return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
-			}
-		}
-		return f.cur.rows, nil
+	// Miss: charge while holding the shard latch, so an access aborted by
+	// the fault injector or the session hook never becomes resident, and two
+	// racing readers of the same page charge one read plus one hit rather
+	// than two reads.
+	if err := s.charge(OpRead, f, se); err != nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("file %q: read page %d: %w", f.name, n, err)
 	}
-	return nil, fmt.Errorf("file %q: page %d out of range (%d pages)", f.name, n, f.Pages())
+	sh.lru.insert(f.id, n)
+	sh.mu.Unlock()
+	return rows, nil
 }
 
 // Scanner iterates a file's rows page by page through the buffer pool. A
@@ -529,8 +579,79 @@ func (sc *Scanner) Next() (row types.Row, rid int64, ok bool, err error) {
 	}
 }
 
+// shardedPool hash-partitions buffer-pool residency into independently
+// latched LRU shards. The capacity is split across shards (remainder pages
+// go to the low shards), so total residency equals the configured pool size
+// exactly. Page identity hashes to a shard by (file, page), mixing both so
+// sequential pages of one file spread across shards instead of convoying on
+// one latch.
+type shardedPool struct {
+	cap    int
+	shards []*poolShard
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	lru bufferPool
+}
+
+func newShardedPool(capPages int) *shardedPool {
+	n := capPages / pagesPerShard
+	if n < 1 {
+		n = 1
+	}
+	if n > maxPoolShards {
+		n = maxPoolShards
+	}
+	p := &shardedPool{cap: capPages, shards: make([]*poolShard, n)}
+	base, rem := capPages/n, capPages%n
+	for i := range p.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		p.shards[i] = &poolShard{lru: bufferPool{cap: c, list: map[pageKey]*lruNode{}}}
+	}
+	return p
+}
+
+// shardIndex maps a page identity to its shard.
+func (p *shardedPool) shardIndex(file, page int) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	h := uint64(uint32(file))<<32 | uint64(uint32(page))
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(len(p.shards)))
+}
+
+func (p *shardedPool) shardFor(file, page int) *poolShard {
+	return p.shards[p.shardIndex(file, page)]
+}
+
+// reset empties every shard, one latch at a time (per-shard sweep).
+func (p *shardedPool) reset() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.lru.reset()
+		sh.mu.Unlock()
+	}
+}
+
+// evictFile removes every resident page of the file, one shard at a time.
+func (p *shardedPool) evictFile(file int) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.lru.evictFile(file)
+		sh.mu.Unlock()
+	}
+}
+
 // bufferPool is an LRU cache of page identities. It tracks only residency:
-// page contents live in the owning File, mirroring a cache simulator.
+// page contents live in the owning File, mirroring a cache simulator. It is
+// not self-locking — each instance is one shard's state, guarded by the
+// shard latch.
 type bufferPool struct {
 	cap   int
 	list  map[pageKey]*lruNode
@@ -547,10 +668,6 @@ type pageKey struct {
 type lruNode struct {
 	key        pageKey
 	prev, next *lruNode
-}
-
-func newBufferPool(capPages int) *bufferPool {
-	return &bufferPool{cap: capPages, list: map[pageKey]*lruNode{}}
 }
 
 func (p *bufferPool) reset() {
@@ -632,8 +749,8 @@ func (p *bufferPool) unlink(n *lruNode) {
 // not perturb in-flight measurements or evict a query's working set). The
 // returned slices alias the file's pages and must not be mutated.
 func (s *Store) SnapshotFile(f *File) (pages [][]types.Row, tail []types.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	pages = make([][]types.Row, len(f.pages))
 	for i, p := range f.pages {
 		pages[i] = p.rows
@@ -652,8 +769,8 @@ func (s *Store) SnapshotFile(f *File) (pages [][]types.Row, tail []types.Row) {
 // boundaries the crashed engine had — Append would repack rows and merge
 // explicitly flushed partial pages.
 func (s *Store) RestoreFile(f *File, pages [][]types.Row, tail []types.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	s.pool.evictFile(f.id)
 	f.pages = make([]*page, len(pages))
 	f.starts = make([]int64, len(pages))
@@ -681,28 +798,35 @@ func (s *Store) RestoreFile(f *File, pages [][]types.Row, tail []types.Row) {
 func (s *Store) FetchRID(f *File, rid int64) (types.Row, error) { return s.fetchRIDAs(nil, f, rid) }
 
 func (s *Store) fetchRIDAs(se *Session, f *File, rid int64) (types.Row, error) {
-	if rid < 0 || rid >= f.rows {
-		return nil, fmt.Errorf("file %q: rowid %d out of range (%d rows)", f.name, rid, f.rows)
-	}
 	// Binary search the page directory for the last flushed page whose
 	// start is <= rid; rids past the flushed pages live on the tail page.
-	s.mu.Lock()
+	f.mu.RLock()
+	if rid < 0 || rid >= f.rows {
+		nrows := f.rows
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("file %q: rowid %d out of range (%d rows)", f.name, rid, nrows)
+	}
 	flushed := len(f.pages)
 	idx := sort.Search(flushed, func(i int) bool { return f.starts[i] > rid })
 	pageIdx := idx - 1 // last flushed page with start <= rid, or -1
-	inFlushed := pageIdx >= 0 && rid < f.starts[pageIdx]+int64(len(f.pages[pageIdx].rows))
+	var pageStart int64
+	inFlushed := false
+	if pageIdx >= 0 {
+		pageStart = f.starts[pageIdx]
+		inFlushed = rid < pageStart+int64(len(f.pages[pageIdx].rows))
+	}
 	var tailStart int64
 	if flushed > 0 {
 		tailStart = f.starts[flushed-1] + int64(len(f.pages[flushed-1].rows))
 	}
-	s.mu.Unlock()
+	f.mu.RUnlock()
 
 	if inFlushed {
 		rows, err := s.readPageAs(se, f, pageIdx)
 		if err != nil {
 			return nil, err
 		}
-		return rows[rid-f.starts[pageIdx]], nil
+		return rows[rid-pageStart], nil
 	}
 	rows, err := s.readPageAs(se, f, flushed)
 	if err != nil {

@@ -95,7 +95,7 @@ func TestExplainAnalyzeAttributionExact(t *testing.T) {
 func TestResultOpsSumToResultIO(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	for qi, q := range obsSuite {
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d: %v", qi, err)
 		}
@@ -124,7 +124,7 @@ func TestExplainAnalyzeExample1(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ref, err := eng.Query(example1Nested)
+	ref, err := eng.Query(context.Background(), example1Nested)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestQueryRowsStreams(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	q := `select c.nation, count(*) as n from customer c, orders o
 	      where o.custkey = c.custkey group by c.nation`
-	ref, err := eng.Query(q)
+	ref, err := eng.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestQueryRowsOrderByAndLimit(t *testing.T) {
 
 	q := `select c.nation, count(*) as n from customer c, orders o
 	      where o.custkey = c.custkey group by c.nation order by n desc limit 3`
-	ref, err := eng.Query(q)
+	ref, err := eng.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestQueryRowsEarlyClose(t *testing.T) {
 	if leaks := eng.LiveTempFiles(); len(leaks) != 0 {
 		t.Fatalf("early Close leaked spill files %v", leaks)
 	}
-	if _, err := eng.Query(`select count(*) from part`); err != nil {
+	if _, err := eng.Query(context.Background(), `select count(*) from part`); err != nil {
 		t.Fatalf("engine unusable after early Close: %v", err)
 	}
 }
@@ -371,7 +371,7 @@ func TestConfigModeHonored(t *testing.T) {
 	}
 	var want string
 	for i, c := range cases {
-		res, err := eng.WithConfig(c.cfg).Query(q)
+		res, err := eng.WithConfig(c.cfg).Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -391,7 +391,7 @@ func TestConfigModeHonored(t *testing.T) {
 	if err := direct.LoadEmpDept(aggview.DefaultEmpDept()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := direct.Query(`select e.dno, avg(e.sal) from emp e group by e.dno`)
+	res, err := direct.Query(context.Background(), `select e.dno, avg(e.sal) from emp e group by e.dno`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestMetricsRegistryAndSink(t *testing.T) {
 	// QueryMetrics.Rows counts rows the executor produced, before ORDER
 	// BY/LIMIT presentation — for the limited query that is the full group
 	// count, learned from the unlimited variant before the window opens.
-	unlimited, err := eng.Query(`select c.nation, count(*) as n from customer c, orders o
+	unlimited, err := eng.Query(context.Background(), `select c.nation, count(*) as n from customer c, orders o
 	 where o.custkey = c.custkey group by c.nation`)
 	if err != nil {
 		t.Fatal(err)
@@ -423,7 +423,7 @@ func TestMetricsRegistryAndSink(t *testing.T) {
 	io0 := eng.IOStats()
 	var wantRows int64
 	for qi, q := range obsSuite {
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -465,7 +465,7 @@ func TestMetricsRegistryAndSink(t *testing.T) {
 	// Engines derived via WithConfig feed the same registry.
 	sunk = nil
 	m1 := eng.Metrics()
-	if _, err := eng.WithConfig(aggview.Config{Mode: aggview.Traditional}).Query(obsSuite[0]); err != nil {
+	if _, err := eng.WithConfig(aggview.Config{Mode: aggview.Traditional}).Query(context.Background(), obsSuite[0]); err != nil {
 		t.Fatal(err)
 	}
 	if d := eng.Metrics().Sub(m1); d.Queries != 1 {
@@ -486,7 +486,7 @@ func TestMetricsOnFailurePaths(t *testing.T) {
 	// Size the fault point from a clean armed run.
 	eng.DropCaches()
 	eng.InjectFault(aggview.FaultPlan{FailAt: -1})
-	if _, err := eng.Query(q); err != nil {
+	if _, err := eng.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	ios := eng.FaultIOCount()
@@ -504,7 +504,7 @@ func TestMetricsOnFailurePaths(t *testing.T) {
 	m0 := eng.Metrics()
 	io0 := eng.IOStats()
 	eng.InjectFault(aggview.FaultPlan{FailAt: ios / 2})
-	_, err := eng.Query(q)
+	_, err := eng.Query(context.Background(), q)
 	eng.ClearFault()
 	if !errors.Is(err, aggview.ErrInjected) {
 		t.Fatalf("err = %v, want wrapped ErrInjected", err)
@@ -546,7 +546,7 @@ func TestMetricsOnFailurePaths(t *testing.T) {
 
 	// The engine keeps serving, and successes go back to Err == "".
 	sunk = nil
-	if _, err := eng.Query(`select count(*) from part`); err != nil {
+	if _, err := eng.Query(context.Background(), `select count(*) from part`); err != nil {
 		t.Fatal(err)
 	}
 	if len(sunk) != 1 || sunk[0].Err != "" {
@@ -583,7 +583,7 @@ func TestSearchTracePopulated(t *testing.T) {
 	}
 
 	// The plain query path skips tracing (it is not free).
-	res, err := eng.Query(obsSuite[0])
+	res, err := eng.Query(context.Background(), obsSuite[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,112 @@
+package aggview
+
+import (
+	"time"
+)
+
+// Limits are per-query resource limits, overriding the engine-level
+// Config limits for a single run. The zero value of each field inherits
+// the engine configuration; a negative value removes the engine-level
+// limit for this query.
+type Limits struct {
+	// Timeout bounds the query's wall time. It composes with any deadline
+	// already on the context; the earlier one wins. Violations surface as
+	// ErrCanceled.
+	Timeout time.Duration
+	// MaxRowsOut caps the rows the executor may materialize (before ORDER
+	// BY/LIMIT presentation). Violations surface as ErrRowLimit.
+	MaxRowsOut int64
+	// MaxIOPages caps accounted page IOs — pool-miss reads plus flushes,
+	// covering both scans and operator spills. Violations surface as
+	// ErrIOBudget.
+	MaxIOPages int64
+	// OptimizerBudget caps the candidate plans costed per optimization
+	// attempt. When it trips, the engine degrades Full → PushDown →
+	// Traditional rather than failing the query.
+	OptimizerBudget int
+}
+
+// overlay resolves per-query limits against the engine defaults: zero
+// inherits, negative disables, positive overrides.
+func (l Limits) overlay(base Limits) Limits {
+	pick := func(over, def int64) int64 {
+		switch {
+		case over > 0:
+			return over
+		case over < 0:
+			return 0
+		default:
+			return def
+		}
+	}
+	out := base
+	if l.Timeout > 0 {
+		out.Timeout = l.Timeout
+	} else if l.Timeout < 0 {
+		out.Timeout = 0
+	}
+	out.MaxRowsOut = pick(l.MaxRowsOut, base.MaxRowsOut)
+	out.MaxIOPages = pick(l.MaxIOPages, base.MaxIOPages)
+	out.OptimizerBudget = int(pick(int64(l.OptimizerBudget), int64(base.OptimizerBudget)))
+	return out
+}
+
+// A QueryOption tunes a single query run; see Engine.Query. Options
+// compose left to right (a later WithMode wins over an earlier one).
+type QueryOption func(*rowsOptions) error
+
+// WithMode runs the query under a specific optimizer mode instead of the
+// engine's configured one. ModeDefault means the engine mode.
+func WithMode(mode OptimizerMode) QueryOption {
+	return func(o *rowsOptions) error {
+		o.mode = mode
+		return nil
+	}
+}
+
+// WithParams binds values to the statement's `?` placeholders, mapped
+// positionally: int/int64, float64, string and bool are accepted (ints
+// coerce into float slots), plus raw types.Value. The count must match
+// the statement's placeholder count exactly.
+func WithParams(args ...any) QueryOption {
+	return func(o *rowsOptions) error {
+		vals, err := paramValues(args)
+		if err != nil {
+			return err
+		}
+		o.params = vals
+		return nil
+	}
+}
+
+// WithLimits applies per-query resource limits on top of the engine
+// configuration. Zero fields inherit the Config value; negative fields
+// disable that limit for this query.
+func WithLimits(l Limits) QueryOption {
+	return func(o *rowsOptions) error {
+		o.limits = &l
+		return nil
+	}
+}
+
+// WithColdCache drops the buffer pool before executing, so the measured
+// Result.IO reflects a cold cache — the paper's experimental setting.
+// Best-effort under concurrency: other in-flight queries refill the pool
+// as they run, but this query's own accounting stays exact either way.
+func WithColdCache() QueryOption {
+	return func(o *rowsOptions) error {
+		o.cold = true
+		return nil
+	}
+}
+
+// applyOptions folds a QueryOption list into the internal run options.
+func applyOptions(opts []QueryOption) (rowsOptions, error) {
+	var o rowsOptions
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return rowsOptions{}, err
+		}
+	}
+	return o, nil
+}

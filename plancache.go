@@ -25,10 +25,9 @@ const (
 	// cacheInvalidated: a cached plan existed but was compiled under an
 	// older catalog version; it was dropped and the statement recompiled.
 	cacheInvalidated = "invalidated"
-	// cacheBypass: the cache was not consulted — ad-hoc statements (the
-	// Query/Exec entry points) always compile fresh, as do prepared
-	// statements on an engine with caching disabled, and degraded plans are
-	// never cached.
+	// cacheBypass: the cache was not consulted — the engine has caching
+	// disabled, the run needed a search trace (EXPLAIN paths), or the plan
+	// degraded under an optimizer budget (degraded plans are never cached).
 	cacheBypass = "bypass"
 )
 
@@ -114,6 +113,36 @@ func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode,
 // into float slots (matching the engine's literal rules); any other
 // mismatch is an error. The returned slice is the input, copied only when
 // a coercion rewrites a value.
+// resolveAdhoc returns the compiled plan for an ad-hoc SELECT. Ad-hoc
+// statements share the prepared-statement plan cache: the key is the
+// normalized statement text plus the resolved optimizer mode, so a
+// repeated dashboard query pays bind+optimize once and every later run is
+// a cache hit (until DDL bumps the catalog version). Traced runs bypass
+// the cache — a search trace requires a real search — and, like prepared
+// statements, degraded plans are never cached. The caller must hold the
+// engine read lock.
+func (e *Engine) resolveAdhoc(sel *sql.Select, src string, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
+	if e.cache == nil || trace != nil {
+		cp, err := e.compileSelect(sel, src, mode, gov, trace)
+		return cp, cacheBypass, err
+	}
+	// Normalize before compiling: the binder's flattening pass may rewrite
+	// the parsed tree in place.
+	key := planKey{text: sql.FormatSelect(sel), mode: mode}
+	cp, status := e.cache.get(key, e.cat.Version())
+	if cp != nil {
+		return cp, status, nil
+	}
+	cp, err := e.compileSelect(sel, src, mode, gov, trace)
+	if err != nil {
+		return nil, status, err
+	}
+	if !cp.info.Degraded {
+		e.reg.ObserveEviction(e.cache.put(key, cp))
+	}
+	return cp, status, nil
+}
+
 func checkParams(cp *compiledPlan, vals []types.Value) ([]types.Value, error) {
 	if len(vals) != cp.numParams {
 		if cp.numParams == 0 {

@@ -66,7 +66,7 @@ func (e *Engine) PrepareMode(src string, mode OptimizerMode) (st *Stmt, err erro
 	// first execution should already find the plan cached.
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	gov, cancel := e.newGovernor(context.Background())
+	gov, cancel := e.newGovernor(context.Background(), nil)
 	defer cancel()
 	if _, _, err := s.resolve(gov, nil); err != nil {
 		return nil, err

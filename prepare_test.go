@@ -25,7 +25,7 @@ func TestPrepareBasic(t *testing.T) {
 		t.Fatalf("Text() lost the placeholder: %q", stmt.Text())
 	}
 
-	want, err := e.Query(`select eno, sal from emp where age < 30 order by eno`)
+	want, err := e.Query(context.Background(), `select eno, sal from emp where age < 30 order by eno`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +61,10 @@ func TestPrepareBasic(t *testing.T) {
 	if got2.Len() <= got.Len() {
 		t.Fatalf("age<50 rows (%d) should exceed age<30 rows (%d)", got2.Len(), got.Len())
 	}
-	if e.PlanCacheLen() != 1 {
-		t.Fatalf("PlanCacheLen = %d, want 1", e.PlanCacheLen())
+	// Two entries: the prepared statement's plan, plus the ad-hoc literal
+	// query above (ad-hoc statements share the plan cache).
+	if e.PlanCacheLen() != 2 {
+		t.Fatalf("PlanCacheLen = %d, want 2", e.PlanCacheLen())
 	}
 }
 
@@ -99,7 +101,7 @@ func TestPrepareParamsInAggregateAndHaving(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := e.Query(`
+	want, err := e.Query(context.Background(), `
 		select dno, sum(sal * 2.0) as s from emp
 		group by dno having avg(sal) > 1500.0 order by dno`)
 	if err != nil {
@@ -189,7 +191,7 @@ func TestPrepareArgumentErrors(t *testing.T) {
 	}
 
 	// Ad-hoc execution never supplies values, so a placeholder is an error.
-	if _, err := e.Query(`select eno from emp where age < ?`); err == nil ||
+	if _, err := e.Query(context.Background(), `select eno from emp where age < ?`); err == nil ||
 		!strings.Contains(err.Error(), "1 parameter placeholder(s), got 0") {
 		t.Errorf("ad-hoc placeholder error = %v", err)
 	}
@@ -322,17 +324,35 @@ func TestPlanCacheDisabled(t *testing.T) {
 	if e.PlanCacheLen() != 0 {
 		t.Fatalf("PlanCacheLen = %d on a cache-disabled engine", e.PlanCacheLen())
 	}
-	// Ad-hoc queries always bypass, whatever the cache configuration.
+	// Ad-hoc queries share the plan cache: the first run compiles and
+	// caches (miss), the second reuses the plan (hit).
 	e2 := setupEmpDept(t)
-	r2, err := e2.Query(`select count(*) from emp`)
+	r2, err := e2.Query(context.Background(), `select count(*) from emp`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.Plan.CacheStatus != "bypass" {
-		t.Fatalf("ad-hoc CacheStatus = %q, want bypass", r2.Plan.CacheStatus)
+	if r2.Plan.CacheStatus != "miss" {
+		t.Fatalf("first ad-hoc CacheStatus = %q, want miss", r2.Plan.CacheStatus)
 	}
-	if e2.PlanCacheLen() != 0 {
-		t.Fatalf("ad-hoc query populated the plan cache (len %d)", e2.PlanCacheLen())
+	if e2.PlanCacheLen() != 1 {
+		t.Fatalf("ad-hoc query did not populate the plan cache (len %d)", e2.PlanCacheLen())
+	}
+	r3, err := e2.Query(context.Background(), `select count(*) from emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Plan.CacheStatus != "hit" {
+		t.Fatalf("second ad-hoc CacheStatus = %q, want hit", r3.Plan.CacheStatus)
+	}
+	// On a cache-disabled engine ad-hoc statements bypass, like prepared
+	// ones.
+	d2 := e.WithConfig(Config{PlanCacheSize: -1})
+	rd, err := d2.Query(context.Background(), `select a from t order by a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Plan.CacheStatus != "bypass" {
+		t.Fatalf("cache-disabled ad-hoc CacheStatus = %q, want bypass", rd.Plan.CacheStatus)
 	}
 }
 
@@ -386,7 +406,7 @@ func TestStmtSharedAcrossGoroutines(t *testing.T) {
 	want := map[int]int64{}
 	for w := 0; w < workers; w++ {
 		cut := 20 + w*5
-		res, err := e.Query(fmt.Sprintf(`select count(*) from emp where age < %d`, cut))
+		res, err := e.Query(context.Background(), fmt.Sprintf(`select count(*) from emp where age < %d`, cut))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -69,17 +69,28 @@ func recoverToError(err *error, src string) {
 	}
 }
 
-// newGovernor builds the per-query governor from the engine config,
-// layering Config.Timeout onto the caller's context.
-func (e *Engine) newGovernor(ctx context.Context) (*govern.Governor, context.CancelFunc) {
+// newGovernor builds the per-query governor: the engine config provides
+// the defaults, a WithLimits override (nil = none) is overlaid on top
+// (zero fields inherit, negative fields disable), and the effective
+// timeout is layered onto the caller's context.
+func (e *Engine) newGovernor(ctx context.Context, over *Limits) (*govern.Governor, context.CancelFunc) {
+	lim := Limits{
+		Timeout:         e.cfg.Timeout,
+		MaxRowsOut:      e.cfg.MaxRowsOut,
+		MaxIOPages:      e.cfg.MaxIOPages,
+		OptimizerBudget: e.cfg.OptimizerBudget,
+	}
+	if over != nil {
+		lim = over.overlay(lim)
+	}
 	cancel := func() {}
-	if e.cfg.Timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+	if lim.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
 	}
 	g := govern.New(ctx, govern.Limits{
-		MaxRowsOut:     e.cfg.MaxRowsOut,
-		MaxIOPages:     e.cfg.MaxIOPages,
-		OptimizerPlans: e.cfg.OptimizerBudget,
+		MaxRowsOut:     lim.MaxRowsOut,
+		MaxIOPages:     lim.MaxIOPages,
+		OptimizerPlans: lim.OptimizerBudget,
 	})
 	return g, cancel
 }

@@ -153,7 +153,9 @@ func errClass(err error) string {
 	}
 }
 
-// rowsOptions tunes openRows for its different entry points.
+// rowsOptions tunes openRows for its different entry points. The public
+// QueryOption functions (WithMode, WithParams, WithLimits, WithColdCache)
+// fold into this struct via applyOptions.
 type rowsOptions struct {
 	// mode overrides the engine mode when non-default (ad-hoc path only;
 	// a prepared statement's mode is fixed at Prepare).
@@ -168,6 +170,8 @@ type rowsOptions struct {
 	stmt *Stmt
 	// params are the values bound to the statement's `?` placeholders.
 	params []types.Value
+	// limits are this run's resource-limit overrides (nil = engine config).
+	limits *Limits
 }
 
 // openRows opens a SELECT as a streaming cursor. The compile phase —
@@ -187,7 +191,7 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		e.mu.RUnlock()
 		return nil, err
 	}
-	gov, cancel := e.newGovernor(ctx)
+	gov, cancel := e.newGovernor(ctx, opt.limits)
 	col := obs.NewCollector()
 	qr := &queryRun{
 		engine: e,
@@ -226,7 +230,7 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		if opt.mode != ModeDefault {
 			mode = opt.mode
 		}
-		cp, err = e.compileSelect(sel, src, mode, gov, trace)
+		cp, status, err = e.resolveAdhoc(sel, src, mode, gov, trace)
 	}
 	endOpt()
 	if err != nil {
@@ -246,7 +250,8 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		e.store.ForceDropCaches()
 	}
 	qr.sess = e.store.NewSession(ioHook(gov, col))
-	cur, err := exec.New(e.store).WithSession(qr.sess).WithGovernor(gov).WithCollector(col).
+	cur, err := exec.New(e.store).WithBatchSize(e.cfg.BatchSize).
+		WithSession(qr.sess).WithGovernor(gov).WithCollector(col).
 		WithParams(params).OpenCursor(cp.root)
 	if err != nil {
 		return nil, err
@@ -476,19 +481,30 @@ func rowToGo(row types.Row) []any {
 }
 
 // QueryRows executes a SELECT and returns a streaming iterator over its
-// result. The context governs the whole iteration: cancellation aborts the
-// next page IO or row pull. The caller must Close the Rows (or drain it).
-func (e *Engine) QueryRows(ctx context.Context, src string) (r *Rows, err error) {
+// result. It takes the same options as Query. The context governs the
+// whole iteration: cancellation aborts the next page IO or row pull. The
+// caller must Close the Rows (or drain it).
+func (e *Engine) QueryRows(ctx context.Context, src string, opts ...QueryOption) (r *Rows, err error) {
 	defer recoverToError(&err, src)
+	return e.queryRows(ctx, src, opts)
+}
+
+// queryRows is the shared open path behind Query and QueryRows: apply the
+// options, parse, require a SELECT, open the run.
+func (e *Engine) queryRows(ctx context.Context, src string, opts []QueryOption) (*Rows, error) {
+	opt, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return nil, fmt.Errorf("aggview: QueryRows requires a SELECT statement")
+		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
 	}
-	return e.openRows(ctx, sel, src, rowsOptions{})
+	return e.openRows(ctx, sel, src, opt)
 }
 
 // materialize drains a Rows into a Result, attaching the plan, the measured

@@ -11,7 +11,7 @@ import (
 
 func TestStdDevEndToEnd(t *testing.T) {
 	e := setupEmpDept(t)
-	res, err := e.Query(`select dno, stddev(sal) as sd from emp group by dno order by dno`)
+	res, err := e.Query(context.Background(), `select dno, stddev(sal) as sd from emp group by dno order by dno`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestStdDevEndToEnd(t *testing.T) {
 		t.Fatalf("rows = %d", res.Len())
 	}
 	// Cross-check department 0 by hand.
-	raw, err := e.Query(`select sal from emp where dno = 0`)
+	raw, err := e.Query(context.Background(), `select sal from emp where dno = 0`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +50,11 @@ func TestStdDevDecomposesThroughOptimizer(t *testing.T) {
 	q := `select e.dno, stddev(e.sal) from emp e, dept d
 	      where e.dno = d.dno group by e.dno`
 
-	tradRes, err := eng.QueryMode(context.Background(), q, Traditional)
+	tradRes, err := eng.Query(context.Background(), q, WithMode(Traditional), WithColdCache())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pushRes, err := eng.QueryMode(context.Background(), q, PushDown)
+	pushRes, err := eng.Query(context.Background(), q, WithMode(PushDown), WithColdCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,11 @@ func TestRegisterAggregateCustom(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := setupEmpDept(t)
-	res, err := e.Query(`select dno, valrange(sal) from emp group by dno order by dno`)
+	res, err := e.Query(context.Background(), `select dno, valrange(sal) from emp group by dno order by dno`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	check, err := e.Query(`select dno, max(sal), min(sal) from emp group by dno order by dno`)
+	check, err := e.Query(context.Background(), `select dno, max(sal), min(sal) from emp group by dno order by dno`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,14 +155,14 @@ func TestScalarFunctionsInSQL(t *testing.T) {
 	e := Open(Config{})
 	e.MustExec(`create table t (a float)`)
 	e.MustExec(`insert into t values (9.0), (-4.0)`)
-	res, err := e.Query(`select sqrt(abs(a)) from t where a > 0`)
+	res, err := e.Query(context.Background(), `select sqrt(abs(a)) from t where a > 0`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Rows[0][0].(float64) != 3.0 {
 		t.Fatalf("sqrt(9) = %v", res.Rows[0][0])
 	}
-	res, err = e.Query(`select abs(a) from t where a < 0`)
+	res, err = e.Query(context.Background(), `select abs(a) from t where a < 0`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestStdDevNestedSubquery(t *testing.T) {
 	      where e1.sal > 2 * (select stddev(e2.sal) from emp e2 where e2.dno = e1.dno)`
 	var first *Result
 	for _, mode := range []OptimizerMode{Traditional, Full} {
-		res, err := e.QueryMode(context.Background(), q, mode)
+		res, err := e.Query(context.Background(), q, WithMode(mode), WithColdCache())
 		if err != nil {
 			t.Fatalf("[%v] %v", mode, err)
 		}
