@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race stress crash bench bench-diff gobench check
+.PHONY: build vet staticcheck test race stress crash bench bench-diff gobench docs-check check
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,16 @@ bench-diff:
 gobench:
 	$(GO) test -bench=. -benchmem ./...
 
+# docs-check keeps the documentation honest without adding dependencies:
+# every relative Markdown link and every backticked internal/cmd/examples
+# path must resolve (cmd/docscheck), and the example programs the docs
+# point at must build and vet cleanly even when docs-check runs alone.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) vet ./examples/...
+
 # check is the tier-1 gate: static analysis plus the full test suite
 # (including the chaos fault sweeps) under the race detector, then the
-# doubled concurrency stress pass and the full-resolution crash sweep.
-check: vet staticcheck race stress crash
+# doubled concurrency stress pass, the full-resolution crash sweep, and
+# the documentation link/reference check.
+check: vet staticcheck race stress crash docs-check

@@ -123,6 +123,14 @@ func main() {
 			fmt.Printf("recovery:   %.1fms to reopen %d on-disk bytes (checkpoint + log replay)\n",
 				r.RecoverMS, r.WALBytes)
 		}
+		for _, mv := range snap.MatViews {
+			path := mv.Rewrite
+			if path == "" {
+				path = "(no rewrite)"
+			}
+			fmt.Printf("matview:    %-16s %-14s view %4d reads %8.1f qps | base %4d reads %8.1f qps\n",
+				mv.Name, path, mv.ViewReads, mv.ViewQPS, mv.BaseReads, mv.BaseQPS)
+		}
 		return
 	}
 

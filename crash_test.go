@@ -223,7 +223,7 @@ func TestBulkLoadCrashPrefix(t *testing.T) {
 	wantTables := clean.Tables()
 	wantRows := map[string]int64{}
 	for _, tbl := range wantTables {
-		res, err := clean.Query(context.Background(), `select count(*) from ` + tbl)
+		res, err := clean.Query(context.Background(), `select count(*) from `+tbl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestBulkLoadCrashPrefix(t *testing.T) {
 
 			rec := openDurable(t, dir)
 			for _, tbl := range rec.Tables() {
-				res, qerr := rec.Query(context.Background(), `select count(*) from ` + tbl)
+				res, qerr := rec.Query(context.Background(), `select count(*) from `+tbl)
 				if qerr != nil {
 					t.Fatalf("n=%d torn=%v: recovered table %s unqueryable: %v", n, torn, tbl, qerr)
 				}

@@ -45,6 +45,26 @@
 // Use Explain to inspect the chosen plan under each optimizer mode
 // (traditional, push-down, full) and compare estimated costs.
 //
+// # Materialized aggregate views
+//
+// CREATE MATERIALIZED VIEW stores a single-block aggregation's groups as
+// partial aggregate states in a backing table. The optimizer answers later
+// queries from the stored groups when the query's grouping is a rollup of
+// the view's, every aggregate is derivable from the stored partials, and
+// the view plan is strictly cheaper by the cost model; the decision is
+// reported in PlanInfo.ViewRewrite and as a "view rewrite:" line in
+// EXPLAIN. INSERT into a base table maintains dependent views in the same
+// write (incrementally for single-table definitions, by refresh for
+// joins), and WithoutViewRewrite disables the substitution for one run —
+// the control setting for differential comparisons:
+//
+//	eng.MustExec(`create materialized view sales_rollup as
+//	    select region, product, sum(amount) as total, count(*) as n
+//	    from sales group by region, product`)
+//	res, err := eng.Query(ctx,
+//	    `select region, sum(amount) as total from sales group by region`)
+//	// res.Plan.ViewRewrite == "sales_rollup" when the view plan won
+//
 // # Observability
 //
 // ExplainAnalyze (or the SQL form EXPLAIN ANALYZE) executes a SELECT cold

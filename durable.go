@@ -190,6 +190,14 @@ func (w *walState) Analyze(table string) error {
 	return w.append(wal.Analyze{Table: table})
 }
 
+func (w *walState) CreateMatView(name, sql, backing string, baseTables []string) error {
+	return w.append(wal.CreateMatView{Name: name, SQL: sql, Backing: backing, BaseTables: baseTables})
+}
+
+func (w *walState) DropMatView(name string) error {
+	return w.append(wal.DropMatView{Name: name})
+}
+
 // OpenDurable opens an engine backed by the write-ahead log in
 // cfg.DataDir, creating the directory on first use and recovering the
 // previous state otherwise: the latest checkpoint snapshot is restored and
@@ -233,11 +241,28 @@ func OpenDurable(cfg Config) (*Engine, error) {
 	// The logger goes in only after replay: recovered operations must not be
 	// re-logged.
 	cat.SetLogger(w)
-	return &Engine{
+	e := &Engine{
 		store: st, cat: cat, cfg: cfg,
 		reg: obs.NewRegistry(), mu: &sync.RWMutex{}, cache: newCacheFor(cfg),
 		wal: w,
-	}, nil
+	}
+	// The log carries no statement-atomicity markers, so a crash can tear a
+	// multi-record materialized-view statement; when a tail was replayed,
+	// verify every view against a recompute and repair (see recoverMatViews).
+	// Repairs are logged and committed like any other mutation.
+	// (The orphan sweep must run even with no views registered — a crash on
+	// the very first CREATE leaves only the backing table behind.)
+	if len(rec.Entries) > 0 {
+		if err := e.recoverMatViews(); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("aggview: recovery: %w", err)
+		}
+		if err := e.walCommit(nil); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("aggview: recovery: %w", err)
+		}
+	}
+	return e, nil
 }
 
 // applyRecord redoes one logged mutation against the recovering catalog.
@@ -282,6 +307,13 @@ func applyRecord(cat *catalog.Catalog, rec wal.Record) error {
 			return fmt.Errorf("analyze of unknown table %q", r.Table)
 		}
 		return cat.Analyze(tbl)
+	case wal.CreateMatView:
+		// The backing table and its rows were replayed from their own
+		// CreateTable/Insert/Analyze records; only the metadata remains.
+		_, err := cat.CreateMatView(r.Name, r.SQL, r.Backing, r.BaseTables)
+		return err
+	case wal.DropMatView:
+		return cat.DropMatView(r.Name)
 	default:
 		return fmt.Errorf("unknown record type %T", rec)
 	}

@@ -485,6 +485,9 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (
 		}
 		res.Rows = append(res.Rows, []any{fmt.Sprintf("estimated cost: %.1f page IOs", info.EstimatedCost)})
 		res.Rows = append(res.Rows, []any{fmt.Sprintf("search: %s", info.Search)})
+		if info.ViewRewrite != "" {
+			res.Rows = append(res.Rows, []any{fmt.Sprintf("view rewrite: %s", info.ViewRewrite)})
+		}
 		return res, nil
 
 	default:
@@ -532,6 +535,18 @@ func (e *Engine) execWriteLocked(stmt sql.Statement) (*Result, error) {
 		}
 		return &Result{}, nil
 
+	case *sql.CreateMaterializedView:
+		if err := e.createMatView(t); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.DropMaterializedView:
+		if err := e.cat.DropMatView(t.Name); err != nil {
+			return nil, fmt.Errorf("aggview: %v", err)
+		}
+		return &Result{}, nil
+
 	case *sql.CreateIndex:
 		if _, err := e.cat.CreateIndex(t.Name, t.Table, t.Cols); err != nil {
 			return nil, err
@@ -549,6 +564,7 @@ func (e *Engine) execWriteLocked(stmt sql.Statement) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("aggview: table %q not found", t.Table)
 		}
+		inserted := make([]types.Row, 0, len(t.Rows))
 		for _, astRow := range t.Rows {
 			row := make(types.Row, len(astRow))
 			for i, ex := range astRow {
@@ -558,9 +574,15 @@ func (e *Engine) execWriteLocked(stmt sql.Statement) (*Result, error) {
 				}
 				row[i] = v
 			}
+			// Insert coerces the row in place (int → float), so the slice
+			// retained for view maintenance carries the stored values.
 			if err := e.cat.Insert(tbl, row); err != nil {
 				return nil, err
 			}
+			inserted = append(inserted, row)
+		}
+		if err := e.maintainMatViews(tbl.Name, inserted); err != nil {
+			return nil, err
 		}
 		return &Result{}, nil
 
@@ -649,6 +671,11 @@ type PlanInfo struct {
 	// EXPLAIN ANALYZE paths, nil on the normal query path (tracing is not
 	// free).
 	Trace *SearchTrace
+	// ViewRewrite names the materialized view whose backing table the plan
+	// reads, when the cost-based rewrite chose a view-backed plan over the
+	// best base-table plan. Empty when the base plan won or no view was
+	// applicable. EXPLAIN renders it as "view rewrite: <name>".
+	ViewRewrite string
 	// CacheStatus is the plan's provenance for this execution: "hit" (a
 	// cached compiled plan was reused; Search is zero because no
 	// optimization ran), "miss" (compiled and cached), "invalidated"
@@ -686,6 +713,7 @@ func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, 
 	opts := e.options()
 	opts.Mode = mode
 	opts.Trace = core.NewSearchTrace()
+	opts.ViewPlans = e.viewPlans(bound.Query)
 	plan, err := core.Optimize(bound.Query, opts)
 	if err != nil {
 		return nil, err
@@ -698,6 +726,7 @@ func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, 
 		EstimatedRows: plan.Info.Rows,
 		Search:        plan.Stats,
 		Trace:         opts.Trace,
+		ViewRewrite:   plan.ViewRewrite,
 		root:          plan.Root,
 	}, nil
 }

@@ -1,0 +1,81 @@
+// Materialized aggregate views: create a rollup over a sales fact table,
+// watch the optimizer answer grouped queries from the view's partial rows
+// when that is strictly cheaper, and keep the view exact through INSERTs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"aggview"
+)
+
+func main() {
+	eng := aggview.Open(aggview.Config{PoolPages: 16})
+	ctx := context.Background()
+
+	// A sales fact table: 30k rows over 3 regions, 12 products, 30 days.
+	must(eng.Exec(`create table sales (region text, product text, day int, amount float, qty int)`))
+	var b strings.Builder
+	b.WriteString("insert into sales values ")
+	for i := 0; i < 30000; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "('r%d', 'p%d', %d, %d.5, %d)", i%3, i%12, i%30, i%100, i%7+1)
+	}
+	must(eng.Exec(b.String()))
+	must(eng.Exec(`analyze`))
+
+	// The materialized view stores partial aggregates per (region, product)
+	// group — SUMs, COUNTs, and AVG as a SUM/COUNT pair — so any rollup of
+	// those groups can be answered by coalescing a few dozen rows instead of
+	// scanning 30k.
+	must(eng.Exec(`create materialized view sales_rollup as
+		select region, product, sum(amount) as total, count(*) as n, avg(qty) as avgq
+		from sales group by region, product`))
+
+	// This query never mentions the view. The optimizer proves it can be
+	// answered from the view's groups, costs both plans, and rewrites only
+	// because the view plan is strictly cheaper.
+	q := `select region, sum(amount) as total, avg(qty) as avgq from sales group by region`
+	res, err := eng.Query(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("revenue by region:")
+	fmt.Print(res.String())
+	fmt.Printf("\nplan used view: %q, %d page reads\n", res.Plan.ViewRewrite, res.IO.Reads)
+
+	// EXPLAIN carries the provenance.
+	fmt.Println("\nEXPLAIN:")
+	fmt.Print(must(eng.Exec("explain " + q)).String())
+
+	// The control: the same query with the rewrite disabled scans the fact
+	// table. Same rows, far more IO.
+	base, err := eng.Query(ctx, q, aggview.WithoutViewRewrite(), aggview.WithColdCache())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbase plan (WithoutViewRewrite): %d page reads, same %d rows\n",
+		base.IO.Reads, base.Len())
+
+	// INSERTs maintain the view incrementally inside the same write: the new
+	// rows fold into delta partial rows, and the next query sees them.
+	must(eng.Exec(`insert into sales values ('r0', 'p0', 31, 1000.5, 3)`))
+	after, err := eng.Query(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter INSERT (view maintained incrementally, rewrite still on):")
+	fmt.Print(after.String())
+}
+
+func must(res *aggview.Result, err error) *aggview.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

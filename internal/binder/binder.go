@@ -264,6 +264,29 @@ func (b *binder) bindBlock(sel *sql.Select, outAlias string, depth int) (*qblock
 				}
 				continue
 			}
+			if mv, ok := b.cat.MatView(fi.Table); ok {
+				// A materialized view referenced by name binds through its
+				// definition, exactly like an ordinary view — the semantics
+				// are always the recomputed result. Whether the plan actually
+				// reads the materialization is the optimizer's cost-based
+				// decision, made later against the backing table.
+				stmt, err := sql.Parse(mv.SQL)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bind: materialized view %q definition: %w", mv.Name, err)
+				}
+				vsel, ok := stmt.(*sql.Select)
+				if !ok {
+					return nil, nil, fmt.Errorf("bind: materialized view %q is not a SELECT", mv.Name)
+				}
+				vsel, err = flatten.Rewrite(vsel)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := b.addDerived(blk, &views, sc, &conjs, vsel, fi.Alias, depth+1); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
 			return nil, nil, fmt.Errorf("bind: relation %q not found", fi.Table)
 		}
 	}

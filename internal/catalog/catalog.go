@@ -49,6 +49,17 @@ type View struct {
 	SQL  string   // the defining SELECT statement
 }
 
+// MatView is a materialized aggregate view: the defining SELECT is kept as
+// SQL text (parsed at use, like View), the materialized partial-aggregate
+// rows live in a regular base table named Backing, and BaseTables lists the
+// tables the definition reads so INSERT maintenance can find dependents.
+type MatView struct {
+	Name       string
+	SQL        string   // the defining SELECT statement
+	Backing    string   // name of the backing table holding partial rows
+	BaseTables []string // base tables the definition reads, sorted
+}
+
 // HashIndex maps the key encoding of the indexed columns to rowids of the
 // heap file. Hash indexes are memory-resident (as is common for equality
 // indexes in decision-support scratch databases); probing charges the heap
@@ -92,17 +103,20 @@ func (ix *HashIndex) Entries() int {
 type Logger interface {
 	CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) error
 	CreateView(name string, cols []string, sql string) error
+	CreateMatView(name, sql, backing string, baseTables []string) error
 	CreateIndex(name, table string, cols []string) error
 	DropTable(name string) error
+	DropMatView(name string) error
 	Insert(table string, row types.Row) error
 	Analyze(table string) error
 }
 
 // Catalog is the metadata root.
 type Catalog struct {
-	store  *storage.Store
-	tables map[string]*Table
-	views  map[string]*View
+	store    *storage.Store
+	tables   map[string]*Table
+	views    map[string]*View
+	matviews map[string]*MatView
 	// version counts schema-or-data-affecting mutations: DDL, inserts and
 	// statistics refreshes each bump it. Cached plans record the version
 	// they were compiled under; a mismatch at lookup time invalidates them.
@@ -147,7 +161,7 @@ func (c *Catalog) bump() { c.version.Add(1) }
 
 // New creates an empty catalog over the given store.
 func New(store *storage.Store) *Catalog {
-	return &Catalog{store: store, tables: map[string]*Table{}, views: map[string]*View{}}
+	return &Catalog{store: store, tables: map[string]*Table{}, views: map[string]*View{}, matviews: map[string]*MatView{}}
 }
 
 // Store returns the backing store.
@@ -165,6 +179,9 @@ func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []st
 	}
 	if _, ok := c.views[lname]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	if _, ok := c.matviews[lname]; ok {
+		return nil, fmt.Errorf("materialized view %q already exists", name)
 	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("table %q must have at least one column", name)
@@ -222,6 +239,9 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 	if _, ok := c.views[lname]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
 	}
+	if _, ok := c.matviews[lname]; ok {
+		return nil, fmt.Errorf("materialized view %q already exists", name)
+	}
 	lcols := make([]string, len(cols))
 	for i, col := range cols {
 		lcols[i] = strings.ToLower(col)
@@ -237,6 +257,65 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 	return v, nil
 }
 
+// CreateMatView registers a materialized view. The backing table must
+// already exist (the engine creates and populates it first, so recovery
+// replay re-creates the rows before the view object references them).
+func (c *Catalog) CreateMatView(name, sql, backing string, baseTables []string) (*MatView, error) {
+	c.enter()
+	defer c.exit()
+	lname := strings.ToLower(name)
+	if _, ok := c.tables[lname]; ok {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	if _, ok := c.views[lname]; ok {
+		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	if _, ok := c.matviews[lname]; ok {
+		return nil, fmt.Errorf("materialized view %q already exists", name)
+	}
+	lbacking := strings.ToLower(backing)
+	if _, ok := c.tables[lbacking]; !ok {
+		return nil, fmt.Errorf("materialized view %q: backing table %q does not exist", name, backing)
+	}
+	base := make([]string, len(baseTables))
+	for i, b := range baseTables {
+		base[i] = strings.ToLower(b)
+	}
+	sort.Strings(base)
+	mv := &MatView{Name: lname, SQL: sql, Backing: lbacking, BaseTables: base}
+	c.matviews[lname] = mv
+	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.CreateMatView(mv.Name, mv.SQL, mv.Backing, mv.BaseTables); err != nil {
+			return nil, err
+		}
+	}
+	return mv, nil
+}
+
+// DropMatView removes a materialized view and its backing table.
+func (c *Catalog) DropMatView(name string) error {
+	c.enter()
+	defer c.exit()
+	lname := strings.ToLower(name)
+	mv, ok := c.matviews[lname]
+	if !ok {
+		return fmt.Errorf("materialized view %q does not exist", name)
+	}
+	if t, ok := c.tables[mv.Backing]; ok {
+		c.store.DropFile(t.File)
+		delete(c.tables, mv.Backing)
+	}
+	delete(c.matviews, lname)
+	c.bump()
+	if l := c.topLevel(); l != nil {
+		if err := l.DropMatView(lname); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DropTable removes a table and its heap file.
 func (c *Catalog) DropTable(name string) error {
 	c.enter()
@@ -245,6 +324,16 @@ func (c *Catalog) DropTable(name string) error {
 	t, ok := c.tables[lname]
 	if !ok {
 		return fmt.Errorf("table %q does not exist", name)
+	}
+	for _, mv := range c.matviews {
+		if mv.Backing == lname {
+			return fmt.Errorf("table %q backs materialized view %q; drop the view instead", name, mv.Name)
+		}
+		for _, b := range mv.BaseTables {
+			if b == lname {
+				return fmt.Errorf("table %q is read by materialized view %q; drop the view first", name, mv.Name)
+			}
+		}
 	}
 	c.store.DropFile(t.File)
 	delete(c.tables, lname)
@@ -267,6 +356,39 @@ func (c *Catalog) Table(name string) (*Table, bool) {
 func (c *Catalog) View(name string) (*View, bool) {
 	v, ok := c.views[strings.ToLower(name)]
 	return v, ok
+}
+
+// MatView resolves a materialized view by name.
+func (c *Catalog) MatView(name string) (*MatView, bool) {
+	mv, ok := c.matviews[strings.ToLower(name)]
+	return mv, ok
+}
+
+// MatViewNames returns all materialized view names, sorted.
+func (c *Catalog) MatViewNames() []string {
+	out := make([]string, 0, len(c.matviews))
+	for n := range c.matviews {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatViewsOn returns the materialized views whose definition reads the
+// named base table, sorted by view name. INSERT maintenance iterates this.
+func (c *Catalog) MatViewsOn(table string) []*MatView {
+	lname := strings.ToLower(table)
+	var out []*MatView
+	for _, n := range c.MatViewNames() {
+		mv := c.matviews[n]
+		for _, b := range mv.BaseTables {
+			if b == lname {
+				out = append(out, mv)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // TableNames returns all base table names, sorted.

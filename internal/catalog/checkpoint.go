@@ -32,7 +32,7 @@ import (
 // failure here means corruption (or a format skew) and recovery fails
 // loudly rather than guessing.
 
-const snapMagic = "AGVSNAP1"
+const snapMagic = "AGVSNAP2"
 
 // EncodeSnapshot serializes the full catalog state. Iteration orders are
 // sorted so the same state always produces the same bytes.
@@ -123,6 +123,16 @@ func (c *Catalog) EncodeSnapshot() []byte {
 		dst = snapPutString(dst, v.Name)
 		dst = snapPutStrings(dst, v.Cols)
 		dst = snapPutString(dst, v.SQL)
+	}
+
+	mvnames := c.MatViewNames()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(mvnames)))
+	for _, name := range mvnames {
+		mv := c.matviews[name]
+		dst = snapPutString(dst, mv.Name)
+		dst = snapPutString(dst, mv.SQL)
+		dst = snapPutString(dst, mv.Backing)
+		dst = snapPutStrings(dst, mv.BaseTables)
 	}
 	return dst
 }
@@ -225,6 +235,16 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 		v.Cols = r.strs()
 		v.SQL = r.str()
 		c.views[v.Name] = v
+	}
+
+	nmv := int(r.u32())
+	for i := 0; i < nmv && r.err == nil; i++ {
+		mv := &MatView{}
+		mv.Name = r.str()
+		mv.SQL = r.str()
+		mv.Backing = r.str()
+		mv.BaseTables = r.strs()
+		c.matviews[mv.Name] = mv
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog: snapshot: %w", r.err)

@@ -190,6 +190,14 @@ func (r *recordingLogger) Analyze(table string) error {
 	r.ops = append(r.ops, "analyze "+table)
 	return r.fail
 }
+func (r *recordingLogger) CreateMatView(name, sql, backing string, baseTables []string) error {
+	r.ops = append(r.ops, "create-matview "+name)
+	return r.fail
+}
+func (r *recordingLogger) DropMatView(name string) error {
+	r.ops = append(r.ops, "drop-matview "+name)
+	return r.fail
+}
 
 // The logger sees exactly one call per top-level operation: CreateIndex's
 // internal Analyze is suppressed.
@@ -266,4 +274,6 @@ func (h *hookLogger) DropTable(string) error { return nil }
 func (h *hookLogger) Insert(table string, row types.Row) error {
 	return h.insert(table, row)
 }
-func (h *hookLogger) Analyze(string) error { return nil }
+func (h *hookLogger) Analyze(string) error                                 { return nil }
+func (h *hookLogger) CreateMatView(string, string, string, []string) error { return nil }
+func (h *hookLogger) DropMatView(string) error                             { return nil }

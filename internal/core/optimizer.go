@@ -19,6 +19,10 @@ type Plan struct {
 	Cost  float64
 	Info  *cost.Info
 	Stats SearchStats
+	// ViewRewrite names the materialized view whose backing table the plan
+	// reads, when a view-backed candidate beat every base-table plan on
+	// cost ("" = the base plan won or no candidate applied).
+	ViewRewrite string
 }
 
 // Explain renders the chosen plan tree.
@@ -42,10 +46,38 @@ func Optimize(q *qblock.Query, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Materialized-view candidates compete against the best base-table
+	// plan as whole-query alternative access paths (cost-based rewrite
+	// folded into the same search, not a pre-pass that hides the base
+	// plan). A candidate wins only when strictly cheaper.
+	rewrite := ""
+	for _, vp := range opts.ViewPlans {
+		if vp.Root == nil {
+			continue
+		}
+		if err := tickPlan(o.stats, opts); err != nil {
+			return nil, err
+		}
+		vinfo, verr := o.model.Info(vp.Root)
+		if verr != nil {
+			return nil, fmt.Errorf("optimize: costing view plan %s: %w", vp.Name, verr)
+		}
+		if opts.Trace != nil {
+			verdict := "kept base plan"
+			if vinfo.Cost < info.Cost {
+				verdict = "replaces base plan"
+			}
+			opts.Trace.Event("view-rewrite", 0, "view %s cost %.1f vs base %.1f: %s",
+				vp.Name, vinfo.Cost, info.Cost, verdict)
+		}
+		if vinfo.Cost < info.Cost {
+			root, info, rewrite = vp.Root, vinfo, vp.Name
+		}
+	}
 	if err := lplan.Validate(root); err != nil {
 		return nil, fmt.Errorf("optimize: produced an illegal plan: %w\n%s", err, lplan.Format(root))
 	}
-	return &Plan{Root: root, Cost: info.Cost, Info: info, Stats: *o.stats}, nil
+	return &Plan{Root: root, Cost: info.Cost, Info: info, Stats: *o.stats, ViewRewrite: rewrite}, nil
 }
 
 // viewCtx is the per-view decomposition state.

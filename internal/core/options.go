@@ -19,7 +19,11 @@
 // the traditional strategy and greedy replacements are dominance-guarded.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"aggview/internal/lplan"
+)
 
 // Mode selects the enumeration algorithm.
 type Mode int
@@ -102,6 +106,20 @@ type Options struct {
 	// the pull-up candidates enumerated. Tracing is for EXPLAIN output and
 	// tests; it is off (nil) on the normal query path.
 	Trace *SearchTrace
+
+	// ViewPlans are materialized-view-backed plan alternatives for the
+	// whole query, built by the engine's rewrite layer before the search
+	// runs. Each candidate competes on cost against the best base-table
+	// plan and wins only when strictly cheaper; the winner's name is
+	// reported in Plan.ViewRewrite.
+	ViewPlans []ViewPlan
+}
+
+// ViewPlan is one materialized-view-backed alternative: a complete plan
+// answering the query from the view's backing table.
+type ViewPlan struct {
+	Name string // view name, surfaced as plan provenance
+	Root lplan.Node
 }
 
 // DefaultOptions returns the full algorithm with the paper's practical

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"aggview"
+)
+
+// MatViewResult is one query of the materialized-view rewrite benchmark.
+// The same rollup query runs twice on one engine: view-backed (the
+// optimizer's cost-based rewrite reads the view's partial rows) and base
+// (WithoutViewRewrite forces the fact-table plan). Cold page reads show the
+// IO the rewrite saves; warm qps shows the end-to-end speedup once both
+// paths are cached.
+type MatViewResult struct {
+	Name      string  `json:"name"`
+	Rewrite   string  `json:"rewrite"` // view the optimizer chose ("" = rewrite refused)
+	ViewReads int64   `json:"view_reads"`
+	BaseReads int64   `json:"base_reads"`
+	ViewQPS   float64 `json:"view_qps"`
+	BaseQPS   float64 `json:"base_qps"`
+}
+
+// matViewEngine builds the rewrite benchmark's engine: a sales fact table
+// (3 regions × 24 products × 30 days) and a materialized rollup grouped by
+// (region, product). Amounts are .5-grained so partial-coalescing sums are
+// exact.
+func matViewEngine(rows int) (*aggview.Engine, error) {
+	eng := aggview.Open(aggview.Config{PoolPages: 16})
+	if _, err := eng.Exec(`create table sales (region text, product text, day int, amount float, qty int)`); err != nil {
+		return nil, err
+	}
+	const batch = 2000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		var b strings.Builder
+		b.WriteString("insert into sales values ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "('r%d', 'p%d', %d, %d.5, %d)", i%3, i%24, i%30, i%100, i%7+1)
+		}
+		if _, err := eng.Exec(b.String()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := eng.Exec(`analyze`); err != nil {
+		return nil, err
+	}
+	if _, err := eng.Exec(`create materialized view sales_rollup as
+		select region, product, sum(amount) as total, count(*) as n, avg(qty) as avgq
+		from sales group by region, product`); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// measureMatViews runs each rollup query view-backed and base on the same
+// engine: one cold execution per path for page-IO attribution, then a warm
+// timed loop per path for qps.
+func measureMatViews(quick bool) ([]MatViewResult, error) {
+	rows, iters := 40000, 200
+	if quick {
+		rows, iters = 8000, 40
+	}
+	eng, err := matViewEngine(rows)
+	if err != nil {
+		return nil, err
+	}
+
+	queries := []struct{ name, sql string }{
+		{"rollup-exact", `select region, product, sum(amount) as total, count(*) as n
+			from sales group by region, product`},
+		{"rollup-region", `select region, sum(amount) as total, avg(qty) as avgq
+			from sales group by region`},
+		{"rollup-filtered", `select product, count(*) as n
+			from sales where region = 'r1' group by product`},
+		{"base-only-day", `select day, sum(amount) as total
+			from sales group by day`}, // day is not stored: rewrite refused, both paths identical
+	}
+
+	ctx := context.Background()
+	var out []MatViewResult
+	for _, q := range queries {
+		view, err := eng.Query(ctx, q.sql, aggview.WithColdCache())
+		if err != nil {
+			return nil, fmt.Errorf("matview %s: %w", q.name, err)
+		}
+		base, err := eng.Query(ctx, q.sql, aggview.WithColdCache(), aggview.WithoutViewRewrite())
+		if err != nil {
+			return nil, fmt.Errorf("matview %s (base): %w", q.name, err)
+		}
+		r := MatViewResult{
+			Name:      q.name,
+			Rewrite:   view.Plan.ViewRewrite,
+			ViewReads: view.IO.Reads,
+			BaseReads: base.IO.Reads,
+		}
+		for _, opts := range [][]aggview.QueryOption{nil, {aggview.WithoutViewRewrite()}} {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := eng.Query(ctx, q.sql, opts...); err != nil {
+					return nil, fmt.Errorf("matview %s warm: %w", q.name, err)
+				}
+			}
+			qps := float64(iters) / time.Since(start).Seconds()
+			if opts == nil {
+				r.ViewQPS = qps
+			} else {
+				r.BaseQPS = qps
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

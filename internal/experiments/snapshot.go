@@ -96,6 +96,7 @@ type Snapshot struct {
 	Prepared    []PreparedResult   `json:"prepared,omitempty"`
 	Durability  []DurabilityResult `json:"durability,omitempty"`
 	Recovery    *RecoveryResult    `json:"recovery,omitempty"`
+	MatViews    []MatViewResult    `json:"matviews,omitempty"`
 }
 
 // JSON renders the snapshot with stable indentation for committing.
@@ -251,6 +252,11 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 	}
 	snap.Durability = drs
 	snap.Recovery = rec
+	mvs, err := measureMatViews(quick)
+	if err != nil {
+		return nil, err
+	}
+	snap.MatViews = mvs
 	return snap, nil
 }
 

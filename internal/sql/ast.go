@@ -45,6 +45,22 @@ type CreateView struct {
 
 func (*CreateView) stmt() {}
 
+// CreateMaterializedView is CREATE MATERIALIZED VIEW name AS select.
+// Text preserves the defining SELECT verbatim for the catalog; the
+// definition must be a single-block aggregate query over base tables.
+type CreateMaterializedView struct {
+	Name  string
+	Query *Select
+	Text  string
+}
+
+func (*CreateMaterializedView) stmt() {}
+
+// DropMaterializedView is DROP MATERIALIZED VIEW name.
+type DropMaterializedView struct{ Name string }
+
+func (*DropMaterializedView) stmt() {}
+
 // CreateIndex is CREATE INDEX name ON table (cols).
 type CreateIndex struct {
 	Name  string

@@ -40,7 +40,7 @@ var keywords = map[string]bool{
 	"FOREIGN": true, "REFERENCES": true, "ANALYZE": true, "EXPLAIN": true,
 	"JOIN": true, "INNER": true, "DISTINCT": true, "ALL": true, "ASC": true,
 	"DESC": true, "TRUE": true, "FALSE": true, "NULL": true, "BETWEEN": true,
-	"DROP": true, "INT": true, "INTEGER": true, "BIGINT": true,
+	"DROP": true, "MATERIALIZED": true, "INT": true, "INTEGER": true, "BIGINT": true,
 	"FLOAT": true, "REAL": true, "DOUBLE": true, "PRECISION": true,
 	"VARCHAR": true, "CHAR": true, "TEXT": true, "BOOLEAN": true, "BOOL": true,
 }

@@ -134,10 +134,15 @@ func (p *parser) createStmt() (Statement, error) {
 		return p.createTable()
 	case p.accept(tokKeyword, "VIEW"):
 		return p.createView()
+	case p.accept(tokKeyword, "MATERIALIZED"):
+		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
+			return nil, err
+		}
+		return p.createMaterializedView()
 	case p.accept(tokKeyword, "INDEX"):
 		return p.createIndex()
 	default:
-		return nil, p.errf("expected TABLE, VIEW or INDEX after CREATE")
+		return nil, p.errf("expected TABLE, VIEW, MATERIALIZED VIEW or INDEX after CREATE")
 	}
 }
 
@@ -314,6 +319,25 @@ func (p *parser) createView() (Statement, error) {
 	return &CreateView{Name: name, Cols: cols, Query: sel, Text: text}, nil
 }
 
+func (p *parser) createMaterializedView() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	start := p.cur().pos
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	end := p.cur().pos
+	text := strings.TrimSpace(p.src[start:min(end, len(p.src))])
+	text = strings.TrimSuffix(text, ";")
+	return &CreateMaterializedView{Name: name, Query: sel, Text: text}, nil
+}
+
 func (p *parser) createIndex() (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
@@ -335,6 +359,16 @@ func (p *parser) createIndex() (Statement, error) {
 
 func (p *parser) dropStmt() (Statement, error) {
 	p.pos++ // DROP
+	if p.accept(tokKeyword, "MATERIALIZED") {
+		if _, err := p.expect(tokKeyword, "VIEW"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropMaterializedView{Name: name}, nil
+	}
 	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
 		return nil, err
 	}

@@ -20,6 +20,8 @@ const (
 	KindDropTable
 	KindInsert
 	KindAnalyze
+	KindCreateMatView
+	KindDropMatView
 )
 
 // String names the kind for diagnostics.
@@ -37,6 +39,10 @@ func (k Kind) String() string {
 		return "insert"
 	case KindAnalyze:
 		return "analyze"
+	case KindCreateMatView:
+		return "create-matview"
+	case KindDropMatView:
+		return "drop-matview"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -100,6 +106,23 @@ type Insert struct {
 	Rows  []types.Row
 }
 
+// CreateMatView records the registration of a materialized view. The
+// backing table and its rows travel as the CreateTable/Insert/Analyze
+// records the engine logged just before this one, so replay only needs the
+// metadata here.
+type CreateMatView struct {
+	Name       string
+	SQL        string
+	Backing    string
+	BaseTables []string
+}
+
+// DropMatView records a DROP MATERIALIZED VIEW (the backing table is
+// dropped by the same catalog call, so one record covers both).
+type DropMatView struct {
+	Name string
+}
+
 // Analyze records a statistics (and index) refresh of one table. Replay
 // recomputes from the replayed data, which is deterministic, so the record
 // carries no statistics payload.
@@ -108,12 +131,14 @@ type Analyze struct {
 }
 
 // Kind implementations.
-func (CreateTable) Kind() Kind { return KindCreateTable }
-func (CreateView) Kind() Kind  { return KindCreateView }
-func (CreateIndex) Kind() Kind { return KindCreateIndex }
-func (DropTable) Kind() Kind   { return KindDropTable }
-func (Insert) Kind() Kind      { return KindInsert }
-func (Analyze) Kind() Kind     { return KindAnalyze }
+func (CreateTable) Kind() Kind   { return KindCreateTable }
+func (CreateView) Kind() Kind    { return KindCreateView }
+func (CreateIndex) Kind() Kind   { return KindCreateIndex }
+func (DropTable) Kind() Kind     { return KindDropTable }
+func (Insert) Kind() Kind        { return KindInsert }
+func (Analyze) Kind() Kind       { return KindAnalyze }
+func (CreateMatView) Kind() Kind { return KindCreateMatView }
+func (DropMatView) Kind() Kind   { return KindDropMatView }
 
 // Entry is one decoded log record: its sequence number, the catalog version
 // the mutation produced (persisted so a recovered engine's version — and
@@ -316,6 +341,41 @@ func decodeInsert(b []byte) (Record, error) {
 	return r, nil
 }
 
+func (r CreateMatView) encode(dst []byte) []byte {
+	dst = putString(dst, r.Name)
+	dst = putString(dst, r.SQL)
+	dst = putString(dst, r.Backing)
+	return putStrings(dst, r.BaseTables)
+}
+
+func decodeCreateMatView(b []byte) (Record, error) {
+	var r CreateMatView
+	var err error
+	if r.Name, b, err = getString(b); err != nil {
+		return nil, err
+	}
+	if r.SQL, b, err = getString(b); err != nil {
+		return nil, err
+	}
+	if r.Backing, b, err = getString(b); err != nil {
+		return nil, err
+	}
+	if r.BaseTables, _, err = getStrings(b); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r DropMatView) encode(dst []byte) []byte { return putString(dst, r.Name) }
+
+func decodeDropMatView(b []byte) (Record, error) {
+	name, _, err := getString(b)
+	if err != nil {
+		return nil, err
+	}
+	return DropMatView{Name: name}, nil
+}
+
 func (r Analyze) encode(dst []byte) []byte { return putString(dst, r.Table) }
 
 func decodeAnalyze(b []byte) (Record, error) {
@@ -359,6 +419,10 @@ func decodeRecord(b []byte) (int64, Record, error) {
 		rec, err = decodeInsert(body)
 	case KindAnalyze:
 		rec, err = decodeAnalyze(body)
+	case KindCreateMatView:
+		rec, err = decodeCreateMatView(body)
+	case KindDropMatView:
+		rec, err = decodeDropMatView(body)
 	default:
 		err = fmt.Errorf("wal: unknown record kind %d", uint8(kind))
 	}

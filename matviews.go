@@ -1,0 +1,374 @@
+package aggview
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aggview/internal/catalog"
+	"aggview/internal/core"
+	"aggview/internal/exec"
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/matview"
+	"aggview/internal/qblock"
+	"aggview/internal/sql"
+	"aggview/internal/types"
+)
+
+// MatViews lists the materialized views.
+func (e *Engine) MatViews() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cat.MatViewNames()
+}
+
+// viewPlans builds the materialized-view-backed plan candidates for a bound
+// query: every catalog view whose definition can answer the query (see
+// matview.Def.Rewrite for the legality rules) contributes complete
+// alternative plans reading its backing table. The optimizer costs them
+// against the best base-table plan; a candidate wins only when strictly
+// cheaper. The caller must hold at least the engine read lock.
+func (e *Engine) viewPlans(q *qblock.Query) []core.ViewPlan {
+	names := e.cat.MatViewNames()
+	if len(names) == 0 {
+		return nil
+	}
+	var out []core.ViewPlan
+	for _, name := range names {
+		mv, ok := e.cat.MatView(name)
+		if !ok {
+			continue
+		}
+		backing, ok := e.cat.Table(mv.Backing)
+		if !ok {
+			continue
+		}
+		def, err := matview.BindCatalog(e.cat, mv)
+		if err != nil {
+			// A definition that no longer binds (should be impossible while
+			// DropTable guards base tables) simply stops contributing
+			// rewrites; queries still run from base tables.
+			continue
+		}
+		cands, ok := def.Rewrite(backing, q)
+		if !ok {
+			continue
+		}
+		for _, c := range cands {
+			if lplan.Validate(c.Root) != nil {
+				continue
+			}
+			out = append(out, core.ViewPlan{Name: c.Name, Root: c.Root})
+		}
+	}
+	return out
+}
+
+// createMatView executes CREATE MATERIALIZED VIEW under the engine write
+// lock: bind the definition, create the backing table, compute the partial
+// aggregates from the base tables, insert them, analyze the backing table
+// (so the cost model sees real cardinalities immediately), and register the
+// catalog object last. Every step is logged in order, so crash-recovery
+// replay reconstructs the exact same state; the view object is only ever
+// durable after its rows are.
+func (e *Engine) createMatView(t *sql.CreateMaterializedView) error {
+	def, err := matview.Bind(e.cat, t.Name, t.Text)
+	if err != nil {
+		return fmt.Errorf("aggview: %w", err)
+	}
+	rows, err := e.runLocked(def.PartialQuery())
+	if err != nil {
+		return err
+	}
+	backing, err := e.cat.CreateTable(def.Backing, def.BackingSchema(), nil, nil)
+	if err != nil {
+		return fmt.Errorf("aggview: materialized view %q: %w", t.Name, err)
+	}
+	if err := e.populateMatView(def, backing, rows); err != nil {
+		// The view object is not registered yet, so the backing table can
+		// be dropped directly; the drop is logged like every other step.
+		_ = e.cat.DropTable(def.Backing)
+		return err
+	}
+	if _, err := e.cat.CreateMatView(def.Name, t.Text, def.Backing, def.BaseTables); err != nil {
+		_ = e.cat.DropTable(def.Backing)
+		return fmt.Errorf("aggview: %w", err)
+	}
+	return nil
+}
+
+// populateMatView loads computed partial rows into a fresh backing table
+// and analyzes it.
+func (e *Engine) populateMatView(def *matview.Def, backing *catalog.Table, rows []types.Row) error {
+	for _, row := range rows {
+		if err := e.cat.Insert(backing, row); err != nil {
+			return fmt.Errorf("aggview: materialized view %q: %w", def.Name, err)
+		}
+	}
+	if err := e.cat.Analyze(backing); err != nil {
+		return fmt.Errorf("aggview: materialized view %q: %w", def.Name, err)
+	}
+	return nil
+}
+
+// maintainMatViews folds freshly inserted base rows into every materialized
+// view reading the table. It runs inside the INSERT's write-lock critical
+// section, before the WAL commit, so the view is maintained atomically with
+// the inserts: readers never observe the base table ahead of the view, and
+// a crash either replays both or neither.
+//
+// Single-table definitions maintain incrementally: the inserted rows fold
+// into delta partial rows appended to the backing table (query-time
+// coalescing merges old and new partials, so history is never rewritten).
+// Multi-table definitions would need to join the delta against the other
+// base tables; they fall back to a full refresh. Incremental appends leave
+// the backing table's statistics deliberately stale — ANALYZE is replayed
+// from the log on recovery, so re-running it here would be redundant work
+// on every INSERT; run ANALYZE manually after bulk loads if plan quality
+// matters.
+func (e *Engine) maintainMatViews(table string, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, mv := range e.cat.MatViewsOn(table) {
+		def, err := matview.BindCatalog(e.cat, mv)
+		if err != nil {
+			return fmt.Errorf("aggview: maintaining %w", err)
+		}
+		if !def.Incremental() {
+			if err := e.refreshMatView(mv, def); err != nil {
+				return err
+			}
+			continue
+		}
+		backing, ok := e.cat.Table(mv.Backing)
+		if !ok {
+			return fmt.Errorf("aggview: materialized view %q: backing table %q missing", mv.Name, mv.Backing)
+		}
+		delta, err := def.Delta(rows)
+		if err != nil {
+			return fmt.Errorf("aggview: maintaining materialized view %q: %w", mv.Name, err)
+		}
+		for _, row := range delta {
+			if err := e.cat.Insert(backing, row); err != nil {
+				return fmt.Errorf("aggview: maintaining materialized view %q: %w", mv.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// refreshMatView rebuilds a view's contents from scratch: recompute the
+// partial aggregates from the (already updated) base tables, drop and
+// re-create the backing table, reload and re-analyze, and re-register the
+// view object. The whole sequence is logged in order inside the caller's
+// write-lock critical section, so recovery replay reproduces it exactly.
+func (e *Engine) refreshMatView(mv *catalog.MatView, def *matview.Def) error {
+	rows, err := e.runLocked(def.PartialQuery())
+	if err != nil {
+		return fmt.Errorf("aggview: refreshing materialized view %q: %w", mv.Name, err)
+	}
+	if err := e.cat.DropMatView(mv.Name); err != nil {
+		return fmt.Errorf("aggview: refreshing materialized view %q: %w", mv.Name, err)
+	}
+	backing, err := e.cat.CreateTable(def.Backing, def.BackingSchema(), nil, nil)
+	if err != nil {
+		return fmt.Errorf("aggview: refreshing materialized view %q: %w", mv.Name, err)
+	}
+	if err := e.populateMatView(def, backing, rows); err != nil {
+		return err
+	}
+	if _, err := e.cat.CreateMatView(mv.Name, mv.SQL, def.Backing, def.BaseTables); err != nil {
+		return fmt.Errorf("aggview: refreshing materialized view %q: %w", mv.Name, err)
+	}
+	return nil
+}
+
+// recoverMatViews repairs materialized-view state after a crash recovery
+// that replayed a log tail. The log has no statement-atomicity markers: a
+// multi-record statement (CREATE MATERIALIZED VIEW, or an INSERT with view
+// maintenance) can be torn mid-statement, leaving two observable anomalies
+// that this pass heals — both only ever for the final, unacknowledged
+// statement:
+//
+//   - an orphaned backing table whose view object was never registered
+//     (crash between the backing records and the CreateMatView record):
+//     dropped, so the name is free for a retry of the CREATE;
+//   - a stale view whose base-insert record persisted but whose delta (or
+//     refresh) records did not: detected by coalescing the backing rows and
+//     comparing them against a fresh recompute, then rebuilt.
+//
+// Views untouched by the replayed tail compare clean and are left exactly
+// as recovered, so a clean close/reopen cycle never mutates state (the
+// fingerprint-stability invariant the durability tests rely on).
+func (e *Engine) recoverMatViews() error {
+	for _, name := range e.cat.TableNames() {
+		if !strings.HasSuffix(name, matview.BackingSuffix) {
+			continue
+		}
+		owner := strings.TrimSuffix(name, matview.BackingSuffix)
+		if mv, ok := e.cat.MatView(owner); ok && mv.Backing == name {
+			continue
+		}
+		// Best-effort: an unreferenced *$mv table is a crash leftover; if it
+		// is somehow in use (a base of another view), leave it alone.
+		_ = e.cat.DropTable(name)
+	}
+	for _, name := range e.cat.MatViewNames() {
+		mv, ok := e.cat.MatView(name)
+		if !ok {
+			continue
+		}
+		def, err := matview.BindCatalog(e.cat, mv)
+		if err != nil {
+			return fmt.Errorf("rebinding %w", err)
+		}
+		backing, ok := e.cat.Table(mv.Backing)
+		if !ok {
+			return fmt.Errorf("materialized view %q: backing table %q missing", mv.Name, mv.Backing)
+		}
+		want, err := e.runLocked(def.PartialQuery())
+		if err != nil {
+			return fmt.Errorf("recomputing materialized view %q: %w", mv.Name, err)
+		}
+		have, err := e.drainPlan(&lplan.Scan{Alias: backing.Name, Table: backing})
+		if err != nil {
+			return fmt.Errorf("scanning materialized view %q: %w", mv.Name, err)
+		}
+		if matViewConsistent(def, have, want) {
+			continue
+		}
+		if err := e.refreshMatView(mv, def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matViewConsistent reports whether the backing table's rows and a fresh
+// recompute agree once coalesced per group. The backing side may hold
+// several partial rows per group (incremental deltas); coalescing folds
+// them before comparing. Float partials compare with a relative tolerance:
+// a recompute sums base rows in a different order than the stored partials
+// were coalesced in, so bit-exact equality would flag consistent views.
+func matViewConsistent(def *matview.Def, have, want []types.Row) bool {
+	ch, okh := coalesceMatViewRows(def, have)
+	cw, okw := coalesceMatViewRows(def, want)
+	if !okh || !okw || len(ch) != len(cw) {
+		return false
+	}
+	for k, hv := range ch {
+		wv, ok := cw[k]
+		if !ok || !valuesApproxEqual(hv, wv) {
+			return false
+		}
+	}
+	return true
+}
+
+// coalesceMatViewRows folds backing-layout rows (grouping columns, then
+// partial columns) into one coalesced value vector per group key.
+func coalesceMatViewRows(def *matview.Def, rows []types.Row) (map[string][]types.Value, bool) {
+	var kinds []expr.AggKind
+	for _, sa := range def.Aggs {
+		for _, p := range sa.Parts {
+			kinds = append(kinds, p.Part.Coalesce)
+		}
+	}
+	ng := len(def.Groups)
+	accs := map[string][]expr.Accumulator{}
+	for _, row := range rows {
+		if len(row) != ng+len(kinds) {
+			return nil, false
+		}
+		var buf []byte
+		for _, v := range row[:ng] {
+			buf = types.AppendKey(buf, v)
+		}
+		k := string(buf)
+		as, ok := accs[k]
+		if !ok {
+			as = make([]expr.Accumulator, len(kinds))
+			for i, kind := range kinds {
+				as[i] = expr.Agg{Kind: kind}.NewAccumulator()
+			}
+			accs[k] = as
+		}
+		for i := range as {
+			as[i].Add(row[ng+i])
+		}
+	}
+	out := make(map[string][]types.Value, len(accs))
+	for k, as := range accs {
+		vals := make([]types.Value, len(as))
+		for i, a := range as {
+			vals[i] = a.Result()
+		}
+		out[k] = vals
+	}
+	return out, true
+}
+
+// valuesApproxEqual compares value vectors exactly, except floats, which
+// compare within a relative tolerance.
+func valuesApproxEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].K != b[i].K {
+			return false
+		}
+		if a[i].K == types.KindFloat {
+			d := math.Abs(a[i].F - b[i].F)
+			m := math.Max(math.Abs(a[i].F), math.Abs(b[i].F))
+			if d > 1e-9*(1+m) {
+				return false
+			}
+			continue
+		}
+		if types.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runLocked optimizes and executes an internal query while the caller holds
+// the engine write lock. It bypasses the public query path (which takes the
+// read lock and would deadlock) and the plan cache, running on a private
+// storage session with no governor: view materialization is part of a DDL
+// or INSERT statement and is not separately budgeted. Rows are copied out
+// of the executor's reused buffers.
+func (e *Engine) runLocked(q *qblock.Query) ([]types.Row, error) {
+	plan, err := core.Optimize(q, e.options())
+	if err != nil {
+		return nil, err
+	}
+	return e.drainPlan(plan.Root)
+}
+
+// drainPlan executes a plan tree on a private storage session and returns
+// copies of every row.
+func (e *Engine) drainPlan(root lplan.Node) ([]types.Row, error) {
+	sess := e.store.NewSession(nil)
+	defer sess.Close()
+	cur, err := exec.New(e.store).WithBatchSize(e.cfg.BatchSize).
+		WithSession(sess).OpenCursor(root)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []types.Row
+	for {
+		row, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, append(types.Row(nil), row...))
+	}
+}

@@ -100,6 +100,17 @@ func WithColdCache() QueryOption {
 	}
 }
 
+// WithoutViewRewrite disables the materialized-view rewrite for this run:
+// the optimizer considers base-table plans only, as if no view existed.
+// This is the control setting for experiments comparing view-backed and
+// base execution on the same engine (see cmd/aggbench and EXPERIMENTS.md).
+func WithoutViewRewrite() QueryOption {
+	return func(o *rowsOptions) error {
+		o.noViewRewrite = true
+		return nil
+	}
+}
+
 // applyOptions folds a QueryOption list into the internal run options.
 func applyOptions(opts []QueryOption) (rowsOptions, error) {
 	var o rowsOptions

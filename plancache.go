@@ -72,12 +72,12 @@ func (cp *compiledPlan) runInfo(status string) *PlanInfo {
 // plan. The caller must hold the engine read lock, so the catalog version
 // stamped here is consistent with the schema and statistics the optimizer
 // saw (DDL takes the write lock and cannot interleave).
-func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, error) {
+func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, error) {
 	bound, err := binder.BindSelect(e.cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, gov, trace)
+	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, noViewRewrite, gov, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +102,7 @@ func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode,
 			EstimatedRows: plan.Info.Rows,
 			Search:        plan.Stats,
 			Trace:         trace,
+			ViewRewrite:   plan.ViewRewrite,
 			root:          plan.Root,
 		},
 	}, nil
@@ -121,19 +122,19 @@ func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode,
 // the cache — a search trace requires a real search — and, like prepared
 // statements, degraded plans are never cached. The caller must hold the
 // engine read lock.
-func (e *Engine) resolveAdhoc(sel *sql.Select, src string, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
+func (e *Engine) resolveAdhoc(sel *sql.Select, src string, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
 	if e.cache == nil || trace != nil {
-		cp, err := e.compileSelect(sel, src, mode, gov, trace)
+		cp, err := e.compileSelect(sel, src, mode, noViewRewrite, gov, trace)
 		return cp, cacheBypass, err
 	}
 	// Normalize before compiling: the binder's flattening pass may rewrite
 	// the parsed tree in place.
-	key := planKey{text: sql.FormatSelect(sel), mode: mode}
+	key := planKey{text: sql.FormatSelect(sel), mode: mode, noViewRewrite: noViewRewrite}
 	cp, status := e.cache.get(key, e.cat.Version())
 	if cp != nil {
 		return cp, status, nil
 	}
-	cp, err := e.compileSelect(sel, src, mode, gov, trace)
+	cp, err := e.compileSelect(sel, src, mode, noViewRewrite, gov, trace)
 	if err != nil {
 		return nil, status, err
 	}
@@ -178,6 +179,9 @@ func checkParams(cp *compiledPlan, vals []types.Value) ([]types.Value, error) {
 type planKey struct {
 	text string
 	mode OptimizerMode
+	// noViewRewrite separates WithoutViewRewrite compilations: a cached
+	// view-backed plan must never serve the control setting, and vice versa.
+	noViewRewrite bool
 }
 
 // planCache is the engine's LRU cache of compiled plans for prepared

@@ -99,7 +99,7 @@ func (s *Stmt) resolve(gov *govern.Governor, trace *core.SearchTrace) (*compiled
 		return nil, status, err
 	}
 	sel := stmt.(*sql.Select) // checked at Prepare
-	cp, err := e.compileSelect(sel, s.key.text, s.mode, gov, trace)
+	cp, err := e.compileSelect(sel, s.key.text, s.mode, false, gov, trace)
 	if err != nil {
 		return nil, status, err
 	}

@@ -151,13 +151,20 @@ func ladderModes(m OptimizerMode) []OptimizerMode {
 // still polls cancellation), so a finite ladder always produces a plan.
 // The returned mode is the rung that succeeded; the plan's SearchStats
 // records how many rungs were skipped.
-func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, gov *govern.Governor, trace *core.SearchTrace) (*core.Plan, OptimizerMode, error) {
+func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*core.Plan, OptimizerMode, error) {
 	modes := ladderModes(mode)
+	// Materialized-view candidates are mode-independent (they bypass the
+	// join search entirely), so one rewrite pass serves every rung.
+	var viewPlans []core.ViewPlan
+	if !noViewRewrite {
+		viewPlans = e.viewPlans(q)
+	}
 	degradations := 0
 	for i, m := range modes {
 		opts := e.options()
 		opts.Mode = m
 		opts.Trace = trace
+		opts.ViewPlans = viewPlans
 		last := i == len(modes)-1
 		if last {
 			opts.Tick = gov.Err // cancellation only: the floor must succeed

@@ -163,6 +163,9 @@ type rowsOptions struct {
 	// cold drops the buffer pool before executing, so the measured IO
 	// reflects a cold cache (the paper's experimental setting).
 	cold bool
+	// noViewRewrite disables materialized-view plan candidates for this run
+	// (the experiment control; see WithoutViewRewrite).
+	noViewRewrite bool
 	// trace enables the optimizer search trace (EXPLAIN paths).
 	trace bool
 	// stmt marks a prepared-statement run: the plan comes from the engine's
@@ -230,7 +233,7 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		if opt.mode != ModeDefault {
 			mode = opt.mode
 		}
-		cp, status, err = e.resolveAdhoc(sel, src, mode, gov, trace)
+		cp, status, err = e.resolveAdhoc(sel, src, mode, opt.noViewRewrite, gov, trace)
 	}
 	endOpt()
 	if err != nil {
