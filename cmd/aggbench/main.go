@@ -108,8 +108,8 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d results)\n", *snapFlag, len(snap.Results))
 		for _, tr := range snap.Throughput {
-			fmt.Printf("throughput: N=%-3d %6.1f qps (%d queries in %.1fms)\n",
-				tr.Concurrency, tr.QPS, tr.Queries, tr.ElapsedMS)
+			fmt.Printf("throughput: N=%-3d %6.1f qps (%d queries in %.1fms) p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				tr.Concurrency, tr.QPS, tr.Queries, tr.ElapsedMS, tr.P50MS, tr.P95MS, tr.P99MS)
 		}
 		for _, pr := range snap.Prepared {
 			fmt.Printf("prepared:   N=%-3d %-14s %6.1f qps (%d queries in %.1fms)\n",
@@ -130,6 +130,10 @@ func main() {
 			}
 			fmt.Printf("matview:    %-16s %-14s view %4d reads %8.1f qps | base %4d reads %8.1f qps\n",
 				mv.Name, path, mv.ViewReads, mv.ViewQPS, mv.BaseReads, mv.BaseQPS)
+		}
+		for _, oj := range snap.OuterJoins {
+			fmt.Printf("outerjoin:  %-22s %-11s %5d rows %5d reads p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				oj.Name, oj.Mode, oj.Rows, oj.Reads, oj.P50MS, oj.P95MS, oj.P99MS)
 		}
 		return
 	}

@@ -215,7 +215,62 @@ func (b *binder) bindBlock(sel *sql.Select, outAlias string, depth int) (*qblock
 	sc := &scope{}
 	var conjs []expr.Expr
 
+	// Outer-join FROM chains bind as a fixed left-deep sequence of base
+	// tables. Views, derived tables and subqueries cannot participate:
+	// merging an SPJ view into a padded chain or joining an aggregate-view
+	// block across a padding step would change which rows get padded.
+	hasOuterFrom := false
 	for _, fi := range sel.From {
+		if fi.Join != sql.JoinNone {
+			hasOuterFrom = true
+			break
+		}
+	}
+	if hasOuterFrom {
+		if outAlias != "" {
+			return nil, nil, fmt.Errorf("bind: outer joins are only supported in the top-level query block")
+		}
+		for i, fi := range sel.From {
+			if fi.Subquery != nil {
+				return nil, nil, fmt.Errorf("bind: derived table %q cannot appear in a FROM clause with outer joins", fi.Alias)
+			}
+			tbl, ok := b.cat.Table(fi.Table)
+			if !ok {
+				if _, isView := b.cat.View(fi.Table); isView {
+					return nil, nil, fmt.Errorf("bind: view %q cannot appear in a FROM clause with outer joins", fi.Table)
+				}
+				if _, isMV := b.cat.MatView(fi.Table); isMV {
+					return nil, nil, fmt.Errorf("bind: materialized view %q cannot appear in a FROM clause with outer joins", fi.Table)
+				}
+				return nil, nil, fmt.Errorf("bind: relation %q not found", fi.Table)
+			}
+			r := &qblock.Rel{Alias: fi.Alias, Table: tbl}
+			blk.Rels = append(blk.Rels, r)
+			if err := sc.add(fi.Alias, r.Schema()); err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				continue
+			}
+			step := qblock.OuterStep{Alias: fi.Alias, Type: bindJoinType(fi.Join)}
+			if fi.On != nil {
+				// ON resolves against everything joined so far, current
+				// relation included. The conjuncts stay on the step: they
+				// decide padding, they do not filter.
+				on, err := b.scalarExpr(fi.On, sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				step.On = expr.Conjuncts(on)
+			}
+			blk.OuterSteps = append(blk.OuterSteps, step)
+		}
+	}
+
+	for _, fi := range sel.From {
+		if hasOuterFrom {
+			break
+		}
 		switch {
 		case fi.Subquery != nil:
 			flatSub, err := flatten.Rewrite(fi.Subquery)
@@ -525,6 +580,21 @@ func (b *binder) renameBlockRels(blk *qblock.Block) {
 	}
 }
 
+// bindJoinType maps the AST join type onto the planner's. RIGHT survives
+// here; the optimizer normalizes it to LEFT by swapping inputs.
+func bindJoinType(t sql.JoinType) lplan.JoinType {
+	switch t {
+	case sql.JoinLeft:
+		return lplan.JoinLeft
+	case sql.JoinRight:
+		return lplan.JoinRight
+	case sql.JoinFull:
+		return lplan.JoinFull
+	default:
+		return lplan.JoinInner
+	}
+}
+
 func scopeHas(sc *scope, alias string) bool {
 	for _, e := range sc.entries {
 		if e.alias == alias {
@@ -623,6 +693,13 @@ func (b *binder) convert(e sql.Expr, sc *scope, agg *aggCollector) (expr.Expr, e
 			return nil, err
 		}
 		return expr.NewNot(inner), nil
+
+	case sql.IsNull:
+		inner, err := b.convert(t.E, sc, agg)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(inner, t.Neg), nil
 
 	case sql.Neg:
 		inner, err := b.convert(t.E, sc, agg)

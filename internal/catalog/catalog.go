@@ -419,9 +419,10 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 		return fmt.Errorf("table %q: expected %d values, got %d", t.Name, len(t.Schema), len(row))
 	}
 	for i, v := range row {
+		// NULL is storable in any column (the conference paper assumes
+		// NULL-free data; the full version [CS96] and this engine do not).
 		if v.IsNull() {
-			return fmt.Errorf("table %q: NULL in column %q (engine assumes NULL-free data, as does the paper)",
-				t.Name, t.Schema[i].ID.Name)
+			continue
 		}
 		want := t.Schema[i].Type
 		if v.K == want {
@@ -482,24 +483,36 @@ func (c *Catalog) Analyze(t *Table) error {
 		}
 		stats.Rows++
 		for i, v := range row {
+			// NDV and min/max describe the non-NULL values only: NULLs
+			// would otherwise pin Min to NULL (types.Compare orders NULL
+			// first) and skew 1/NDV equality selectivities.
+			if v.IsNull() {
+				continue
+			}
 			buf = types.AppendKey(buf[:0], v)
 			distinct[i][string(buf)] = struct{}{}
-			if stats.Rows == 1 {
-				mins[i], maxs[i] = v, v
-			} else {
-				if types.Compare(v, mins[i]) < 0 {
-					mins[i] = v
-				}
-				if types.Compare(v, maxs[i]) > 0 {
-					maxs[i] = v
-				}
+			if mins[i].IsNull() || types.Compare(v, mins[i]) < 0 {
+				mins[i] = v
+			}
+			if maxs[i].IsNull() || types.Compare(v, maxs[i]) > 0 {
+				maxs[i] = v
 			}
 		}
 		for _, ix := range t.Indexes {
+			// A NULL index key can never satisfy an equality probe
+			// (NULL = x is UNKNOWN), so NULL-keyed rows are not indexed.
 			key := buf[:0]
+			nullKey := false
 			for _, cn := range ix.Cols {
 				pos := t.Schema.MustIndexOf(schema.ColID{Rel: t.Name, Name: cn})
+				if row[pos].IsNull() {
+					nullKey = true
+					break
+				}
 				key = types.AppendKey(key, row[pos])
+			}
+			if nullKey {
+				continue
 			}
 			ix.buckets[string(key)] = append(ix.buckets[string(key)], rid)
 		}

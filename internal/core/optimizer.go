@@ -129,6 +129,9 @@ type optimizer struct {
 }
 
 func (o *optimizer) run() (lplan.Node, *cost.Info, error) {
+	if hasOuterChain(o.q) {
+		return o.optimizeOuterChain()
+	}
 	if err := o.decompose(); err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"aggview/internal/cost"
+	"aggview/internal/expr"
+	"aggview/internal/lplan"
+	"aggview/internal/qblock"
+)
+
+// optimizeOuterChain plans a block whose FROM is an outer-join chain. Such
+// blocks bypass the DP entirely: reordering across a null-padding join is
+// illegal in general, so the chain is built left-deep in syntax order,
+// RIGHT steps normalized to LEFT by swapping inputs. The group-by (and the
+// COUNT-bug-sensitive aggregates it carries) always sits above the whole
+// chain — pull-up/push-down refuse outer joins — and WHERE conjuncts sink
+// below a step only when provably padding-safe.
+func (o *optimizer) optimizeOuterChain() (lplan.Node, *cost.Info, error) {
+	top := o.q.Top
+	if len(o.q.Views) > 0 {
+		return nil, nil, fmt.Errorf("optimize: outer-join blocks cannot join aggregate views")
+	}
+	padded := top.PaddedAliases()
+	o.computeOuterNeeded()
+
+	// Classify WHERE conjuncts. A conjunct referencing any alias that some
+	// step null-pads must evaluate above the full chain (its columns may be
+	// padding NULLs, and filtering early would also erase rows a later step
+	// should pad). Conjuncts over never-padded aliases filter the same rows
+	// wherever they run: single-alias ones sink into the scan, multi-alias
+	// ones attach to the earliest inner step with all aliases in scope.
+	relIdx := map[string]int{}
+	for i, r := range top.Rels {
+		relIdx[r.Alias] = i
+	}
+	scanFilters := map[string][]expr.Expr{}
+	stepExtra := make([][]expr.Expr, len(top.OuterSteps))
+	var residual []expr.Expr
+	for _, c := range top.Conjs {
+		rels := expr.Rels(c)
+		anyPadded := false
+		maxIdx := 0
+		for _, a := range rels {
+			if padded[a] {
+				anyPadded = true
+			}
+			if relIdx[a] > maxIdx {
+				maxIdx = relIdx[a]
+			}
+		}
+		switch {
+		case anyPadded:
+			residual = append(residual, c)
+		case len(rels) == 1:
+			scanFilters[rels[0]] = append(scanFilters[rels[0]], c)
+		case maxIdx >= 1 && top.OuterSteps[maxIdx-1].Type == lplan.JoinInner:
+			stepExtra[maxIdx-1] = append(stepExtra[maxIdx-1], c)
+		default:
+			// The step completing the conjunct's scope is itself an outer
+			// join; mixing a filter into its ON would change what gets
+			// padded, so the conjunct waits above the chain.
+			residual = append(residual, c)
+		}
+	}
+
+	node := lplan.Node(o.prunedScan(top.Rels[0], scanFilters[top.Rels[0].Alias]))
+	for i, step := range top.OuterSteps {
+		rel := top.Rels[i+1]
+		scan := o.prunedScan(rel, scanFilters[rel.Alias])
+		preds := append(append([]expr.Expr{}, step.On...), stepExtra[i]...)
+		var j *lplan.Join
+		if step.Type == lplan.JoinRight {
+			// Normalize RIGHT to LEFT: the new relation becomes the
+			// preserved (probe) side, the accumulated chain the padded side.
+			j = &lplan.Join{L: scan, R: node, Type: lplan.JoinLeft, Preds: preds}
+		} else {
+			j = &lplan.Join{L: node, R: scan, Type: step.Type, Preds: preds}
+		}
+		j.Method = o.chainJoinMethod(j)
+		node = j
+	}
+	if len(residual) > 0 {
+		node = &lplan.Filter{In: node, Preds: residual}
+	}
+
+	if !top.HasGroupBy() {
+		root := &lplan.Project{In: node, Items: top.Outputs}
+		if err := tickPlan(o.stats, o.opts); err != nil {
+			return nil, nil, err
+		}
+		info, err := o.model.Info(root)
+		if err != nil {
+			return nil, nil, err
+		}
+		return root, info, nil
+	}
+
+	// The group-by runs above the chain so padded rows reach the
+	// aggregates (COUNT(*) counts them, COUNT(col) skips the NULL arg).
+	// Only the physical method is up for grabs.
+	var best lplan.Node
+	var bestInfo *cost.Info
+	for _, m := range []lplan.AggMethod{lplan.AggHash, lplan.AggSort} {
+		g := &lplan.GroupBy{
+			In:        node,
+			GroupCols: top.GroupCols,
+			Aggs:      top.Aggs,
+			Having:    top.Having,
+			Outputs:   top.Outputs,
+			Method:    m,
+		}
+		if err := tickPlan(o.stats, o.opts); err != nil {
+			return nil, nil, err
+		}
+		info, err := o.model.Info(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bestInfo == nil || info.Cost < bestInfo.Cost {
+			best, bestInfo = g, info
+		}
+	}
+	return best, bestInfo, nil
+}
+
+// chainJoinMethod picks hash when an equi-join conjunct crosses the two
+// inputs (and hash joins are allowed), block nested loops otherwise — the
+// only two methods with a null-padding path.
+func (o *optimizer) chainJoinMethod(j *lplan.Join) lplan.JoinMethod {
+	if o.opts.NoHashJoin {
+		return lplan.JoinBlockNL
+	}
+	ls, rs := j.L.Schema(), j.R.Schema()
+	for _, p := range j.Preds {
+		if lc, rc, ok := expr.EquiJoin(p); ok {
+			if (ls.Contains(lc) && rs.Contains(rc)) || (ls.Contains(rc) && rs.Contains(lc)) {
+				return lplan.JoinHash
+			}
+		}
+	}
+	return lplan.JoinBlockNL
+}
+
+// computeOuterNeeded fills o.needed for the outer-chain path (decompose
+// does this for DP-planned blocks): every column the chain, its ON
+// conditions, the group-by, or the outputs can reference.
+func (o *optimizer) computeOuterNeeded() {
+	top := o.q.Top
+	need := map[string]map[string]bool{}
+	addExpr := func(e expr.Expr) {
+		for _, c := range expr.Columns(e) {
+			if need[c.Rel] == nil {
+				need[c.Rel] = map[string]bool{}
+			}
+			need[c.Rel][c.Name] = true
+		}
+	}
+	for _, c := range top.Conjs {
+		addExpr(c)
+	}
+	for _, s := range top.OuterSteps {
+		for _, c := range s.On {
+			addExpr(c)
+		}
+	}
+	for _, gc := range top.GroupCols {
+		addExpr(expr.ColOf(gc))
+	}
+	for _, a := range top.Aggs {
+		if a.Arg != nil {
+			addExpr(a.Arg)
+		}
+	}
+	for _, h := range top.Having {
+		addExpr(h)
+	}
+	for _, ne := range top.Outputs {
+		addExpr(ne.E)
+	}
+	o.needed = need
+}
+
+// hasOuterChain reports whether the query must take the fixed-chain path.
+func hasOuterChain(q *qblock.Query) bool { return len(q.Top.OuterSteps) > 0 }

@@ -167,6 +167,15 @@ func (m *Model) joinInfo(j *lplan.Join) (*Info, error) {
 		sel *= stats.JoinSelectivity(p, l.Rel, r.Rel)
 	}
 	rows := l.Rows * r.Rows * sel
+	// Outer joins never shrink below the preserved side: every preserved
+	// row appears at least once (matched or NULL-padded).
+	switch j.Type {
+	case lplan.JoinLeft:
+		rows = math.Max(rows, l.Rows)
+	case lplan.JoinFull:
+		matched := rows
+		rows = math.Max(matched, l.Rows) + math.Max(0, r.Rows-matched)
+	}
 
 	rel := stats.MergeForJoin(l.Rel, r.Rel)
 	rel.Rows = rows

@@ -36,6 +36,14 @@ type EmpDeptSpec struct {
 	// the regime where pre-aggregating emp pays: the per-department group
 	// table fits in memory while dept itself does not.
 	DeptPayloadCols int
+	// NullFraction is the probability (0..1) that each nullable column —
+	// emp.dno, emp.sal, emp.age, dept.budget — is NULL in a generated row.
+	// Primary keys stay non-NULL. A NULL emp.dno matches no dept row (NULL
+	// join keys never compare equal), so any positive fraction yields
+	// unmatched preserved-side rows under outer joins and NULL group keys
+	// under GROUP BY dno. Zero, the default, generates fully populated data
+	// identical to earlier versions.
+	NullFraction float64
 }
 
 // DefaultEmpDept returns a mid-sized configuration.
@@ -99,12 +107,22 @@ func LoadEmpDept(cat *catalog.Catalog, spec EmpDeptSpec) error {
 		}
 		return types.NewString(string(b))
 	}
+	// nullable replaces a value with NULL at the spec's rate. The guard
+	// short-circuits before drawing, so NullFraction == 0 consumes the same
+	// random sequence as before the knob existed and default datasets stay
+	// byte-identical across versions.
+	nullable := func(v types.Value) types.Value {
+		if spec.NullFraction > 0 && r.Float64() < spec.NullFraction {
+			return types.Null()
+		}
+		return v
+	}
 	for i := 0; i < spec.Employees; i++ {
 		row := types.Row{
 			types.NewInt(int64(i)),
-			types.NewInt(int64(r.Intn(spec.Departments))),
-			types.NewFloat(spec.SalaryMin + r.Float64()*spec.SalarySpan),
-			types.NewInt(int64(spec.AgeMin + r.Intn(spec.AgeMax-spec.AgeMin))),
+			nullable(types.NewInt(int64(r.Intn(spec.Departments)))),
+			nullable(types.NewFloat(spec.SalaryMin + r.Float64()*spec.SalarySpan)),
+			nullable(types.NewInt(int64(spec.AgeMin + r.Intn(spec.AgeMax-spec.AgeMin)))),
 		}
 		for p := 0; p < spec.PayloadCols; p++ {
 			row = append(row, pad())
@@ -116,7 +134,7 @@ func LoadEmpDept(cat *catalog.Catalog, spec EmpDeptSpec) error {
 	for i := 0; i < spec.Departments; i++ {
 		row := types.Row{
 			types.NewInt(int64(i)),
-			types.NewFloat(spec.BudgetMin + r.Float64()*spec.BudgetSpan),
+			nullable(types.NewFloat(spec.BudgetMin + r.Float64()*spec.BudgetSpan)),
 		}
 		for p := 0; p < spec.DeptPayloadCols; p++ {
 			row = append(row, pad())

@@ -18,6 +18,7 @@ type joinCommon struct {
 	residual     func(types.Row) (bool, error)
 	proj         []int     // output projection over concat schema; nil = all
 	lWidth       int       // arity of the left input
+	rWidth       int       // arity of the right input (for outer-join padding)
 	scratch      types.Row // reusable concat buffer for residual evaluation
 	arena        rowArena  // backs emitted output rows
 }
@@ -63,7 +64,7 @@ func (e *Executor) joinCommonOf(j *lplan.Join) (*joinCommon, error) {
 	}
 	return &joinCommon{
 		lKeys: lKeys, rKeys: rKeys,
-		residual: residual, proj: proj, lWidth: len(ls),
+		residual: residual, proj: proj, lWidth: len(ls), rWidth: len(rs),
 		arena: rowArena{rec: &e.arenas},
 	}, nil
 }
@@ -72,6 +73,14 @@ func (e *Executor) buildJoin(j *lplan.Join) (BatchIterator, error) {
 	jc, err := e.joinCommonOf(j)
 	if err != nil {
 		return nil, err
+	}
+	if j.Type.Outer() {
+		switch j.Method {
+		case lplan.JoinIndexNL, lplan.JoinMerge:
+			// These methods have no null-padding path; Validate rejects such
+			// plans, this is defense in depth.
+			return nil, fmt.Errorf("exec: %s outer join cannot use method %s", j.Type, j.Method)
+		}
 	}
 	switch j.Method {
 	case lplan.JoinHash, lplan.JoinUnset:
@@ -84,7 +93,7 @@ func (e *Executor) buildJoin(j *lplan.Join) (BatchIterator, error) {
 			return nil, err
 		}
 		return &hashJoinIter{
-			exec: e, jc: jc, target: e.batchSize,
+			exec: e, jc: jc, target: e.batchSize, joinType: j.Type,
 			probeSrc: l, probe: newRowIter(l), buildNode: j.R,
 		}, nil
 	case lplan.JoinBlockNL:
@@ -135,6 +144,50 @@ func (jc *joinCommon) emit(l, r types.Row) (types.Row, bool, error) {
 	return out, true, nil
 }
 
+// emitPadded emits an outer-join row with the missing side NULL-padded
+// (l nil pads the left columns, r nil the right). Padded rows bypass the
+// residual predicate — the ON condition already failed, that is why the row
+// is padded — but the output projection still applies.
+func (jc *joinCommon) emitPadded(l, r types.Row) types.Row {
+	jc.scratch = jc.scratch[:0]
+	if l == nil {
+		for i := 0; i < jc.lWidth; i++ {
+			jc.scratch = append(jc.scratch, types.Null())
+		}
+	} else {
+		jc.scratch = append(jc.scratch, l...)
+	}
+	if r == nil {
+		for i := 0; i < jc.rWidth; i++ {
+			jc.scratch = append(jc.scratch, types.Null())
+		}
+	} else {
+		jc.scratch = append(jc.scratch, r...)
+	}
+	if jc.proj == nil {
+		out := jc.arena.carve(len(jc.scratch))
+		copy(out, jc.scratch)
+		return out
+	}
+	out := jc.arena.carve(len(jc.proj))
+	for i, j := range jc.proj {
+		out[i] = jc.scratch[j]
+	}
+	return out
+}
+
+// rowHasNullKey reports whether any of the row's key positions is NULL.
+// A NULL join key never matches anything (NULL = x is UNKNOWN), even
+// though types.Compare orders NULLs equal.
+func rowHasNullKey(r types.Row, keys []int) bool {
+	for _, k := range keys {
+		if r[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
 // fillFromStep is the shared NextBatch body of the join and sort-aggregate
 // operators whose matching logic is inherently row- or group-wise: step
 // produces one output row at a time (over batch-fed inputs), and the batch
@@ -158,16 +211,28 @@ func fillFromStep(dst *Batch, target int, step func() (types.Row, bool, error)) 
 // exceeds the budget it falls back to Grace partitioning, writing both
 // inputs to spill partitions and joining them pairwise. The probe side
 // streams through a rowIter, so the child still executes batch-at-a-time.
+//
+// Outer joins: the probe (left) side is the preserved side of a LEFT join —
+// a probe row whose ON condition matches no build row is emitted once,
+// right-padded with NULLs. FULL joins additionally flag every matched build
+// row and emit the unmatched remainder left-padded after the probe side
+// drains (per partition on the grace path, which is sound because Grace
+// partitions by key hash, so a build row can only match probe rows of its
+// own partition). Build rows with NULL keys never match (NULL = x is
+// UNKNOWN) and surface only through the FULL-outer drain.
 type hashJoinIter struct {
 	exec      *Executor
 	jc        *joinCommon
 	target    int
+	joinType  lplan.JoinType
 	probeSrc  BatchIterator // the built left child (drained directly on grace)
 	probe     *rowIter      // row view of probeSrc for the in-memory path
 	buildNode lplan.Node
 
-	// in-memory path
-	table map[string][]types.Row
+	// current build table (whole input in memory, or one grace partition)
+	buildRows    []types.Row
+	buildMatched []bool           // FULL outer only: build rows already matched
+	table        map[string][]int // key -> indices into buildRows
 	// grace path
 	lParts, rParts []*spill
 	part           int
@@ -175,9 +240,49 @@ type hashJoinIter struct {
 	probePos       int
 	partActive     bool
 
-	pending []types.Row // matches of the current probe row
-	curL    types.Row
-	grace   bool
+	pending    []int // buildRows indices matching the current probe row's key
+	curL       types.Row
+	curActive  bool // a probe row is in flight (padding not yet decided)
+	curMatched bool // the in-flight probe row matched at least once
+	draining   bool // FULL outer: emitting unmatched build rows
+	drained    bool // the current build table's drain already ran
+	drainPos   int
+	grace      bool
+}
+
+// loadBuild installs rows as the current build table. NULL-keyed rows stay
+// in buildRows (the FULL-outer drain must see them) but are not hashed.
+func (it *hashJoinIter) loadBuild(rows []types.Row) {
+	it.buildRows = rows
+	it.table = make(map[string][]int, len(rows))
+	if it.joinType == lplan.JoinFull {
+		it.buildMatched = make([]bool, len(rows))
+	} else {
+		it.buildMatched = nil
+	}
+	it.drained = false
+	var buf []byte
+	for i, r := range rows {
+		if rowHasNullKey(r, it.jc.rKeys) {
+			continue
+		}
+		buf = r.AppendKey(buf[:0], it.jc.rKeys)
+		it.table[string(buf)] = append(it.table[string(buf)], i)
+	}
+}
+
+// setProbe starts matching a new probe row.
+func (it *hashJoinIter) setProbe(l types.Row, buf []byte) []byte {
+	it.curL = l
+	it.curActive = true
+	it.curMatched = false
+	if rowHasNullKey(l, it.jc.lKeys) {
+		it.pending = nil
+		return buf
+	}
+	buf = l.AppendKey(buf[:0], it.jc.lKeys)
+	it.pending = it.table[string(buf)]
+	return buf
 }
 
 const gracePartitions = 16
@@ -199,12 +304,7 @@ func (it *hashJoinIter) Open() error {
 	}
 
 	if bytes <= it.exec.budgetBytes {
-		it.table = make(map[string][]types.Row, len(rows))
-		var buf []byte
-		for _, r := range rows {
-			buf = r.AppendKey(buf[:0], it.jc.rKeys)
-			it.table[string(buf)] = append(it.table[string(buf)], r)
-		}
+		it.loadBuild(rows)
 		return it.probe.Open()
 	}
 
@@ -261,15 +361,41 @@ func (it *hashJoinIter) step() (types.Row, bool, error) {
 	for {
 		// Flush pending matches for the current probe row.
 		for len(it.pending) > 0 {
-			r := it.pending[0]
+			idx := it.pending[0]
 			it.pending = it.pending[1:]
-			out, ok, err := it.jc.emit(it.curL, r)
+			out, ok, err := it.jc.emit(it.curL, it.buildRows[idx])
 			if err != nil {
 				return nil, false, err
 			}
 			if ok {
+				it.curMatched = true
+				if it.buildMatched != nil {
+					it.buildMatched[idx] = true
+				}
 				return out, true, nil
 			}
+		}
+		// The probe row is exhausted: LEFT/FULL pad it if nothing matched.
+		if it.curActive {
+			it.curActive = false
+			if !it.curMatched && it.joinType.Outer() {
+				return it.jc.emitPadded(it.curL, nil), true, nil
+			}
+		}
+		// FULL outer: emit unmatched build rows of the drained table.
+		if it.draining {
+			for it.drainPos < len(it.buildRows) {
+				i := it.drainPos
+				it.drainPos++
+				if !it.buildMatched[i] {
+					return it.jc.emitPadded(nil, it.buildRows[i]), true, nil
+				}
+			}
+			it.draining = false
+			if !it.grace {
+				return nil, false, nil
+			}
+			// Grace: fall through to advance to the next partition.
 		}
 
 		if !it.grace {
@@ -278,11 +404,15 @@ func (it *hashJoinIter) step() (types.Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
+				if it.joinType == lplan.JoinFull && !it.drained {
+					it.drained = true
+					it.draining = true
+					it.drainPos = 0
+					continue
+				}
 				return nil, false, nil
 			}
-			buf = l.AppendKey(buf[:0], it.jc.lKeys)
-			it.curL = l
-			it.pending = it.table[string(buf)]
+			buf = it.setProbe(l, buf)
 			continue
 		}
 
@@ -291,19 +421,23 @@ func (it *hashJoinIter) step() (types.Row, bool, error) {
 			if it.probePos < len(it.probeRows) {
 				l := it.probeRows[it.probePos]
 				it.probePos++
-				buf = l.AppendKey(buf[:0], it.jc.lKeys)
-				it.curL = l
-				it.pending = it.table[string(buf)]
+				buf = it.setProbe(l, buf)
 				continue
 			}
 			it.partActive = false
+			if it.joinType == lplan.JoinFull && !it.drained {
+				it.drained = true
+				it.draining = true
+				it.drainPos = 0
+				continue
+			}
 		}
 		// Advance to the next partition.
 		it.part++
 		if it.part >= gracePartitions {
 			return nil, false, nil
 		}
-		it.table = map[string][]types.Row{}
+		var rows []types.Row
 		sc := it.rParts[it.part].scan()
 		for {
 			r, _, ok, err := sc.Next()
@@ -313,9 +447,9 @@ func (it *hashJoinIter) step() (types.Row, bool, error) {
 			if !ok {
 				break
 			}
-			buf = r.AppendKey(buf[:0], it.jc.rKeys)
-			it.table[string(buf)] = append(it.table[string(buf)], r)
+			rows = append(rows, r)
 		}
+		it.loadBuild(rows)
 		it.probeRows = it.probeRows[:0]
 		lsc := it.lParts[it.part].scan()
 		for {
@@ -353,12 +487,20 @@ func (it *hashJoinIter) Close() error {
 // once per block. A base-table inner is rescanned directly (the buffer pool
 // charges the repeated reads); any other inner is materialized to a spill
 // file first.
+//
+// Outer joins: the block (left) side is the preserved side of a LEFT join —
+// after each block's inner rescan completes, unmatched block rows are
+// emitted right-padded. FULL joins additionally track per-inner-row match
+// flags by scan ordinal (inner rescans are deterministic, so ordinal i is
+// the same row in every pass) and emit the never-matched inner rows
+// left-padded in one final rescan after the last block.
 type blockNLIter struct {
-	exec   *Executor
-	jc     *joinCommon
-	target int
-	outer  *rowIter
-	inner  func() (BatchIterator, error) // fresh inner scan per block
+	exec     *Executor
+	jc       *joinCommon
+	target   int
+	joinType lplan.JoinType
+	outer    *rowIter
+	inner    func() (BatchIterator, error) // fresh inner scan per block
 	// matSrc is a non-base-table inner, materialized to a spill at Open
 	// (not at build time: build must not allocate resources, so an error
 	// while assembling the tree can never leak files).
@@ -370,6 +512,15 @@ type blockNLIter struct {
 	inRow   types.Row
 	pos     int
 	done    bool
+
+	blockMatched []bool // LEFT/FULL: per-block-row match flags
+	padPos       int    // cursor over block rows while padding
+	padding      bool
+	innerMatched []bool // FULL: per-inner-ordinal match flags, OR'd across blocks
+	innerOrd     int    // ordinal of inRow within the current inner pass
+	finalIt      *rowIter
+	finalOrd     int
+	finalDone    bool
 }
 
 func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (BatchIterator, error) {
@@ -377,7 +528,7 @@ func (e *Executor) buildBlockNL(j *lplan.Join, jc *joinCommon) (BatchIterator, e
 	if err != nil {
 		return nil, err
 	}
-	it := &blockNLIter{exec: e, jc: jc, target: e.batchSize, outer: newRowIter(outer)}
+	it := &blockNLIter{exec: e, jc: jc, target: e.batchSize, joinType: j.Type, outer: newRowIter(outer)}
 	if _, isScan := j.R.(*lplan.Scan); isScan {
 		inner := j.R
 		it.inner = func() (BatchIterator, error) { return e.build(inner) }
@@ -451,6 +602,10 @@ func (it *blockNLIter) nextBlock() error {
 	it.inIt = inRows
 	it.inRow = nil
 	it.pos = 0
+	it.innerOrd = -1
+	if it.joinType.Outer() {
+		it.blockMatched = make([]bool, len(it.block))
+	}
 	return nil
 }
 
@@ -460,7 +615,27 @@ func (it *blockNLIter) NextBatch(dst *Batch) error {
 
 func (it *blockNLIter) step() (types.Row, bool, error) {
 	for {
+		// Emit right-padded rows for the block just finished.
+		if it.padding {
+			for it.padPos < len(it.block) {
+				i := it.padPos
+				it.padPos++
+				if !it.blockMatched[i] {
+					return it.jc.emitPadded(it.block[i], nil), true, nil
+				}
+			}
+			it.padding = false
+			it.inIt.Close()
+			it.inIt = nil
+			if err := it.nextBlock(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
 		if it.done {
+			if it.joinType == lplan.JoinFull && !it.finalDone {
+				return it.stepFinalDrain()
+			}
 			return nil, false, nil
 		}
 		if it.inRow == nil {
@@ -469,6 +644,13 @@ func (it *blockNLIter) step() (types.Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
+				if it.joinType.Outer() {
+					// Pad this block's unmatched rows before advancing;
+					// padding mode closes the inner and loads the next block.
+					it.padding = true
+					it.padPos = 0
+					continue
+				}
 				it.inIt.Close()
 				it.inIt = nil
 				if err := it.nextBlock(); err != nil {
@@ -478,9 +660,14 @@ func (it *blockNLIter) step() (types.Row, bool, error) {
 			}
 			it.inRow = r
 			it.pos = 0
+			it.innerOrd++
+			if it.joinType == lplan.JoinFull && it.innerOrd >= len(it.innerMatched) {
+				it.innerMatched = append(it.innerMatched, false)
+			}
 		}
 		for it.pos < len(it.block) {
 			l := it.block[it.pos]
+			i := it.pos
 			it.pos++
 			// Equi keys (if any) must match; residual must pass.
 			if !keysEqual(l, it.inRow, it.jc.lKeys, it.jc.rKeys) {
@@ -491,6 +678,12 @@ func (it *blockNLIter) step() (types.Row, bool, error) {
 				return nil, false, err
 			}
 			if ok {
+				if it.blockMatched != nil {
+					it.blockMatched[i] = true
+				}
+				if it.joinType == lplan.JoinFull {
+					it.innerMatched[it.innerOrd] = true
+				}
 				return out, true, nil
 			}
 		}
@@ -498,8 +691,50 @@ func (it *blockNLIter) step() (types.Row, bool, error) {
 	}
 }
 
+// stepFinalDrain rescans the inner once after the last block and emits
+// left-padded rows for inner ordinals no block ever matched. Rescans are
+// deterministic (heap order for base tables, spill order otherwise), so the
+// ordinal identifies the same row as in the per-block passes.
+func (it *blockNLIter) stepFinalDrain() (types.Row, bool, error) {
+	if it.finalIt == nil {
+		in, err := it.inner()
+		if err != nil {
+			return nil, false, err
+		}
+		rows := newRowIter(in)
+		if err := rows.Open(); err != nil {
+			rows.Close()
+			return nil, false, err
+		}
+		it.finalIt = rows
+		it.finalOrd = -1
+	}
+	for {
+		r, ok, err := it.finalIt.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.finalIt.Close()
+			it.finalIt = nil
+			it.finalDone = true
+			return nil, false, nil
+		}
+		it.finalOrd++
+		if it.finalOrd < len(it.innerMatched) && it.innerMatched[it.finalOrd] {
+			continue
+		}
+		return it.jc.emitPadded(nil, r), true, nil
+	}
+}
+
 func keysEqual(l, r types.Row, lKeys, rKeys []int) bool {
 	for i := range lKeys {
+		// NULL keys never join: NULL = x (and NULL = NULL) is UNKNOWN,
+		// even though types.Compare orders NULLs equal.
+		if l[lKeys[i]].IsNull() || r[rKeys[i]].IsNull() {
+			return false
+		}
 		if types.Compare(l[lKeys[i]], r[rKeys[i]]) != 0 {
 			return false
 		}
@@ -515,6 +750,10 @@ func (it *blockNLIter) Close() error {
 	if it.inIt != nil {
 		it.inIt.Close()
 		it.inIt = nil
+	}
+	if it.finalIt != nil {
+		it.finalIt.Close()
+		it.finalIt = nil
 	}
 	it.spilled.drop()
 	it.spilled = nil
@@ -752,8 +991,14 @@ func (it *mergeJoinIter) step() (types.Row, bool, error) {
 		if !ok {
 			return nil, false, nil
 		}
-		// Reuse the group if the key is unchanged (duplicate left keys).
-		if it.curL == nil || compareKeys(l, it.jc.lKeys, it.curL, it.jc.lKeys) != 0 {
+		// A NULL key never matches (NULL = x is UNKNOWN): give the row an
+		// empty group without consuming the right side. (NULLs sort first,
+		// so right-side NULL-keyed rows are consumed as smaller keys once a
+		// non-NULL left key arrives.)
+		if rowHasNullKey(l, it.jc.lKeys) {
+			it.group = it.group[:0]
+		} else if it.curL == nil || compareKeys(l, it.jc.lKeys, it.curL, it.jc.lKeys) != 0 {
+			// Reuse the group if the key is unchanged (duplicate left keys).
 			if err := it.advanceGroup(l); err != nil {
 				return nil, false, err
 			}

@@ -117,9 +117,31 @@ func naiveRows(store *storage.Store, n lplan.Node) ([]types.Row, error) {
 				return nil, err
 			}
 		}
+		lWidth := len(t.L.Schema())
+		rWidth := len(t.R.Schema())
+		pad := func(lr, rr types.Row) types.Row {
+			row := make(types.Row, 0, lWidth+rWidth)
+			if lr == nil {
+				for i := 0; i < lWidth; i++ {
+					row = append(row, types.Null())
+				}
+			} else {
+				row = append(row, lr...)
+			}
+			if rr == nil {
+				for i := 0; i < rWidth; i++ {
+					row = append(row, types.Null())
+				}
+			} else {
+				row = append(row, rr...)
+			}
+			return projRow(row, proj)
+		}
 		var out []types.Row
+		rMatched := make([]bool, len(r))
 		for _, lr := range l {
-			for _, rr := range r {
+			lrMatched := false
+			for ri, rr := range r {
 				row := make(types.Row, 0, len(lr)+len(rr))
 				row = append(row, lr...)
 				row = append(row, rr...)
@@ -128,7 +150,22 @@ func naiveRows(store *storage.Store, n lplan.Node) ([]types.Row, error) {
 					return nil, err
 				}
 				if ok {
+					lrMatched = true
+					rMatched[ri] = true
 					out = append(out, projRow(row, proj))
+				}
+			}
+			// LEFT/FULL outer: an unmatched preserved row appears once,
+			// padded with NULLs on the other side (bypassing the ON
+			// predicate — that is what "unmatched" means).
+			if !lrMatched && t.Type.Outer() {
+				out = append(out, pad(lr, nil))
+			}
+		}
+		if t.Type == lplan.JoinFull {
+			for ri, rr := range r {
+				if !rMatched[ri] {
+					out = append(out, pad(nil, rr))
 				}
 			}
 		}

@@ -9,10 +9,15 @@ import (
 )
 
 // sortIter sorts its input by the given column positions (ascending,
-// types.Compare order). Inputs within the memory budget sort in place;
-// larger inputs write sorted runs to spill files and k-way merge them. The
-// input drains batch-at-a-time; the sorted output streams out in batches
-// from an in-memory slice or the run merger.
+// types.Compare order). NULL placement is pinned by types.Compare: NULL
+// orders before every non-NULL value, so ascending sorts put NULLs first
+// (and a DESC presentation sort puts them last). Both the in-memory path
+// and the spilled run/merge path below compare through the same function,
+// so batch size and spilling never change where NULLs land. Inputs within
+// the memory budget sort in place; larger inputs write sorted runs to
+// spill files and k-way merge them. The input drains batch-at-a-time; the
+// sorted output streams out in batches from an in-memory slice or the run
+// merger.
 type sortIter struct {
 	exec *Executor
 	in   BatchIterator

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,11 +35,35 @@ type BenchResult struct {
 // ThroughputResult is one concurrency level of the throughput
 // micro-benchmark: N goroutines drive the warehouse query suite against one
 // shared engine, and qps measures end-to-end sustained query completions.
+// Besides sustained qps it records per-query latency percentiles over the
+// window: p50 tracks the typical query, p95/p99 the convoy tail (lock
+// queueing, spills, GC pauses) that a mean hides.
 type ThroughputResult struct {
 	Concurrency int     `json:"concurrency"`
 	Queries     int64   `json:"queries"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
 	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// OuterJoinResult is one outer-join query × optimizer-mode cell of the
+// snapshot's outer-join section: cold page IO and estimates like the main
+// results, plus warm latency percentiles, over NULL-heavy emp/dept data.
+// ViewRewrite is recorded as a legality canary — it must stay empty, since
+// stored groups can never serve a null-padding query (the COUNT bug).
+type OuterJoinResult struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	EstimatedCost float64 `json:"estimated_cost"`
+	Rows          int64   `json:"rows"`
+	Reads         int64   `json:"reads"`
+	Hits          int64   `json:"hits"`
+	ViewRewrite   string  `json:"view_rewrite,omitempty"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
 }
 
 // PreparedResult is one (variant, concurrency) cell of the
@@ -97,6 +122,7 @@ type Snapshot struct {
 	Durability  []DurabilityResult `json:"durability,omitempty"`
 	Recovery    *RecoveryResult    `json:"recovery,omitempty"`
 	MatViews    []MatViewResult    `json:"matviews,omitempty"`
+	OuterJoins  []OuterJoinResult  `json:"outer_joins,omitempty"`
 }
 
 // JSON renders the snapshot with stable indentation for committing.
@@ -257,7 +283,112 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 		return nil, err
 	}
 	snap.MatViews = mvs
+	ojs, err := measureOuterJoins(quick)
+	if err != nil {
+		return nil, err
+	}
+	snap.OuterJoins = ojs
 	return snap, nil
+}
+
+// latencyPercentiles reports the p50/p95/p99 of a latency sample in
+// milliseconds, by sorted nearest-rank. The sample is consumed (sorted in
+// place); an empty sample reports zeros.
+func latencyPercentiles(lat []time.Duration) (p50, p95, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(p float64) float64 {
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i].Microseconds()) / 1000
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// outerJoinWorkload is the snapshot's outer-join suite: padding-heavy
+// probe output, the COUNT-bug grouped pair over a preserved dimension, a
+// FULL join whose NULL group key collects every unmatched fact row, and a
+// residual ON conjunct that pads rather than filters.
+var outerJoinWorkload = []struct{ name, sql string }{
+	{"left-join-padding", `
+		select e.eno as eno, d.budget as b from emp e left join dept d on e.dno = d.dno`},
+	{"left-count-bug-grouped", `
+		select d.dno as dno, count(*) as star, count(e.eno) as ce, sum(e.sal) as ss
+		from dept d left join emp e on e.dno = d.dno group by d.dno`},
+	{"full-join-grouped", `
+		select d.dno as dno, count(*) as star, count(e.eno) as ce
+		from emp e full join dept d on e.dno = d.dno group by d.dno`},
+	{"left-residual-on", `
+		select e.dno as dno, avg(e.sal) as a from emp e
+		left join dept d on e.dno = d.dno and d.budget > 500000.0 group by e.dno`},
+}
+
+// measureOuterJoins runs the outer-join workload over NULL-heavy emp/dept
+// data (a quarter of the nullable columns NULL, plus dangling keys): one
+// cold run per mode for page IO, then a warm loop for latency percentiles.
+// A materialized view over emp's rollup is installed so the rewriter is
+// live — ViewRewrite staying empty in every cell is the recorded proof
+// that stored groups never serve a null-padding query.
+func measureOuterJoins(quick bool) ([]OuterJoinResult, error) {
+	nEmp, nDept, warm := 5000, 100, 40
+	if quick {
+		nEmp, nDept, warm = 1000, 40, 8
+	}
+	eng := aggview.Open(aggview.Config{PoolPages: 32})
+	spec := aggview.DefaultEmpDept()
+	spec.Employees, spec.Departments = nEmp, nDept
+	spec.NullFraction = 0.25
+	if err := eng.LoadEmpDept(spec); err != nil {
+		return nil, err
+	}
+	if _, err := eng.Exec(`create materialized view emp_by_dno as
+		select dno, count(*) as n, sum(sal) as total from emp group by dno`); err != nil {
+		return nil, err
+	}
+
+	modes := []aggview.OptimizerMode{aggview.Traditional, aggview.PushDown, aggview.Full}
+	var out []OuterJoinResult
+	for _, q := range outerJoinWorkload {
+		for _, mode := range modes {
+			res, err := eng.Query(context.Background(), q.sql, aggview.WithMode(mode), aggview.WithColdCache())
+			if err != nil {
+				return nil, fmt.Errorf("outer join %s/%s: %w", q.name, mode, err)
+			}
+			if res.Plan.ViewRewrite != "" {
+				return nil, fmt.Errorf("outer join %s/%s: view rewrite %q fired on an outer-join query",
+					q.name, mode, res.Plan.ViewRewrite)
+			}
+			lat := make([]time.Duration, 0, warm)
+			for i := 0; i < warm; i++ {
+				t0 := time.Now()
+				if _, err := eng.Query(context.Background(), q.sql, aggview.WithMode(mode)); err != nil {
+					return nil, fmt.Errorf("outer join %s/%s warm: %w", q.name, mode, err)
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			p50, p95, p99 := latencyPercentiles(lat)
+			out = append(out, OuterJoinResult{
+				Name:          q.name,
+				Mode:          mode.String(),
+				EstimatedCost: res.Plan.EstimatedCost,
+				Rows:          int64(res.Len()),
+				Reads:         res.IO.Reads,
+				Hits:          res.IO.Hits,
+				ViewRewrite:   res.Plan.ViewRewrite,
+				P50MS:         p50,
+				P95MS:         p95,
+				P99MS:         p99,
+			})
+		}
+	}
+	return out, nil
 }
 
 // durabilityEngine builds one warehouse engine for the durability section:
@@ -533,19 +664,26 @@ func measureThroughput(eng *aggview.Engine, queries []string, workers, iters int
 		total atomic.Int64
 		errCh = make(chan error, workers)
 	)
+	// Per-worker latency slices, merged after the window: no shared state
+	// on the hot path, so recording does not perturb the contention being
+	// measured.
+	lats := make([][]time.Duration, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, iters*len(queries))
 			for i := 0; i < iters; i++ {
 				for qi := range queries {
 					// Stagger starting points so workers do not convoy on
 					// the same table pages in lockstep.
+					t0 := time.Now()
 					if _, err := eng.Query(context.Background(), queries[(qi+w)%len(queries)]); err != nil {
 						errCh <- err
 						return
 					}
+					lats[w] = append(lats[w], time.Since(t0))
 					total.Add(1)
 				}
 			}
@@ -557,10 +695,18 @@ func measureThroughput(eng *aggview.Engine, queries []string, workers, iters int
 	if err := <-errCh; err != nil {
 		return ThroughputResult{}, err
 	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	p50, p95, p99 := latencyPercentiles(all)
 	return ThroughputResult{
 		Concurrency: workers,
 		Queries:     total.Load(),
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
 		QPS:         float64(total.Load()) / elapsed.Seconds(),
+		P50MS:       p50,
+		P95MS:       p95,
+		P99MS:       p99,
 	}, nil
 }

@@ -49,6 +49,12 @@ func Compile(e Expr, s schema.Schema) (Compiled, error) {
 			if err != nil {
 				return types.Null(), err
 			}
+			// SQL three-valued logic: a comparison with NULL on either
+			// side is UNKNOWN, never TRUE or FALSE (so NULL = NULL is
+			// UNKNOWN even though types.Compare orders NULLs equal).
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null(), nil
+			}
 			return types.NewBool(op.eval(lv, rv)), nil
 		}, nil
 
@@ -113,14 +119,25 @@ func Compile(e Expr, s schema.Schema) (Compiled, error) {
 		}
 		isOr := n.IsOr
 		return func(row types.Row) (types.Value, error) {
+			// Kleene AND/OR: the dominant value (FALSE for AND, TRUE for
+			// OR) short-circuits even past UNKNOWN terms; otherwise any
+			// UNKNOWN term makes the result UNKNOWN.
+			sawNull := false
 			for _, t := range terms {
 				v, err := t(row)
 				if err != nil {
 					return types.Null(), err
 				}
+				if v.IsNull() {
+					sawNull = true
+					continue
+				}
 				if v.Bool() == isOr {
 					return types.NewBool(isOr), nil
 				}
+			}
+			if sawNull {
+				return types.Null(), nil
 			}
 			return types.NewBool(!isOr), nil
 		}, nil
@@ -141,7 +158,27 @@ func Compile(e Expr, s schema.Schema) (Compiled, error) {
 			if err != nil {
 				return types.Null(), err
 			}
+			// NOT UNKNOWN is UNKNOWN — it must stay distinct from both
+			// TRUE and FALSE so WHERE NOT (x = NULL) filters the row.
+			if v.IsNull() {
+				return types.Null(), nil
+			}
 			return types.NewBool(!v.Bool()), nil
+		}, nil
+
+	case *IsNull:
+		inner, err := Compile(n.E, s)
+		if err != nil {
+			return nil, err
+		}
+		negate := n.Negate
+		return func(row types.Row) (types.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return types.Null(), err
+			}
+			// IS [NOT] NULL is the one predicate that is never UNKNOWN.
+			return types.NewBool(v.IsNull() != negate), nil
 		}, nil
 
 	default:
@@ -150,7 +187,9 @@ func Compile(e Expr, s schema.Schema) (Compiled, error) {
 }
 
 // CompilePredicate compiles a boolean expression into a row filter.
-// A nil expression compiles to an always-true filter.
+// A nil expression compiles to an always-true filter. Rows pass only when
+// the predicate is TRUE: both FALSE and UNKNOWN (NULL) are filtered, per
+// SQL WHERE/HAVING semantics (types.Null().Bool() is false).
 func CompilePredicate(e Expr, s schema.Schema) (func(types.Row) (bool, error), error) {
 	if e == nil {
 		return func(types.Row) (bool, error) { return true, nil }, nil

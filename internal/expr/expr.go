@@ -274,6 +274,28 @@ func (n *Not) substitute(m map[schema.ColID]Expr) Expr {
 	return &Not{E: n.E.substitute(m)}
 }
 
+// IsNull tests a value for NULL (IS NULL / IS NOT NULL). Unlike every
+// comparison it always yields TRUE or FALSE, never UNKNOWN.
+type IsNull struct {
+	E      Expr
+	Negate bool // true for IS NOT NULL
+}
+
+// NewIsNull builds an IS [NOT] NULL test.
+func NewIsNull(e Expr, negate bool) *IsNull { return &IsNull{E: e, Negate: negate} }
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return "(" + n.E.String() + " IS NOT NULL)"
+	}
+	return "(" + n.E.String() + " IS NULL)"
+}
+func (n *IsNull) Type(schema.Schema) types.Kind  { return types.KindBool }
+func (n *IsNull) walkCols(fn func(schema.ColID)) { n.E.walkCols(fn) }
+func (n *IsNull) substitute(m map[schema.ColID]Expr) Expr {
+	return &IsNull{E: n.E.substitute(m), Negate: n.Negate}
+}
+
 // Columns returns the distinct column identities referenced by e,
 // in first-occurrence order.
 func Columns(e Expr) []schema.ColID {

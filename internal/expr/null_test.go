@@ -1,0 +1,145 @@
+package expr
+
+import (
+	"testing"
+
+	"aggview/internal/types"
+)
+
+// Three-valued-logic truth tables. SQL's WHERE/HAVING keep only TRUE, so
+// UNKNOWN (represented as a NULL value) must stay distinguishable from
+// FALSE all the way through the evaluator: comparisons with a NULL operand
+// yield UNKNOWN, AND/OR follow Kleene's tables, NOT UNKNOWN is UNKNOWN,
+// and only IS [NOT] NULL maps NULL to a definite boolean. These tables are
+// the audit for internal/expr/eval.go; every entry is from the SQL
+// standard, not from what the implementation happens to do.
+
+// tv names the three truth values for table-driven cases.
+const (
+	tvF = iota // FALSE
+	tvT        // TRUE
+	tvU        // UNKNOWN (NULL)
+)
+
+func tvExpr(v int) Expr {
+	switch v {
+	case tvT:
+		return BoolLit(true)
+	case tvF:
+		return BoolLit(false)
+	default:
+		// A comparison with NULL is the canonical UNKNOWN producer; using
+		// it (rather than a bare NULL literal) exercises the comparison
+		// path in the same assertion.
+		return NewCmp(EQ, Lit(types.Null()), IntLit(1))
+	}
+}
+
+func tvOf(t *testing.T, v types.Value) int {
+	t.Helper()
+	switch {
+	case v.IsNull():
+		return tvU
+	case v.Bool():
+		return tvT
+	default:
+		return tvF
+	}
+}
+
+func tvName(v int) string { return [...]string{"F", "T", "U"}[v] }
+
+func TestThreeValuedAndOrTables(t *testing.T) {
+	// Kleene AND/OR: UNKNOWN absorbs unless the other operand decides the
+	// result on its own (FALSE for AND, TRUE for OR).
+	andTable := [3][3]int{
+		//          F    T    U
+		/* F */ {tvF, tvF, tvF},
+		/* T */ {tvF, tvT, tvU},
+		/* U */ {tvF, tvU, tvU},
+	}
+	orTable := [3][3]int{
+		//          F    T    U
+		/* F */ {tvF, tvT, tvU},
+		/* T */ {tvT, tvT, tvT},
+		/* U */ {tvU, tvT, tvU},
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			got := evalOn(t, And(tvExpr(a), tvExpr(b)), sampleRow)
+			if tvOf(t, got) != andTable[a][b] {
+				t.Errorf("%s AND %s = %s, want %s", tvName(a), tvName(b), tvName(tvOf(t, got)), tvName(andTable[a][b]))
+			}
+			got = evalOn(t, Or(tvExpr(a), tvExpr(b)), sampleRow)
+			if tvOf(t, got) != orTable[a][b] {
+				t.Errorf("%s OR %s = %s, want %s", tvName(a), tvName(b), tvName(tvOf(t, got)), tvName(orTable[a][b]))
+			}
+		}
+	}
+}
+
+func TestThreeValuedNot(t *testing.T) {
+	want := [3]int{tvT, tvF, tvU} // NOT F = T, NOT T = F, NOT U = U
+	for a := 0; a < 3; a++ {
+		got := evalOn(t, NewNot(tvExpr(a)), sampleRow)
+		if tvOf(t, got) != want[a] {
+			t.Errorf("NOT %s = %s, want %s", tvName(a), tvName(tvOf(t, got)), tvName(want[a]))
+		}
+	}
+}
+
+func TestNullComparisonsAreUnknown(t *testing.T) {
+	// Every comparison operator with a NULL on either (or both) sides is
+	// UNKNOWN — including NULL = NULL and NULL <> NULL.
+	null := Lit(types.Null())
+	one := IntLit(1)
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		for _, pair := range [][2]Expr{{null, one}, {one, null}, {null, null}} {
+			got := evalOn(t, NewCmp(op, pair[0], pair[1]), sampleRow)
+			if !got.IsNull() {
+				t.Errorf("%s %s %s = %v, want UNKNOWN", pair[0], op, pair[1], got)
+			}
+		}
+	}
+}
+
+func TestNullArithmeticPropagates(t *testing.T) {
+	null := Lit(types.Null())
+	for _, op := range []ArithOp{Add, Sub, Mul, Div} {
+		if got := evalOn(t, NewArith(op, null, IntLit(2)), sampleRow); !got.IsNull() {
+			t.Errorf("NULL %v 2 = %v, want NULL", op, got)
+		}
+		if got := evalOn(t, NewArith(op, IntLit(2), null), sampleRow); !got.IsNull() {
+			t.Errorf("2 %v NULL = %v, want NULL", op, got)
+		}
+	}
+	// NULL / 0 propagates the NULL rather than raising division by zero
+	// (the operand is unknown, not zero).
+	if got := evalOn(t, NewArith(Div, null, IntLit(0)), sampleRow); !got.IsNull() {
+		t.Errorf("NULL / 0 = %v, want NULL", got)
+	}
+}
+
+func TestIsNullIsDefinite(t *testing.T) {
+	// IS NULL / IS NOT NULL are the only predicates that never return
+	// UNKNOWN: they fold NULL into a definite TRUE or FALSE.
+	cases := []struct {
+		e    Expr
+		neg  bool
+		want bool
+	}{
+		{Lit(types.Null()), false, true},
+		{Lit(types.Null()), true, false},
+		{IntLit(1), false, false},
+		{IntLit(1), true, true},
+		// UNKNOWN from a comparison IS NULL → TRUE: the predicate applies
+		// to the (NULL) result of the inner expression.
+		{NewCmp(EQ, Lit(types.Null()), IntLit(1)), false, true},
+	}
+	for _, c := range cases {
+		got := evalOn(t, NewIsNull(c.e, c.neg), sampleRow)
+		if got.IsNull() || got.Bool() != c.want {
+			t.Errorf("IsNull(%s, neg=%v) = %v, want %v", c.e, c.neg, got, c.want)
+		}
+	}
+}

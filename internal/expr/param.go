@@ -68,6 +68,8 @@ func walkParams(e Expr, fn func(*Param)) {
 		}
 	case *Not:
 		walkParams(t.E, fn)
+	case *IsNull:
+		walkParams(t.E, fn)
 	case *Fn:
 		walkParams(t.Arg, fn)
 	}
@@ -139,6 +141,15 @@ func BindParams(e Expr, vals []types.Value) (Expr, error) {
 			return t, nil
 		}
 		return &Not{E: inner}, nil
+	case *IsNull:
+		inner, err := BindParams(t.E, vals)
+		if err != nil {
+			return nil, err
+		}
+		if inner == t.E {
+			return t, nil
+		}
+		return &IsNull{E: inner, Negate: t.Negate}, nil
 	case *Fn:
 		arg, err := BindParams(t.Arg, vals)
 		if err != nil {

@@ -67,6 +67,22 @@ func (f *flattener) rewriteSelect(sel *sql.Select) (*sql.Select, error) {
 		}
 	}
 
+	// Outer-join FROM chains cannot absorb unnested subqueries: unnesting
+	// appends a derived table to FROM, and a derived table cannot join
+	// across a null-padding step. Reject up front with a clear error.
+	hasOuterJoin := false
+	for _, fi := range out.From {
+		if fi.Join != sql.JoinNone {
+			hasOuterJoin = true
+		}
+		if fi.On != nil && containsSubquery(fi.On) {
+			return nil, fmt.Errorf("flatten: subquery in an outer-join ON clause is not supported")
+		}
+	}
+	if hasOuterJoin && sel.Where != nil && containsSubquery(sel.Where) {
+		return nil, fmt.Errorf("flatten: subquery unnesting into an outer-join FROM clause is not supported")
+	}
+
 	outerAliases := map[string]bool{}
 	for _, fi := range out.From {
 		outerAliases[fi.Alias] = true
@@ -157,6 +173,8 @@ func containsSubquery(e sql.Expr) bool {
 		return containsSubquery(t.E)
 	case sql.Neg:
 		return containsSubquery(t.E)
+	case sql.IsNull:
+		return containsSubquery(t.E)
 	case sql.Call:
 		for _, a := range t.Args {
 			if containsSubquery(a) {
@@ -193,6 +211,8 @@ func countScalarSubqueries(e sql.Expr) int {
 	case sql.Neg:
 		return countScalarSubqueries(t.E)
 	case sql.Not:
+		return countScalarSubqueries(t.E)
+	case sql.IsNull:
 		return countScalarSubqueries(t.E)
 	case sql.Call:
 		n := 0
@@ -483,6 +503,8 @@ func referencedQuals(e sql.Expr) map[string]bool {
 		case sql.Not:
 			walk(t.E)
 		case sql.Neg:
+			walk(t.E)
+		case sql.IsNull:
 			walk(t.E)
 		case sql.Call:
 			for _, a := range t.Args {

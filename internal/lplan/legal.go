@@ -44,6 +44,18 @@ func Validate(n Node) error {
 				return fmt.Errorf("join: predicate: %w", err)
 			}
 		}
+		if t.Type == JoinRight {
+			return fmt.Errorf("join: right outer joins must be normalized to left (swap inputs) before planning")
+		}
+		if t.Type.Outer() {
+			// Only hash and block-NL implement null-padding; index-NL and
+			// merge would silently drop unmatched rows.
+			switch t.Method {
+			case JoinHash, JoinBlockNL, JoinUnset:
+			default:
+				return fmt.Errorf("join: %s outer join cannot use method %s (hash or block-nl only)", t.Type, t.Method)
+			}
+		}
 		if t.Proj != nil {
 			if _, err := in.Project(t.Proj); err != nil {
 				return fmt.Errorf("join: %w", err)

@@ -157,11 +157,51 @@ func (s *Scan) Describe() string {
 	return b.String()
 }
 
+// JoinType distinguishes inner joins from the null-padding outer variants.
+// The zero value is JoinInner, so plans built before outer joins existed
+// are unchanged. JoinRight exists only for pre-planning structures (qblock
+// outer steps); it never appears in a plan tree — the planner normalizes
+// RIGHT to JoinLeft by swapping the inputs — and Validate rejects it.
+type JoinType int
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft           // keep every left row; pad right columns with NULL on no match
+	JoinRight          // keep every right row; normalized to JoinLeft before planning
+	JoinFull           // keep every row of both sides, padding the other side
+)
+
+// String renders the join type.
+func (t JoinType) String() string {
+	switch t {
+	case JoinInner:
+		return "inner"
+	case JoinLeft:
+		return "left outer"
+	case JoinRight:
+		return "right outer"
+	case JoinFull:
+		return "full outer"
+	default:
+		return fmt.Sprintf("JoinType(%d)", int(t))
+	}
+}
+
+// Outer reports whether the type null-pads unmatched rows.
+func (t JoinType) Outer() bool { return t != JoinInner }
+
 // Join combines two inputs under a conjunction of predicates and projects
 // the listed columns (nil keeps everything).
+//
+// For an outer join (Type != JoinInner) Preds is the ON match condition:
+// rows whose match predicate is not TRUE still appear, padded with NULLs on
+// the unmatched side. Padded rows bypass Preds entirely, so Preds must not
+// be treated as a filter by any transformation.
 type Join struct {
 	L, R   Node
-	Preds  []expr.Expr    // conjuncts spanning both sides (or residual filters)
+	Type   JoinType
+	Preds  []expr.Expr    // conjuncts spanning both sides (or residual filters; ON condition for outer)
 	Proj   []schema.ColID // nil means concat of child schemas
 	Method JoinMethod
 
@@ -190,7 +230,11 @@ func (j *Join) Children() []Node { return []Node{j.L, j.R} }
 // Describe implements Node.
 func (j *Join) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Join[%s]", j.Method)
+	if j.Type.Outer() {
+		fmt.Fprintf(&b, "Join[%s %s]", j.Type, j.Method)
+	} else {
+		fmt.Fprintf(&b, "Join[%s]", j.Method)
+	}
 	if len(j.Preds) > 0 {
 		fmt.Fprintf(&b, " on %s", exprList(j.Preds))
 	} else {
@@ -440,6 +484,13 @@ func Key(n Node) (schema.Key, bool) {
 		return k, true
 
 	case *Join:
+		// Conservative for outer joins: padding can duplicate the NULL row
+		// pattern for FULL joins and, more importantly, downstream legality
+		// rules (pull-up, dpRemovable) must never treat a padded side's key
+		// as a real key of the output.
+		if t.Type.Outer() {
+			return nil, false
+		}
 		lk, lok := Key(t.L)
 		rk, rok := Key(t.R)
 		if !lok || !rok {

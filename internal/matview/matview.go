@@ -119,6 +119,12 @@ func Bind(cat *catalog.Catalog, name, sqlText string) (*Def, error) {
 		return nil, fmt.Errorf("materialized view %q: ORDER BY/LIMIT are not allowed in the definition", name)
 	}
 	blk := bound.Query.Top
+	if len(blk.OuterSteps) > 0 {
+		// An outer-join definition would store groups built over NULL-padded
+		// rows; the rewrite matcher reasons only about inner-join/filter
+		// semantics, so such views are not materializable.
+		return nil, fmt.Errorf("materialized view %q: outer joins are not allowed in the definition", name)
+	}
 	if len(blk.GroupCols) == 0 || len(blk.Aggs) == 0 {
 		return nil, fmt.Errorf("materialized view %q: definition must GROUP BY at least one column and compute at least one aggregate", name)
 	}
@@ -386,6 +392,12 @@ func (d *Def) Rewrite(backing *catalog.Table, q *qblock.Query) (cands []Candidat
 	}
 	b := q.Top
 	if !b.HasGroupBy() || len(b.GroupCols) == 0 {
+		return nil, false
+	}
+	if len(b.OuterSteps) > 0 {
+		// The matcher below compares relation sets and WHERE conjuncts; an
+		// outer-join query's padded rows have no counterpart in the stored
+		// groups, so the view can never subsume it.
 		return nil, false
 	}
 	rename, ok := matchRels(d.Block.Rels, b.Rels)

@@ -32,15 +32,72 @@ func (r *Rel) Schema() schema.Schema { return r.Table.Schema.Rename(r.Alias) }
 // Key returns the relation's primary key under its alias.
 func (r *Rel) Key() (schema.Key, bool) { return r.Table.Key(r.Alias) }
 
+// OuterStep records how one FROM item joins the accumulated result of the
+// items before it when the block contains outer joins. Steps are in FROM
+// order: step i joins Rels[i+1] to the join of Rels[0..i].
+type OuterStep struct {
+	Alias string         // alias of the FROM item joined at this step (== Rels[i+1].Alias)
+	Type  lplan.JoinType // JoinInner for comma/INNER JOIN steps, else the outer type
+	On    []expr.Expr    // outer-join match-condition conjuncts (nil for inner steps)
+}
+
 // Block is a single-block query: an SPJ core over Rels and Conjs, an
 // optional group-by (GroupCols/Aggs/Having), and a select list (Outputs).
+//
+// When OuterSteps is non-empty the block's FROM is a left-deep join chain
+// in syntax order (len(OuterSteps) == len(Rels)-1) and at least one step is
+// an outer join. Outer-join ON predicates live on the step, never in Conjs:
+// they decide null-padding, they do not filter. Such blocks keep their
+// syntactic join order — reordering across a null-padding join is illegal
+// in general — and are planned by the optimizer's fixed-chain path.
 type Block struct {
-	Rels      []*Rel
-	Conjs     []expr.Expr // WHERE conjuncts: local filters and join predicates
-	GroupCols []schema.ColID
-	Aggs      []expr.Agg
-	Having    []expr.Expr
-	Outputs   []lplan.NamedExpr
+	Rels       []*Rel
+	Conjs      []expr.Expr // WHERE conjuncts: local filters and join predicates
+	OuterSteps []OuterStep // non-empty iff the FROM chain contains an outer join
+	GroupCols  []schema.ColID
+	Aggs       []expr.Agg
+	Having     []expr.Expr
+	Outputs    []lplan.NamedExpr
+}
+
+// HasOuter reports whether the block's FROM chain contains an outer join.
+func (b *Block) HasOuter() bool {
+	for _, s := range b.OuterSteps {
+		if s.Type != lplan.JoinInner {
+			return true
+		}
+	}
+	return false
+}
+
+// PaddedAliases returns the set of relation aliases whose columns may be
+// NULL-padded by an outer join in this block: the inner side of each LEFT
+// step, everything accumulated before a RIGHT step, and both sides of a
+// FULL step. WHERE conjuncts over these aliases cannot be pushed below the
+// padding join, and their aggregate args see NULLs (the COUNT bug).
+func (b *Block) PaddedAliases() map[string]bool {
+	padded := map[string]bool{}
+	if len(b.OuterSteps) == 0 || len(b.Rels) == 0 {
+		return padded
+	}
+	acc := []string{b.Rels[0].Alias}
+	for _, s := range b.OuterSteps {
+		switch s.Type {
+		case lplan.JoinLeft:
+			padded[s.Alias] = true
+		case lplan.JoinRight:
+			for _, a := range acc {
+				padded[a] = true
+			}
+		case lplan.JoinFull:
+			padded[s.Alias] = true
+			for _, a := range acc {
+				padded[a] = true
+			}
+		}
+		acc = append(acc, s.Alias)
+	}
+	return padded
 }
 
 // HasGroupBy reports whether the block aggregates.
@@ -151,6 +208,29 @@ func (b *Block) Validate() error {
 			}
 			if i < 0 {
 				return fmt.Errorf("block conjunct %s: column %s unknown", c, col)
+			}
+		}
+	}
+	if len(b.OuterSteps) > 0 {
+		if len(b.OuterSteps) != len(b.Rels)-1 {
+			return fmt.Errorf("block: %d outer-join steps for %d relations (want one per relation after the first)",
+				len(b.OuterSteps), len(b.Rels))
+		}
+		avail := map[string]bool{b.Rels[0].Alias: true}
+		for i, s := range b.OuterSteps {
+			if s.Alias != b.Rels[i+1].Alias {
+				return fmt.Errorf("block: outer step %d joins %q, expected %q (FROM order)", i, s.Alias, b.Rels[i+1].Alias)
+			}
+			avail[s.Alias] = true
+			for _, c := range s.On {
+				for _, col := range expr.Columns(c) {
+					if !avail[col.Rel] {
+						return fmt.Errorf("block: outer-join ON %s references %s, not yet in scope at step %d", c, col, i)
+					}
+					if j, err := js.IndexOf(col); err != nil || j < 0 {
+						return fmt.Errorf("block: outer-join ON %s: column %s unknown", c, col)
+					}
+				}
 			}
 		}
 	}

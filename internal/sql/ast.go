@@ -118,11 +118,41 @@ type SelectItem struct {
 	Alias string
 }
 
+// JoinType classifies how a FROM item joins the items before it.
+type JoinType int
+
+// Join types. JoinNone covers the first FROM item, comma-separated items,
+// and INNER JOIN (whose ON predicate the parser folds into WHERE — inner
+// join is plain conjunctive semantics). The outer types keep their ON
+// predicate attached: it is a match condition, not a filter.
+const (
+	JoinNone JoinType = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+)
+
+// String renders the join type as SQL.
+func (j JoinType) String() string {
+	switch j {
+	case JoinLeft:
+		return "LEFT OUTER JOIN"
+	case JoinRight:
+		return "RIGHT OUTER JOIN"
+	case JoinFull:
+		return "FULL OUTER JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
 // FromItem is a table reference or a derived table.
 type FromItem struct {
-	Table    string  // base table or view name ("" for derived tables)
-	Subquery *Select // derived table
-	Alias    string  // always set after parsing (defaults to the table name)
+	Table    string   // base table or view name ("" for derived tables)
+	Subquery *Select  // derived table
+	Alias    string   // always set after parsing (defaults to the table name)
+	Join     JoinType // how this item joins the previous ones (JoinNone for inner/comma)
+	On       Expr     // outer-join match predicate (nil unless Join is outer)
 }
 
 // OrderItem is one ORDER BY key.
@@ -179,6 +209,14 @@ type Neg struct{ E Expr }
 
 func (Neg) expr() {}
 
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	E   Expr
+	Neg bool
+}
+
+func (IsNull) expr() {}
+
 // Call is an aggregate or function call; Star marks COUNT(*).
 type Call struct {
 	Func string // upper-cased
@@ -225,6 +263,11 @@ func ExprString(e Expr) string {
 		return "NOT " + ExprString(t.E)
 	case Neg:
 		return "-" + ExprString(t.E)
+	case IsNull:
+		if t.Neg {
+			return ExprString(t.E) + " IS NOT NULL"
+		}
+		return ExprString(t.E) + " IS NULL"
 	case Call:
 		if t.Star {
 			return t.Func + "(*)"

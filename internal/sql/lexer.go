@@ -38,7 +38,8 @@ var keywords = map[string]bool{
 	"TABLE": true, "VIEW": true, "INDEX": true, "ON": true, "INSERT": true,
 	"INTO": true, "VALUES": true, "PRIMARY": true, "KEY": true,
 	"FOREIGN": true, "REFERENCES": true, "ANALYZE": true, "EXPLAIN": true,
-	"JOIN": true, "INNER": true, "DISTINCT": true, "ALL": true, "ASC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "IS": true, "DISTINCT": true, "ALL": true, "ASC": true,
 	"DESC": true, "TRUE": true, "FALSE": true, "NULL": true, "BETWEEN": true,
 	"DROP": true, "MATERIALIZED": true, "INT": true, "INTEGER": true, "BIGINT": true,
 	"FLOAT": true, "REAL": true, "DOUBLE": true, "PRECISION": true,

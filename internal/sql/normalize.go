@@ -42,7 +42,13 @@ func formatSelect(b *strings.Builder, sel *Select) {
 		b.WriteString(" FROM ")
 		for i, fi := range sel.From {
 			if i > 0 {
-				b.WriteString(", ")
+				if fi.Join != JoinNone {
+					b.WriteByte(' ')
+					b.WriteString(fi.Join.String())
+					b.WriteByte(' ')
+				} else {
+					b.WriteString(", ")
+				}
 			}
 			if fi.Subquery != nil {
 				b.WriteByte('(')
@@ -54,6 +60,10 @@ func formatSelect(b *strings.Builder, sel *Select) {
 			if fi.Alias != "" && fi.Alias != fi.Table {
 				b.WriteString(" AS ")
 				b.WriteString(fi.Alias)
+			}
+			if fi.Join != JoinNone && fi.On != nil {
+				b.WriteString(" ON ")
+				formatExpr(b, fi.On)
 			}
 		}
 	}
@@ -121,6 +131,14 @@ func formatExpr(b *strings.Builder, e Expr) {
 		b.WriteString("-(")
 		formatExpr(b, t.E)
 		b.WriteByte(')')
+	case IsNull:
+		b.WriteByte('(')
+		formatExpr(b, t.E)
+		if t.Neg {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
 	case Call:
 		b.WriteString(t.Func)
 		b.WriteByte('(')
@@ -182,6 +200,7 @@ func WalkExprs(sel *Select, fn func(Expr)) {
 	}
 	for _, fi := range sel.From {
 		WalkExprs(fi.Subquery, fn)
+		walkExpr(fi.On, fn)
 	}
 	walkExpr(sel.Where, fn)
 	walkExpr(sel.Having, fn)
@@ -202,6 +221,8 @@ func walkExpr(e Expr, fn func(Expr)) {
 	case Not:
 		walkExpr(t.E, fn)
 	case Neg:
+		walkExpr(t.E, fn)
+	case IsNull:
 		walkExpr(t.E, fn)
 	case Call:
 		for _, a := range t.Args {

@@ -466,20 +466,40 @@ func (p *parser) selectStmt() (*Select, error) {
 		}
 		sel.From = append(sel.From, fi)
 		// INNER JOIN ... ON pred desugars to another from-item plus a
-		// WHERE conjunct.
+		// WHERE conjunct; LEFT/RIGHT/FULL [OUTER] JOIN keeps the ON
+		// predicate attached to the item — it is a match condition for
+		// null-padding, not a filter, so it must not reach WHERE.
+	joinLoop:
 		for {
-			if p.accept(tokKeyword, "INNER") {
+			jt := JoinNone
+			switch {
+			case p.accept(tokKeyword, "INNER"):
 				if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
 					return nil, err
 				}
-			} else if !p.accept(tokKeyword, "JOIN") {
-				break
+			case p.at(tokKeyword, "LEFT") || p.at(tokKeyword, "RIGHT") || p.at(tokKeyword, "FULL"):
+				switch p.cur().text {
+				case "LEFT":
+					jt = JoinLeft
+				case "RIGHT":
+					jt = JoinRight
+				default:
+					jt = JoinFull
+				}
+				p.pos++
+				p.accept(tokKeyword, "OUTER")
+				if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+			case p.accept(tokKeyword, "JOIN"):
+				// bare JOIN = INNER JOIN
+			default:
+				break joinLoop
 			}
 			rhs, err := p.fromItem()
 			if err != nil {
 				return nil, err
 			}
-			sel.From = append(sel.From, rhs)
 			if _, err := p.expect(tokKeyword, "ON"); err != nil {
 				return nil, err
 			}
@@ -487,10 +507,16 @@ func (p *parser) selectStmt() (*Select, error) {
 			if err != nil {
 				return nil, err
 			}
-			if sel.Where == nil {
-				sel.Where = on
+			if jt == JoinNone {
+				sel.From = append(sel.From, rhs)
+				if sel.Where == nil {
+					sel.Where = on
+				} else {
+					sel.Where = Bin{Op: "AND", L: sel.Where, R: on}
+				}
 			} else {
-				sel.Where = Bin{Op: "AND", L: sel.Where, R: on}
+				rhs.Join, rhs.On = jt, on
+				sel.From = append(sel.From, rhs)
 			}
 		}
 		if p.accept(tokSymbol, ",") {
@@ -699,6 +725,14 @@ func (p *parser) cmpExpr() (Expr, error) {
 	l, err := p.addExpr()
 	if err != nil {
 		return nil, err
+	}
+	// expr IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		negNull := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{E: l, Neg: negNull}, nil
 	}
 	// expr [NOT] IN (select)
 	neg := false

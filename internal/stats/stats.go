@@ -91,6 +91,13 @@ func Selectivity(e expr.Expr, r *Relation) float64 {
 		return s
 	case *expr.Not:
 		return clamp01(1 - Selectivity(p.E, r))
+	case *expr.IsNull:
+		// Stats track no null fraction; Selinger-style flat guess, a bit
+		// below the generic default since most columns are mostly non-NULL.
+		if p.Negate {
+			return 1 - DefaultEqSel
+		}
+		return DefaultEqSel
 	case *expr.Const:
 		if p.Val.Bool() {
 			return 1

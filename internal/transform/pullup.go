@@ -33,6 +33,12 @@ import (
 //
 // G1's own Having conjuncts stay with the deferred group-by.
 func PullUp(j *lplan.Join) (*lplan.GroupBy, error) {
+	if j.Type.Outer() {
+		// Definition 1 assumes the join filters: a deferred group-by would
+		// aggregate over NULL-padded rows that G1 never saw (the COUNT
+		// bug), so the transformation is illegal across outer joins.
+		return nil, fmt.Errorf("pull-up: illegal across a %s join (null-padded rows would reach the deferred group-by)", j.Type)
+	}
 	gLeft, lok := j.L.(*lplan.GroupBy)
 	gRight, rok := j.R.(*lplan.GroupBy)
 	switch {

@@ -27,6 +27,12 @@ func PushInvariant(g *lplan.GroupBy) (lplan.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("invariant grouping: group-by input is not a join")
 	}
+	if j.Type.Outer() {
+		// Invariance reasoning assumes every group row meets the join
+		// predicate identically; null-padded rows bypass the predicate, so
+		// pushing a group-by below an outer join changes group contents.
+		return nil, fmt.Errorf("invariant grouping: illegal below a %s join", j.Type)
+	}
 	if n, err := pushInvariantSide(g, j, true); err == nil {
 		return n, nil
 	}

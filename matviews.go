@@ -311,12 +311,21 @@ func coalesceMatViewRows(def *matview.Def, rows []types.Row) (map[string][]types
 }
 
 // valuesApproxEqual compares value vectors exactly, except floats, which
-// compare within a relative tolerance.
+// compare within a relative tolerance. NULL partials (all-NULL aggregate
+// inputs) are handled first and explicitly: NULL equals only NULL — a NULL
+// must never slip into the float-tolerance path or be conflated with a
+// typed zero.
 func valuesApproxEqual(a, b []types.Value) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
 		if a[i].K != b[i].K {
 			return false
 		}
