@@ -27,10 +27,12 @@ race:
 	$(GO) test -race ./...
 
 # stress runs the engine-level concurrency suite (mixed-mode queries,
-# budget isolation, racing cursors, DDL vs readers) twice under the race
-# detector, so flaky interleavings get a second chance to surface.
+# budget isolation, racing cursors, DDL vs readers, snapshot-pinned
+# cursors under committing writers, and multi-statement transactions)
+# twice under the race detector, so flaky interleavings get a second
+# chance to surface.
 stress:
-	$(GO) test -race -count=2 -run 'TestConcurrent' .
+	$(GO) test -race -count=2 -run 'TestConcurrent|TestSnapshot|TestTxn|TestReadsProceed' .
 
 # crash runs the durability suite at full resolution: the WAL-level crash
 # sweep plus the engine-level sweeps that kill the log at every write

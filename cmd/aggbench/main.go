@@ -111,6 +111,10 @@ func main() {
 			fmt.Printf("throughput: N=%-3d %6.1f qps (%d queries in %.1fms) p50=%.2fms p95=%.2fms p99=%.2fms\n",
 				tr.Concurrency, tr.QPS, tr.Queries, tr.ElapsedMS, tr.P50MS, tr.P95MS, tr.P99MS)
 		}
+		for _, mr := range snap.Mixed {
+			fmt.Printf("mixed:      N=%-3d %6.1f qps (%d queries, %d commits in %.1fms) p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				mr.Concurrency, mr.QPS, mr.Queries, mr.WriterCommits, mr.ElapsedMS, mr.P50MS, mr.P95MS, mr.P99MS)
+		}
 		for _, pr := range snap.Prepared {
 			fmt.Printf("prepared:   N=%-3d %-14s %6.1f qps (%d queries in %.1fms)\n",
 				pr.Concurrency, pr.Variant, pr.QPS, pr.Queries, pr.ElapsedMS)

@@ -75,6 +75,26 @@ func main() {
 		}
 	}
 
+	// Mixed read/write: reader qps and tail latency by reader count.
+	if len(oldSnap.Mixed) > 0 || len(newSnap.Mixed) > 0 {
+		fmt.Printf("\nmixed read/write (reader qps, p99 ms)\n%-6s %10s %10s %8s %9s %9s\n",
+			"conc", "old", "new", "delta", "old p99", "new p99")
+		type mval struct{ qps, p99 float64 }
+		byConc := map[int]mval{}
+		for _, mr := range oldSnap.Mixed {
+			byConc[mr.Concurrency] = mval{mr.QPS, mr.P99MS}
+		}
+		for _, mr := range newSnap.Mixed {
+			old, ok := byConc[mr.Concurrency]
+			if !ok {
+				fmt.Printf("%-6d %10s %10.1f %8s %9s %9.2f\n", mr.Concurrency, "-", mr.QPS, "new", "-", mr.P99MS)
+				continue
+			}
+			fmt.Printf("%-6d %10.1f %10.1f %8s %9.2f %9.2f\n",
+				mr.Concurrency, old.qps, mr.QPS, pct(old.qps, mr.QPS), old.p99, mr.P99MS)
+		}
+	}
+
 	// Prepared: match by (concurrency, variant).
 	if len(oldSnap.Prepared) > 0 || len(newSnap.Prepared) > 0 {
 		type pkey struct {

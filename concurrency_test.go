@@ -344,8 +344,9 @@ func TestConcurrentCloseIdempotent(t *testing.T) {
 
 // TestConcurrentDDLSerializesWithQueries: writers (INSERT into a scratch
 // table, DropCaches, ResetIOStats) interleave with readers on one engine.
-// The engine's read-write lock must serialize them without deadlock, data
-// races, or query failures.
+// Writers serialize behind the single-writer gate while readers run
+// against pinned snapshots; the mix must produce no deadlock, data races,
+// or query failures.
 func TestConcurrentDDLSerializesWithQueries(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	if _, err := eng.Exec(`create table scratch (k int, v int)`); err != nil {
@@ -408,24 +409,26 @@ func TestConcurrentDDLSerializesWithQueries(t *testing.T) {
 	}
 }
 
-// TestForceDropCachesBypassAudit (satellite of the durability PR): the
-// engine reaches Store.ForceDropCaches/ForceResetStats — which bypass the
-// store's ErrStoreBusy session guard — from exactly two places, and both
-// must be unable to surface a half-dropped cache to a concurrent reader.
+// TestForceDropCachesBypassAudit: the engine reaches
+// Store.ForceDropCaches/ForceResetStats — which bypass the store's
+// ErrStoreBusy session guard — from the maintenance entry points and the
+// cold-measurement path, and neither may surface a half-dropped cache to a
+// concurrent reader.
 //
-//  1. Engine.DropCaches/ResetIOStats take the engine's exclusive lock,
-//     which every query (including a streaming Rows) holds in read mode
-//     for its whole run. The first half of the test proves the exclusion:
-//     DropCaches cannot complete while a streaming cursor is open.
-//  2. The cold-measurement path (QueryMode) drops the pool under a read
-//     lock, concurrent with other readers. The pool tracks page identity
-//     only — no data, no dirty state — so the second half hammers cold
-//     runs against plain readers and asserts every answer stays exact.
+//  1. Engine.DropCaches/ResetIOStats wait briefly for in-flight queries
+//     but the wait is bounded: the first half of the test proves that a
+//     long-lived streaming cursor cannot wedge cache maintenance — the
+//     drop completes while the cursor is still open, and the cursor keeps
+//     producing exact results afterwards (the pool tracks page identity
+//     only, never data).
+//  2. The cold-measurement path (QueryMode) drops the pool concurrently
+//     with other readers, so the second half hammers cold runs against
+//     plain readers and asserts every answer stays exact.
 func TestForceDropCachesBypassAudit(t *testing.T) {
 	eng := newWarehouse(t, aggview.Config{PoolPages: 8})
 	ctx := context.Background()
 
-	// Part 1: the exclusive path cannot interleave with a live reader.
+	// Part 1: maintenance completes in bounded time under an open cursor.
 	rows, err := eng.QueryRows(ctx, `select l.orderkey from lineitem l`)
 	if err != nil {
 		t.Fatal(err)
@@ -436,20 +439,32 @@ func TestForceDropCachesBypassAudit(t *testing.T) {
 	dropped := make(chan struct{})
 	go func() {
 		eng.DropCaches()
+		eng.ResetIOStats()
 		close(dropped)
 	}()
 	select {
 	case <-dropped:
-		t.Fatal("DropCaches completed while a streaming reader held the engine")
-	case <-time.After(50 * time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("DropCaches/ResetIOStats wedged behind an open streaming cursor")
+	}
+	// The cursor survives the drop: it keeps streaming rows to completion
+	// with no error (only its hit/miss accounting may have shifted).
+	n := int64(1)
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("cursor failed after cache drop: %v", err)
+	}
+	res, err := eng.Query(ctx, `select count(*) as n from lineitem l`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Rows[0][0].(int64); n != want {
+		t.Fatalf("cursor streamed %d rows across a cache drop, want %d", n, want)
 	}
 	if err := rows.Close(); err != nil {
 		t.Fatal(err)
-	}
-	select {
-	case <-dropped:
-	case <-time.After(5 * time.Second):
-		t.Fatal("DropCaches still blocked after the reader closed")
 	}
 
 	// Part 2: cold runs (read-locked ForceDropCaches) race plain readers.

@@ -1,17 +1,18 @@
 package aggview
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aggview/internal/catalog"
-	"aggview/internal/obs"
 	"aggview/internal/schema"
 	"aggview/internal/storage"
-	"aggview/internal/types"
+	"aggview/internal/txn"
 	"aggview/internal/wal"
 )
 
@@ -21,10 +22,13 @@ import (
 // heap page layout, statistics, index buckets, and the catalog version that
 // drives plan-cache invalidation — when reopened after a crash.
 //
-// The protocol is redo-only and rides on the engine's existing exclusive
-// write lock: a mutation is applied in memory, appended to the log, and
-// fsynced, all before the lock is released — so no reader ever observes
-// state that is not durable, and the log's LSN order is the commit order.
+// The protocol is redo-only and rides on the engine's single-writer gate:
+// a write batch mutates a private copy-on-write catalog snapshot, its log
+// records accumulate in a txn.Recorder, and commit appends the whole group,
+// fsyncs, and only then publishes the snapshot to readers — so no reader
+// ever observes state that is not durable, and the log's LSN order is the
+// commit order. Multi-record groups are framed with TxnBegin/TxnCommit so
+// recovery replays them all-or-nothing; a rollback writes nothing at all.
 // If any log write fails, the engine marks itself dead: the in-memory state
 // may then be ahead of the disk, so every subsequent operation is refused
 // with ErrEngineDead until the process reopens the directory and recovers.
@@ -52,224 +56,218 @@ type CrashPlan = wal.CrashPlan
 // checkpoint is taken when this many log bytes accumulate since the last.
 const DefaultCheckpointBytes = 4 << 20
 
-// insertBatchRows caps rows per logged Insert record. Consecutive inserts
-// into one table batch into a single record flushed at commit, so a bulk
-// load costs a handful of fsyncs, not one per row.
-const insertBatchRows = 4096
-
-// walState is the durable engine's logging half: it implements
-// catalog.Logger, turning top-level catalog mutations into log records, and
-// owns commit (flush + fsync + auto-checkpoint). All fields are guarded by
-// the engine's exclusive write lock, under which every mutation runs.
+// walState is the durable engine's logging half: the commit sink for the
+// write batches the engine runs behind its writer gate. The wal.Log itself
+// is not safe for concurrent use, so every log touch goes through mu; the
+// death flag is a lock-free atomic so read paths can check liveness without
+// contending with a commit in progress.
 type walState struct {
-	log             *wal.Log
-	cat             *catalog.Catalog
+	mu  sync.Mutex
+	log *wal.Log
+
+	// checkpointBytes is the auto-checkpoint threshold (log bytes since the
+	// last checkpoint).
 	checkpointBytes int64
 
-	// Pending insert batch: consecutive Insert hooks for one table
-	// accumulate here and flush as one record.
-	pendTable   string
-	pendRows    []types.Row
-	pendVersion int64
+	// nextTxn numbers the TxnBegin/TxnCommit frames. Purely diagnostic —
+	// recovery matches frames positionally, not by ID — but stable IDs make
+	// log dumps legible.
+	nextTxn int64
 
-	// dead records the first durability failure; once set, the engine
-	// refuses all further operations.
-	dead error
+	// dead is set (once) when a durability write fails; every later
+	// operation returns its cause wrapped in ErrEngineDead.
+	dead atomic.Pointer[walDeath]
 }
 
-// deadErr wraps the stored failure so callers can match both
-// ErrEngineDead and the root cause (e.g. ErrCrashed) with errors.Is.
-func (w *walState) deadErr() error { return errors.Join(ErrEngineDead, w.dead) }
+type walDeath struct{ cause error }
 
-// fail marks the engine dead with the first failure and returns it.
-func (w *walState) fail(err error) error {
-	if w.dead == nil {
-		w.dead = err
-	}
-	return err
-}
-
-// append logs one record carrying the current (post-mutation) catalog
-// version, flushing any pending insert batch first to preserve log order.
-func (w *walState) append(rec wal.Record) error {
-	if err := w.flushInserts(); err != nil {
-		return err
-	}
-	return w.appendAt(w.cat.Version(), rec)
-}
-
-func (w *walState) appendAt(version int64, rec wal.Record) error {
-	if w.dead != nil {
-		return w.deadErr()
-	}
-	if _, err := w.log.Append(version, rec); err != nil {
-		return w.fail(err)
+// alive returns nil while the engine can accept writes, or the terminal
+// ErrEngineDead (annotated with the original failure) after one failed.
+func (w *walState) alive() error {
+	if d := w.dead.Load(); d != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrEngineDead, d.cause)
 	}
 	return nil
 }
 
-// flushInserts emits the pending insert batch as one record.
-func (w *walState) flushInserts() error {
-	if len(w.pendRows) == 0 {
-		return nil
-	}
-	rec := wal.Insert{Table: w.pendTable, Rows: w.pendRows}
-	version := w.pendVersion
-	w.pendTable, w.pendRows = "", nil
-	return w.appendAt(version, rec)
+// fail marks the engine dead and returns the cause: the operation that
+// hit the failure reports the real error (a crash sweep asserts on it);
+// every later operation gets ErrEngineDead from alive. Idempotent: only
+// the first cause is kept.
+func (w *walState) fail(cause error) error {
+	w.dead.CompareAndSwap(nil, &walDeath{cause: cause})
+	return cause
 }
 
-// commit makes everything logged in the current write operation durable:
-// flush the insert batch, fsync, and checkpoint when enough log has
-// accumulated. Called before the engine's write lock is released.
-func (w *walState) commit() error {
-	if w.dead != nil {
-		return w.deadErr()
+// commitGroup makes one write batch durable: append every buffered record,
+// framed by TxnBegin/TxnCommit when the group has more than one record
+// (single-record groups are self-atomic — the log's torn-tail truncation
+// already gives them all-or-nothing semantics — and stay unframed so the
+// on-disk format is backward compatible), then fsync. On success it may
+// take an auto-checkpoint, encoding the catalog state via snap (the
+// caller's working snapshot — the state the group produces). Any failure
+// kills the engine: the caller's in-memory state is ahead of the log and
+// must not be published or trusted.
+//
+// An empty group is a no-op: a write statement that touched nothing (e.g.
+// ANALYZE of an empty catalog) costs no fsync.
+func (w *walState) commitGroup(recs []txn.LoggedRecord, snap func() []byte) error {
+	if len(recs) == 0 {
+		return nil
 	}
-	if err := w.flushInserts(); err != nil {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.alive(); err != nil {
 		return err
+	}
+	framed := len(recs) > 1
+	if framed {
+		w.nextTxn++
+		if _, err := w.log.Append(recs[0].Version, wal.TxnBegin{ID: w.nextTxn}); err != nil {
+			return w.fail(err)
+		}
+	}
+	for _, lr := range recs {
+		if _, err := w.log.Append(lr.Version, lr.Rec); err != nil {
+			return w.fail(err)
+		}
+	}
+	if framed {
+		if _, err := w.log.Append(recs[len(recs)-1].Version, wal.TxnCommit{ID: w.nextTxn}); err != nil {
+			return w.fail(err)
+		}
 	}
 	if err := w.log.Sync(); err != nil {
 		return w.fail(err)
 	}
 	if w.checkpointBytes > 0 && w.log.SizeSinceCheckpoint() >= w.checkpointBytes {
-		if err := w.log.WriteCheckpoint(w.cat.EncodeSnapshot()); err != nil {
+		// Auto-checkpoint inside the commit: snap() encodes the state the
+		// just-committed group produced (the caller's working snapshot), so
+		// the checkpoint can never be ahead of or behind the log position it
+		// claims to cover. A checkpoint failure is terminal like any other
+		// durability failure: the log may have rotated underneath a
+		// half-written checkpoint.
+		if err := w.log.WriteCheckpoint(snap()); err != nil {
 			return w.fail(err)
 		}
 	}
 	return nil
 }
 
-// catalog.Logger implementation: one hook per top-level mutation.
-
-func (w *walState) CreateTable(name string, cols []schema.Column, pk []string, fks []schema.ForeignKey) error {
-	rec := wal.CreateTable{Name: name, PrimaryKey: pk}
-	rec.Cols = make([]wal.ColumnDef, len(cols))
-	for i, c := range cols {
-		rec.Cols[i] = wal.ColumnDef{Name: c.ID.Name, Type: c.Type}
-	}
-	for _, fk := range fks {
-		rec.ForeignKeys = append(rec.ForeignKeys, wal.ForeignKeyDef{
-			Cols: fk.Cols, RefTable: fk.RefTable, RefCols: fk.RefCols,
-		})
-	}
-	return w.append(rec)
-}
-
-func (w *walState) CreateView(name string, cols []string, sql string) error {
-	return w.append(wal.CreateView{Name: name, Cols: cols, SQL: sql})
-}
-
-func (w *walState) CreateIndex(name, table string, cols []string) error {
-	return w.append(wal.CreateIndex{Name: name, Table: table, Cols: cols})
-}
-
-func (w *walState) DropTable(name string) error {
-	return w.append(wal.DropTable{Name: name})
-}
-
-func (w *walState) Insert(table string, row types.Row) error {
-	if w.dead != nil {
-		return w.deadErr()
-	}
-	if w.pendTable != "" && w.pendTable != table {
-		if err := w.flushInserts(); err != nil {
-			return err
-		}
-	}
-	w.pendTable = table
-	w.pendRows = append(w.pendRows, row)
-	w.pendVersion = w.cat.Version()
-	if len(w.pendRows) >= insertBatchRows {
-		return w.flushInserts()
-	}
-	return nil
-}
-
-func (w *walState) Analyze(table string) error {
-	return w.append(wal.Analyze{Table: table})
-}
-
-func (w *walState) CreateMatView(name, sql, backing string, baseTables []string) error {
-	return w.append(wal.CreateMatView{Name: name, SQL: sql, Backing: backing, BaseTables: baseTables})
-}
-
-func (w *walState) DropMatView(name string) error {
-	return w.append(wal.DropMatView{Name: name})
-}
-
-// OpenDurable opens an engine backed by the write-ahead log in
-// cfg.DataDir, creating the directory on first use and recovering the
-// previous state otherwise: the latest checkpoint snapshot is restored and
-// the log tail is replayed in LSN order. A torn final record (a crash
-// mid-write) is truncated and recovery succeeds; checksum or format damage
-// anywhere else fails with an error rather than serving partial state.
+// OpenDurable opens (or creates) a durable engine on dir. Recovery loads
+// the latest checkpoint snapshot, then replays the committed log suffix:
+// records framed by TxnBegin/TxnCommit apply all-or-nothing (a torn group
+// with no TxnCommit, or one closed by TxnAbort, is discarded entirely),
+// bare records apply directly (the pre-transaction format, and the format
+// still used for single-record statements). After replay it heals any
+// statement-level tear in materialized-view state (see recoverMatViews)
+// and re-persists the healed state, so a reopened engine always passes its
+// own consistency audit.
 func OpenDurable(cfg Config) (*Engine, error) {
-	cfg = resolveConfig(cfg)
 	if cfg.DataDir == "" {
-		return nil, errors.New("aggview: OpenDurable requires Config.DataDir")
+		return nil, fmt.Errorf("aggview: OpenDurable requires Config.DataDir")
 	}
+	cfg = resolveConfig(cfg)
 	log, rec, err := wal.Open(cfg.DataDir, wal.Options{})
 	if err != nil {
 		return nil, err
 	}
-	st := storage.NewStore(cfg.PoolPages)
+	store := storage.NewStore(cfg.PoolPages)
+
 	var cat *catalog.Catalog
 	if rec.Snapshot != nil {
-		cat, err = catalog.DecodeSnapshot(st, rec.Snapshot)
+		cat, err = catalog.DecodeSnapshot(store, rec.Snapshot)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+		}
+	} else {
+		cat = catalog.New(store)
+	}
+
+	// Replay the committed suffix. Records between a TxnBegin and its
+	// TxnCommit buffer in pending and apply only when the commit frame
+	// arrives; everything else applies immediately. A group whose commit
+	// frame never made it to disk is exactly the batch the crashed engine
+	// never acknowledged — dropping it wholesale is what makes BEGIN …
+	// crash-without-COMMIT recover the pre-transaction state.
+	applied := false
+	var lastVersion int64
+	if len(rec.Entries) > 0 {
+		cat.BeginWrite()
+		var pending []wal.Entry
+		inTxn := false
+		for _, ent := range rec.Entries {
+			switch ent.Rec.(type) {
+			case wal.TxnBegin:
+				pending = pending[:0]
+				inTxn = true
+			case wal.TxnCommit:
+				for _, p := range pending {
+					if err := applyRecord(cat, store, p.Rec); err != nil {
+						cat.Discard()
+						log.Close()
+						return nil, fmt.Errorf("%w: replay lsn %d: %v", ErrCorrupt, p.LSN, err)
+					}
+				}
+				pending = pending[:0]
+				inTxn = false
+				lastVersion = ent.Version
+				applied = true
+			case wal.TxnAbort:
+				pending = pending[:0]
+				inTxn = false
+			default:
+				if inTxn {
+					pending = append(pending, ent)
+					continue
+				}
+				if err := applyRecord(cat, store, ent.Rec); err != nil {
+					cat.Discard()
+					log.Close()
+					return nil, fmt.Errorf("%w: replay lsn %d: %v", ErrCorrupt, ent.LSN, err)
+				}
+				lastVersion = ent.Version
+				applied = true
+			}
+		}
+		if applied {
+			cat.RestoreVersion(lastVersion)
+		}
+		cat.Publish()
+	}
+
+	w := &walState{log: log, checkpointBytes: cfg.CheckpointBytes}
+
+	e := newEngine(store, cat, cfg)
+	e.wal = w
+
+	if applied {
+		// The replayed tail may have torn a multi-record statement from the
+		// pre-framing format (or an anomaly healed by a previous recovery
+		// that then crashed before persisting the repair). Heal inside a
+		// normal write batch so the repair itself commits atomically.
+		rec2, err := e.beginWrite(context.Background())
 		if err != nil {
 			log.Close()
 			return nil, err
 		}
-	} else {
-		cat = catalog.New(st)
-	}
-	for _, entry := range rec.Entries {
-		if err := applyRecord(cat, entry.Rec); err != nil {
-			log.Close()
-			return nil, fmt.Errorf("aggview: recovery: replay LSN %d (%s): %w", entry.LSN, entry.Rec.Kind(), err)
-		}
-	}
-	if n := len(rec.Entries); n > 0 {
-		// Replay bumps the version once per replayed call, which can
-		// undercount the original sequence (batched insert records); pin it
-		// to the persisted value so the recovered engine's version — and the
-		// plan-cache invalidation it drives — continues exactly.
-		cat.RestoreVersion(rec.Entries[n-1].Version)
-	}
-	w := &walState{log: log, cat: cat, checkpointBytes: cfg.CheckpointBytes}
-	// The logger goes in only after replay: recovered operations must not be
-	// re-logged.
-	cat.SetLogger(w)
-	e := &Engine{
-		store: st, cat: cat, cfg: cfg,
-		reg: obs.NewRegistry(), mu: &sync.RWMutex{}, cache: newCacheFor(cfg),
-		wal: w,
-	}
-	// The log carries no statement-atomicity markers, so a crash can tear a
-	// multi-record materialized-view statement; when a tail was replayed,
-	// verify every view against a recompute and repair (see recoverMatViews).
-	// Repairs are logged and committed like any other mutation.
-	// (The orphan sweep must run even with no views registered — a crash on
-	// the very first CREATE leaves only the backing table behind.)
-	if len(rec.Entries) > 0 {
 		if err := e.recoverMatViews(); err != nil {
+			e.abortWrite(rec2)
 			log.Close()
-			return nil, fmt.Errorf("aggview: recovery: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		if err := e.walCommit(nil); err != nil {
+		if err := e.endWrite(rec2, nil); err != nil {
 			log.Close()
-			return nil, fmt.Errorf("aggview: recovery: %w", err)
+			return nil, err
 		}
 	}
 	return e, nil
 }
 
-// applyRecord redoes one logged mutation against the recovering catalog.
-// The catalog has no logger during replay, and each record's replay is a
-// plain re-execution of the original call, so the resulting state —
-// including heap layout and index staleness — matches the pre-crash engine.
-func applyRecord(cat *catalog.Catalog, rec wal.Record) error {
+// applyRecord redoes one logged mutation against the catalog. The catalog
+// Logger is not installed during replay, so nothing is re-logged.
+func applyRecord(cat *catalog.Catalog, store *storage.Store, rec wal.Record) error {
 	switch r := rec.(type) {
 	case wal.CreateTable:
 		cols := make([]schema.Column, len(r.Cols))
@@ -302,122 +300,109 @@ func applyRecord(cat *catalog.Catalog, rec wal.Record) error {
 		}
 		return nil
 	case wal.Analyze:
-		tbl, ok := cat.Table(r.Table)
-		if !ok {
-			return fmt.Errorf("analyze of unknown table %q", r.Table)
+		if tbl, ok := cat.Table(r.Table); ok {
+			return cat.Analyze(tbl)
 		}
-		return cat.Analyze(tbl)
+		return fmt.Errorf("analyze of unknown table %q", r.Table)
 	case wal.CreateMatView:
-		// The backing table and its rows were replayed from their own
-		// CreateTable/Insert/Analyze records; only the metadata remains.
 		_, err := cat.CreateMatView(r.Name, r.SQL, r.Backing, r.BaseTables)
 		return err
 	case wal.DropMatView:
 		return cat.DropMatView(r.Name)
 	default:
-		return fmt.Errorf("unknown record type %T", rec)
+		return fmt.Errorf("unknown record kind %v", rec.Kind())
 	}
 }
 
-// walAlive reports the dead-engine error, if any. Callers hold at least
-// the engine's read lock; dead is only written under the write lock.
+// walAlive returns nil on an in-memory engine, or the durable engine's
+// liveness (lock-free: a read path never contends with a commit).
 func (e *Engine) walAlive() error {
-	if e.wal != nil && e.wal.dead != nil {
-		return e.wal.deadErr()
-	}
-	return nil
-}
-
-// walCommit runs the durability commit under the already-held write lock;
-// a no-op for in-memory engines.
-func (e *Engine) walCommit(opErr error) error {
 	if e.wal == nil {
-		return opErr
+		return nil
 	}
-	if cerr := e.wal.commit(); cerr != nil && opErr == nil {
-		return cerr
-	}
-	return opErr
+	return e.wal.alive()
 }
 
-// Durable reports whether the engine is backed by a write-ahead log.
+// Durable reports whether the engine persists its state (opened with
+// Config.DataDir).
 func (e *Engine) Durable() bool { return e.wal != nil }
 
-// CatalogVersion returns the catalog's monotonic schema/stats version. On
-// a durable engine the version is persisted in every log record, so a
-// recovered engine continues the crashed engine's sequence — which is what
-// keeps plan-cache invalidation sound across recovery.
-func (e *Engine) CatalogVersion() int64 { return e.cat.Version() }
+// CatalogVersion exposes the monotonically increasing catalog version of
+// the current published snapshot (bumped by every committed DDL, INSERT and
+// ANALYZE; the version that drives plan-cache invalidation).
+func (e *Engine) CatalogVersion() int64 { return e.cat.Snapshot().Version() }
 
-// StateFingerprint returns a digest of the engine's complete logical state:
-// schemas, views, heap page layout, statistics, and index contents. Two
-// engines with equal fingerprints are indistinguishable to the optimizer
-// and executor — the crash-recovery tests' equivalence oracle.
+// StateFingerprint returns a stable hash of the engine's published logical
+// state: schemas, views, matviews, table contents (page layout included),
+// statistics, index buckets, and the catalog version. Two engines with
+// equal fingerprints are indistinguishable to every query. Lock-free: it
+// encodes the immutable published snapshot, so it never blocks — and is
+// never blocked by — writers.
 func (e *Engine) StateFingerprint() string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	sum := sha256.Sum256(e.cat.EncodeSnapshot())
+	sum := sha256.Sum256(e.cat.Snapshot().Encode())
 	return hex.EncodeToString(sum[:])
 }
 
-// Checkpoint forces a checkpoint: the full catalog state is snapshotted to
-// disk and obsolete log segments are deleted, bounding future recovery
-// time. It blocks until in-flight queries finish. An error on an
-// in-memory engine.
+// Checkpoint forces a checkpoint snapshot now, regardless of the size
+// threshold. It acquires the writer gate: a checkpoint of a half-applied
+// write batch would persist unacknowledged state.
 func (e *Engine) Checkpoint() error {
 	if e.wal == nil {
-		return errors.New("aggview: Checkpoint requires a durable engine (Config.DataDir)")
+		return fmt.Errorf("aggview: Checkpoint requires a durable engine (set Config.DataDir)")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.walAlive(); err != nil {
+	if err := e.gate.Acquire(context.Background()); err != nil {
 		return err
 	}
-	if err := e.wal.flushInserts(); err != nil {
+	defer e.gate.Release()
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
+	if err := e.wal.alive(); err != nil {
 		return err
 	}
-	if err := e.wal.log.WriteCheckpoint(e.cat.EncodeSnapshot()); err != nil {
+	if err := e.wal.log.WriteCheckpoint(e.cat.Snapshot().Encode()); err != nil {
 		return e.wal.fail(err)
 	}
 	return nil
 }
 
-// Close releases the engine's durable resources, syncing and closing the
-// write-ahead log. In-memory engines close trivially. The engine must not
-// be used after Close.
+// Close flushes and closes the write-ahead log. The engine must not be
+// used afterwards. Close on an in-memory engine is a no-op.
 func (e *Engine) Close() error {
 	if e.wal == nil {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if err := e.gate.Acquire(context.Background()); err != nil {
+		return err
+	}
+	defer e.gate.Release()
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
+	// A dead engine still closes its file handles; the log contents are
+	// whatever the failure left behind.
 	return e.wal.log.Close()
 }
 
-// InjectWALCrash arms deterministic crash injection on the write-ahead
-// log: the plan's Nth subsequent physical log write fails — torn, if
-// requested, with only a prefix persisted — and the engine behaves like a
-// killed process from that point: the failing operation returns ErrCrashed
-// and everything after returns ErrEngineDead. Reopening the data directory
-// with OpenDurable recovers the last acknowledged state. A nil plan
-// disarms. No-op on in-memory engines.
+// InjectWALCrash arms deterministic crash injection on the log: the Nth
+// physical write (and everything after it) fails, optionally leaving a
+// torn prefix. The crash-sweep harness uses this to prove recovery at
+// every write boundary. Takes only the log mutex — not the writer gate —
+// so a sweep can arm the crash while a transaction is open.
 func (e *Engine) InjectWALCrash(p *CrashPlan) {
 	if e.wal == nil {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
 	e.wal.log.InjectCrash(p)
 }
 
-// WALWrites reports the physical log writes since the last InjectWALCrash
-// (or since open) — the sweep bound for crash-injection harnesses. Zero on
-// in-memory engines.
+// WALWrites reports the number of physical log writes performed, for
+// sizing crash sweeps.
 func (e *Engine) WALWrites() int64 {
 	if e.wal == nil {
 		return 0
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
 	return e.wal.log.Writes()
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 	"time"
 
 	"aggview/internal/binder"
@@ -17,6 +16,7 @@ import (
 	"aggview/internal/schema"
 	"aggview/internal/sql"
 	"aggview/internal/storage"
+	"aggview/internal/txn"
 	"aggview/internal/types"
 )
 
@@ -152,11 +152,16 @@ type Config struct {
 // Query/QueryRows/Exec/ExplainAnalyze at once. Each
 // query is accounted through its own storage session, so Result.IO, the
 // per-operator metrics, and the MaxIOPages/MaxRowsOut budgets see only that
-// query's pages; Engine.IOStats remains the store-global sum. Statements
-// that mutate shared state (CREATE/DROP/INSERT/ANALYZE, LoadEmpDept,
-// LoadTPCD, DropCaches, ResetIOStats) take an exclusive engine lock and
-// wait for in-flight queries to finish; do not issue them from a goroutine
-// that still holds an open Rows cursor, or the two will deadlock.
+// query's pages; Engine.IOStats remains the store-global sum.
+//
+// Reads never block writes and writes never block reads: every query pins
+// the catalog snapshot that is current when it opens and runs against it to
+// completion, so a long-lived Rows cursor observes a frozen, consistent
+// database no matter what commits around it. Statements that mutate shared
+// state (CREATE/DROP/INSERT/ANALYZE, LoadEmpDept, LoadTPCD, and explicit
+// transactions via Begin) serialize against each other behind a
+// single-writer gate; they are free to run while any number of cursors are
+// open, including from the same goroutine.
 type Engine struct {
 	store *storage.Store
 	cat   *catalog.Catalog
@@ -164,12 +169,12 @@ type Engine struct {
 	// reg accumulates per-query metrics engine-wide; engines derived via
 	// WithConfig share it, so Metrics() covers the whole instance.
 	reg *obs.Registry
-	// mu orders queries (readers) against single-writer operations — DDL,
-	// INSERT, dataset loads, DropCaches, ResetIOStats (writers). It is
-	// shared by engines derived via WithConfig, which alias the same store
-	// and catalog. Queries hold the read side from openRows until
-	// queryRun.finish.
-	mu *sync.RWMutex
+	// gate is the single-writer admission control: DDL, INSERT, dataset
+	// loads and explicit transactions hold it from begin to commit. Readers
+	// never touch it — they pin a published catalog snapshot instead. The
+	// gate is shared by engines derived via WithConfig, which alias the
+	// same store and catalog.
+	gate *txn.Gate
 	// cache holds compiled plans for prepared statements; nil when
 	// disabled. Engines derived via WithConfig get their own cache — the
 	// configuration shapes the plans, so entries cannot cross engines —
@@ -179,6 +184,15 @@ type Engine struct {
 	// (nil for in-memory engines). Shared by WithConfig derivatives, which
 	// alias the same catalog and therefore the same log.
 	wal *walState
+}
+
+// newEngine assembles an engine around an existing store and catalog
+// (shared by Open and OpenDurable; cfg must already be resolved).
+func newEngine(store *storage.Store, cat *catalog.Catalog, cfg Config) *Engine {
+	return &Engine{
+		store: store, cat: cat, cfg: cfg,
+		reg: obs.NewRegistry(), gate: txn.NewGate(), cache: newCacheFor(cfg),
+	}
 }
 
 // resolveConfig fills in the defaults: the pool size, and the explicit
@@ -224,10 +238,7 @@ func Open(cfg Config) *Engine {
 	}
 	cfg = resolveConfig(cfg)
 	st := storage.NewStore(cfg.PoolPages)
-	return &Engine{
-		store: st, cat: catalog.New(st), cfg: cfg,
-		reg: obs.NewRegistry(), mu: &sync.RWMutex{}, cache: newCacheFor(cfg),
-	}
+	return newEngine(st, catalog.New(st), cfg)
 }
 
 // OpenWithMode creates an engine pinned to a specific optimizer mode.
@@ -250,7 +261,7 @@ func (e *Engine) WithConfig(cfg Config) *Engine {
 	cfg = resolveConfig(cfg)
 	return &Engine{
 		store: e.store, cat: e.cat, cfg: cfg,
-		reg: e.reg, mu: e.mu, cache: newCacheFor(cfg), wal: e.wal,
+		reg: e.reg, gate: e.gate, cache: newCacheFor(cfg), wal: e.wal,
 	}
 }
 
@@ -327,56 +338,112 @@ func (r *Result) String() string {
 // Per-query IO rides on Result.IO and Rows.IO.
 func (e *Engine) IOStats() IOStats { return e.store.Stats() }
 
+// maintenanceWait bounds how long cache-maintenance operations wait for
+// in-flight queries to go idle before proceeding anyway. A snapshot reader
+// is correct either way — dropping pool pages under it only changes its IO
+// accounting — so a long-lived cursor must never wedge maintenance.
+const maintenanceWait = 100 * time.Millisecond
+
 // ResetIOStats zeroes the counters; DropCaches additionally empties the
-// buffer pool so the next query runs cold. Both block until in-flight
-// queries finish (they take the engine's exclusive lock), so they never
-// perturb a running query's measurements.
+// buffer pool so the next query runs cold. Both prefer a quiet moment —
+// they briefly wait for in-flight queries to go idle so they never perturb
+// a running query's measurements — but the wait is bounded: with a
+// long-lived cursor open they proceed anyway (its results stay correct;
+// only its hit/miss accounting shifts).
 func (e *Engine) ResetIOStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.store.ForceResetStats()
+	e.store.ResetStatsBounded(maintenanceWait)
 }
 
-// DropCaches empties the buffer pool. It blocks until in-flight queries
-// finish.
+// DropCaches empties the buffer pool. Like ResetIOStats, it waits — at
+// most briefly — for in-flight queries, then proceeds regardless.
 func (e *Engine) DropCaches() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.store.ForceDropCaches()
+	e.store.DropCachesBounded(maintenanceWait)
 }
 
-// Tables lists the base tables.
+// Tables lists the base tables in the current published snapshot.
 func (e *Engine) Tables() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.cat.TableNames()
+	return e.cat.Snapshot().TableNames()
 }
 
-// Views lists the named views.
+// Views lists the named views in the current published snapshot.
 func (e *Engine) Views() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.cat.ViewNames()
+	return e.cat.Snapshot().ViewNames()
+}
+
+// beginWrite admits this goroutine as the single writer: it acquires the
+// writer gate, checks engine liveness, and opens a copy-on-write batch on
+// the catalog. On a durable engine it installs a txn.Recorder capturing the
+// batch's log records (nil on in-memory engines). Every successful
+// beginWrite must be paired with exactly one endWrite or abortWrite.
+func (e *Engine) beginWrite(ctx context.Context) (*txn.Recorder, error) {
+	if err := e.gate.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	if err := e.walAlive(); err != nil {
+		e.gate.Release()
+		return nil, err
+	}
+	e.cat.BeginWrite()
+	var rec *txn.Recorder
+	if e.wal != nil {
+		rec = txn.NewRecorder(e.cat.Version)
+		e.cat.SetLogger(rec)
+	}
+	return rec, nil
+}
+
+// endWrite completes a write batch: on success it makes the batch durable
+// (append + fsync of the recorded group, framed for atomicity when it has
+// more than one record) and then publishes the working snapshot — the
+// publish is the commit point visible to readers, and it happens only
+// after durability. On failure (opErr != nil, or the commit itself fails)
+// the working snapshot is discarded wholesale and the published state is
+// untouched. Always releases the gate.
+func (e *Engine) endWrite(rec *txn.Recorder, opErr error) error {
+	defer e.gate.Release()
+	if e.wal != nil {
+		e.cat.SetLogger(nil)
+	}
+	if opErr != nil {
+		e.cat.Discard()
+		return opErr
+	}
+	if rec != nil {
+		if err := e.wal.commitGroup(rec.Records(), e.cat.EncodeSnapshot); err != nil {
+			e.cat.Discard()
+			return err
+		}
+	}
+	e.cat.Publish()
+	return nil
+}
+
+// abortWrite discards a write batch unconditionally and releases the gate
+// (the Rollback path; also the cleanup path when a batch must not commit).
+func (e *Engine) abortWrite(rec *txn.Recorder) {
+	if e.wal != nil {
+		e.cat.SetLogger(nil)
+	}
+	e.cat.Discard()
+	e.gate.Release()
 }
 
 // LoadEmpDept populates the paper's emp/dept schema.
 func (e *Engine) LoadEmpDept(spec EmpDeptSpec) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.walAlive(); err != nil {
+	rec, err := e.beginWrite(context.Background())
+	if err != nil {
 		return err
 	}
-	return e.walCommit(datagen.LoadEmpDept(e.cat, spec))
+	return e.endWrite(rec, datagen.LoadEmpDept(e.cat, spec))
 }
 
 // LoadTPCD populates the TPC-D-like star schema.
 func (e *Engine) LoadTPCD(spec TPCDSpec) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.walAlive(); err != nil {
+	rec, err := e.beginWrite(context.Background())
+	if err != nil {
 		return err
 	}
-	return e.walCommit(datagen.LoadTPCD(e.cat, spec))
+	return e.endWrite(rec, datagen.LoadTPCD(e.cat, spec))
 }
 
 // Exec parses and executes one statement. DDL and INSERT return an empty
@@ -491,23 +558,24 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, src string) (
 		return res, nil
 
 	default:
-		return e.execWrite(stmt)
+		return e.execWrite(ctx, stmt)
 	}
 }
 
-// execWrite executes a statement that mutates shared engine state (DDL,
-// INSERT, ANALYZE) under the exclusive engine lock: it waits for in-flight
-// queries to finish and blocks new ones while it runs. On a durable engine
-// the mutation is committed — logged and fsynced — before the lock is
-// released, so it is durable before any reader can observe it.
-func (e *Engine) execWrite(stmt sql.Statement) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.walAlive(); err != nil {
+// execWrite executes an auto-commit statement that mutates shared engine
+// state (DDL, INSERT, ANALYZE): it admits itself as the single writer,
+// applies the statement to a private copy-on-write batch, and commits —
+// on a durable engine the mutation is logged and fsynced before the batch
+// publishes, so it is durable before any reader can observe it. On error
+// the whole statement rolls back (statement-level atomicity): readers and
+// the on-disk log see either all of its effects or none.
+func (e *Engine) execWrite(ctx context.Context, stmt sql.Statement) (*Result, error) {
+	rec, err := e.beginWrite(ctx)
+	if err != nil {
 		return nil, err
 	}
 	res, err := e.execWriteLocked(stmt)
-	if err = e.walCommit(err); err != nil {
+	if err = e.endWrite(rec, err); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -702,18 +770,18 @@ func (e *Engine) Explain(src string, mode OptimizerMode) (*PlanInfo, error) {
 }
 
 // ExplainSelect is Explain over an already-parsed statement. The returned
-// PlanInfo carries the optimizer's search trace.
+// PlanInfo carries the optimizer's search trace. It plans against the
+// published catalog snapshot current at the call.
 func (e *Engine) ExplainSelect(sel *sql.Select, mode OptimizerMode) (*PlanInfo, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	bound, err := binder.BindSelect(e.cat, sel)
+	snap := e.cat.Snapshot()
+	bound, err := binder.BindSelect(snap, sel)
 	if err != nil {
 		return nil, err
 	}
 	opts := e.options()
 	opts.Mode = mode
 	opts.Trace = core.NewSearchTrace()
-	opts.ViewPlans = e.viewPlans(bound.Query)
+	opts.ViewPlans = e.viewPlans(snap, bound.Query)
 	plan, err := core.Optimize(bound.Query, opts)
 	if err != nil {
 		return nil, err
@@ -755,9 +823,8 @@ func (e *Engine) QueryMode(ctx context.Context, src string, mode OptimizerMode) 
 	return e.Query(ctx, src, WithMode(mode), WithColdCache())
 }
 
-// WriteCSV streams a base table as CSV (see cmd/datagen).
+// WriteCSV streams a base table as CSV (see cmd/datagen). It reads the
+// published snapshot current at the call.
 func (e *Engine) WriteCSV(table string, w io.Writer) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return datagen.WriteCSV(e.cat, table, w)
+	return datagen.WriteCSV(e.cat.Snapshot(), table, w)
 }

@@ -55,7 +55,7 @@ type Bound struct {
 const maxViewDepth = 16
 
 // BindSelect flattens, resolves and canonicalizes a SELECT statement.
-func BindSelect(cat *catalog.Catalog, sel *sql.Select) (*Bound, error) {
+func BindSelect(cat catalog.Reader, sel *sql.Select) (*Bound, error) {
 	nparams := sql.CountParams(sel)
 	flat, err := flatten.Rewrite(sel)
 	if err != nil {
@@ -72,7 +72,7 @@ func BindSelect(cat *catalog.Catalog, sel *sql.Select) (*Bound, error) {
 }
 
 type binder struct {
-	cat     *catalog.Catalog
+	cat     catalog.Reader
 	counter int
 	// merged substitutes alias.col references of merged SPJ derived
 	// tables by their defining expressions over the parent's relations.

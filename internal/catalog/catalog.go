@@ -1,6 +1,24 @@
 // Package catalog manages table, view and index metadata plus the optimizer
 // statistics the cost model consumes.
 //
+// The catalog is immutably versioned. All metadata and heap state lives in
+// a Snapshot — an immutable value readers pin with Catalog.Snapshot() and
+// use lock-free for as long as they like. Writers open a private working
+// snapshot with BeginWrite, mutate copy-on-write clones of the tables they
+// touch, and either Publish (atomically install the working snapshot as
+// the new head) or Discard (drop it without a trace). Only table objects
+// actually written are cloned; untouched tables, views and matviews are
+// structure-shared between consecutive snapshots, so a publish costs a few
+// map clones plus one File clone per dirty table, not a copy of the data.
+//
+// Concurrency contract: any number of goroutines may call Snapshot() and
+// read through the returned snapshots concurrently with one writer. The
+// mutation API (BeginWrite/Publish/Discard and every Create*/Drop*/Insert/
+// Analyze) must be externally serialized — the engine's writer gate does
+// this. Mutation methods called outside an open write batch wrap
+// themselves in one (begin, mutate, publish-or-discard), so standalone
+// catalog users keep the old one-call-per-operation behavior.
+//
 // Views are stored as SQL text and expanded by the binder; keeping the
 // catalog free of parsed representations avoids a dependency cycle with the
 // SQL front end.
@@ -8,6 +26,7 @@ package catalog
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -31,6 +50,8 @@ type TableStats struct {
 }
 
 // Table is a base relation: schema, constraints, heap file and statistics.
+// A Table reachable from a published Snapshot is immutable; writers mutate
+// private clones that Publish swaps in wholesale.
 type Table struct {
 	Name        string
 	Schema      schema.Schema // column IDs carry Rel = table name
@@ -39,6 +60,22 @@ type Table struct {
 	File        *storage.File
 	Stats       TableStats
 	Indexes     map[string]*HashIndex // keyed by index name
+}
+
+// clone returns a writable copy sharing all immutable structure. The heap
+// file is cloned copy-on-write (flushed pages shared, unflushed tail
+// copied); index objects are copied so Analyze can swap their buckets
+// without the shared originals noticing; Stats is replaced wholesale by
+// Analyze, so sharing the Cols map until then is safe.
+func (t *Table) clone(store *storage.Store) *Table {
+	nt := *t
+	nt.File = store.CloneFile(t.File)
+	nt.Indexes = make(map[string]*HashIndex, len(t.Indexes))
+	for n, ix := range t.Indexes {
+		nix := *ix
+		nt.Indexes[n] = &nix
+	}
+	return &nt
 }
 
 // View is a named query with an optional explicit column list, stored as
@@ -90,16 +127,16 @@ func (ix *HashIndex) Entries() int {
 }
 
 // Logger observes top-level catalog mutations, one call per logical
-// operation the user performed. The durable engine installs a write-ahead
-// logging implementation; a nil logger (the default) makes every hook a
-// no-op. Nested mutations — CreateIndex invoking Analyze internally — are
-// not reported: replaying the outer operation reproduces the nested
+// operation the user performed. The durable engine installs a recording
+// implementation per write batch; a nil logger (the default) makes every
+// hook a no-op. Nested mutations — CreateIndex invoking Analyze internally
+// — are not reported: replaying the outer operation reproduces the nested
 // effects, so logging both would double-apply them.
 //
 // A hook fires after the in-memory mutation succeeded. If the hook returns
 // an error the catalog state is ahead of the log; the caller must treat
-// the catalog as failed (the durable engine marks itself dead and refuses
-// further work until reopened from disk).
+// the catalog as failed. Logger and opDepth are manipulated only by the
+// single admitted writer, which serializes all mutations.
 type Logger interface {
 	CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) error
 	CreateView(name string, cols []string, sql string) error
@@ -111,28 +148,268 @@ type Logger interface {
 	Analyze(table string) error
 }
 
-// Catalog is the metadata root.
-type Catalog struct {
+// Reader is the read-only catalog surface the binder, optimizer and
+// matview rewriter consume. Both *Snapshot (a pinned version) and *Catalog
+// (whatever version is current — working batch if one is open, else head)
+// implement it, so read-side code is agnostic about which it was handed.
+type Reader interface {
+	Table(name string) (*Table, bool)
+	View(name string) (*View, bool)
+	MatView(name string) (*MatView, bool)
+	TableNames() []string
+	ViewNames() []string
+	MatViewNames() []string
+	MatViewsOn(table string) []*MatView
+	Store() *storage.Store
+	Version() int64
+}
+
+// Snapshot is one immutable catalog version. Everything reachable from a
+// published snapshot — the maps, the Table objects, their heap files'
+// flushed pages — is frozen; readers use it without locks for arbitrarily
+// long, concurrently with writers publishing newer versions.
+type Snapshot struct {
+	version  int64
 	store    *storage.Store
 	tables   map[string]*Table
 	views    map[string]*View
 	matviews map[string]*MatView
-	// version counts schema-or-data-affecting mutations: DDL, inserts and
-	// statistics refreshes each bump it. Cached plans record the version
-	// they were compiled under; a mismatch at lookup time invalidates them.
-	version atomic.Int64
+}
+
+// Version returns the monotonic schema/stats version this snapshot
+// represents. It starts at zero and increases on every CreateTable/
+// CreateView/CreateIndex/DropTable/Insert/Analyze.
+func (s *Snapshot) Version() int64 { return s.version }
+
+// Store returns the backing store.
+func (s *Snapshot) Store() *storage.Store { return s.store }
+
+// Table resolves a base table by name.
+func (s *Snapshot) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// View resolves a view by name.
+func (s *Snapshot) View(name string) (*View, bool) {
+	v, ok := s.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// MatView resolves a materialized view by name.
+func (s *Snapshot) MatView(name string) (*MatView, bool) {
+	mv, ok := s.matviews[strings.ToLower(name)]
+	return mv, ok
+}
+
+// TableNames returns all base table names, sorted.
+func (s *Snapshot) TableNames() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns all view names, sorted.
+func (s *Snapshot) ViewNames() []string {
+	out := make([]string, 0, len(s.views))
+	for n := range s.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatViewNames returns all materialized view names, sorted.
+func (s *Snapshot) MatViewNames() []string {
+	out := make([]string, 0, len(s.matviews))
+	for n := range s.matviews {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatViewsOn returns the materialized views whose definition reads the
+// named base table, sorted by view name. INSERT maintenance iterates this.
+func (s *Snapshot) MatViewsOn(table string) []*MatView {
+	lname := strings.ToLower(table)
+	var out []*MatView
+	for _, n := range s.MatViewNames() {
+		mv := s.matviews[n]
+		for _, b := range mv.BaseTables {
+			if b == lname {
+				out = append(out, mv)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Catalog is the metadata root: it owns the published head snapshot and
+// the machinery for building the next one.
+type Catalog struct {
+	store *storage.Store
+	// head is the latest published snapshot; Snapshot() loads it lock-free.
+	head atomic.Pointer[Snapshot]
+
+	// Write-batch state, non-nil only between BeginWrite and
+	// Publish/Discard. Touched only by the single admitted writer.
+	work    *Snapshot          // the version under construction
+	dirty   map[string]*Table  // tables cloned (or created) this batch
+	created []*storage.File    // heap files created this batch
+	drops   []*storage.File    // heap files to drop at Publish
 
 	// logger, when set, receives top-level mutations; opDepth suppresses
-	// hooks for nested calls. Both are manipulated only under the engine's
-	// write lock, which serializes all mutations.
+	// hooks for nested calls.
 	logger  Logger
 	opDepth int
 }
 
+// New creates an empty catalog over the given store and publishes its
+// empty version-zero snapshot.
+func New(store *storage.Store) *Catalog {
+	c := &Catalog{store: store}
+	c.head.Store(&Snapshot{
+		store:    store,
+		tables:   map[string]*Table{},
+		views:    map[string]*View{},
+		matviews: map[string]*MatView{},
+	})
+	return c
+}
+
+// Store returns the backing store.
+func (c *Catalog) Store() *storage.Store { return c.store }
+
 // SetLogger installs (or, with nil, removes) the mutation logger. The
-// durable engine sets it after recovery replay, so replayed operations are
-// not re-logged.
+// durable engine installs a fresh recorder per write batch, so recovery
+// replay and discarded batches are never re-logged.
 func (c *Catalog) SetLogger(l Logger) { c.logger = l }
+
+// Snapshot returns the latest published snapshot. Safe to call from any
+// goroutine; the result never changes under the caller.
+func (c *Catalog) Snapshot() *Snapshot { return c.head.Load() }
+
+// WorkingSnapshot returns the open write batch's private snapshot, or the
+// published head when no batch is open. A transaction's own statements
+// read through this so they see their uncommitted writes.
+func (c *Catalog) WorkingSnapshot() *Snapshot { return c.view() }
+
+// Writing reports whether a write batch is open.
+func (c *Catalog) Writing() bool { return c.work != nil }
+
+// view is the catalog's own resolution snapshot: the working version
+// inside a batch, the head otherwise. Must only be used by the writer
+// goroutine or when the catalog is quiescent; concurrent readers pin
+// Snapshot() instead.
+func (c *Catalog) view() *Snapshot {
+	if c.work != nil {
+		return c.work
+	}
+	return c.head.Load()
+}
+
+// BeginWrite opens a write batch: a private snapshot seeded from head that
+// subsequent mutations build on. Panics if a batch is already open — the
+// caller (the engine's writer gate) must serialize writers.
+func (c *Catalog) BeginWrite() {
+	if c.work != nil {
+		panic("catalog: BeginWrite inside an open write batch")
+	}
+	h := c.head.Load()
+	c.work = &Snapshot{
+		version:  h.version,
+		store:    c.store,
+		tables:   maps.Clone(h.tables),
+		views:    maps.Clone(h.views),
+		matviews: maps.Clone(h.matviews),
+	}
+	c.dirty = map[string]*Table{}
+}
+
+// Publish atomically installs the working snapshot as the new head and
+// returns it. Cloned heap files are adopted into the store (replacing
+// their originals under the same id, so buffer-pool residency carries
+// over) and files belonging to dropped tables are released. Existing
+// pinned snapshots are unaffected: they keep reading the superseded File
+// objects, whose flushed pages are immutable.
+func (c *Catalog) Publish() *Snapshot {
+	if c.work == nil {
+		panic("catalog: Publish without BeginWrite")
+	}
+	for name, t := range c.dirty {
+		if c.work.tables[name] == t {
+			c.store.AdoptFile(t.File)
+		}
+	}
+	for _, f := range c.drops {
+		c.store.DropFile(f)
+	}
+	w := c.work
+	c.work, c.dirty, c.created, c.drops = nil, nil, nil, nil
+	c.head.Store(w)
+	return w
+}
+
+// Discard abandons the working snapshot. Files created this batch are
+// dropped; buffer-pool pages the batch's own reads may have cached for
+// cloned files are evicted, since a later batch could flush different
+// pages at the same (file, page) coordinates.
+func (c *Catalog) Discard() {
+	if c.work == nil {
+		panic("catalog: Discard without BeginWrite")
+	}
+	for _, t := range c.dirty {
+		c.store.EvictFilePages(t.File.ID())
+	}
+	for _, f := range c.created {
+		c.store.DropFile(f)
+	}
+	c.work, c.dirty, c.created, c.drops = nil, nil, nil, nil
+}
+
+// beginAuto opens a batch if none is open, reporting whether it did. Every
+// public mutation is bracketed by beginAuto/endAuto so standalone catalog
+// users (no engine, no gate) keep one-operation-one-version semantics.
+func (c *Catalog) beginAuto() bool {
+	if c.work != nil {
+		return false
+	}
+	c.BeginWrite()
+	return true
+}
+
+func (c *Catalog) endAuto(own bool, err error) {
+	if !own {
+		return
+	}
+	if err != nil {
+		c.Discard()
+		return
+	}
+	c.Publish()
+}
+
+// writable resolves the batch-private clone of the named table, cloning it
+// on first touch. Returns nil if the table does not exist in the working
+// snapshot.
+func (c *Catalog) writable(name string) *Table {
+	t, ok := c.work.tables[name]
+	if !ok {
+		return nil
+	}
+	if d, ok := c.dirty[name]; ok && d == t {
+		return t
+	}
+	nt := t.clone(c.store)
+	c.dirty[name] = nt
+	c.work.tables[name] = nt
+	return nt
+}
 
 // enter/exit bracket a public mutation; hooks fire only at depth 1.
 func (c *Catalog) enter() { c.opDepth++ }
@@ -149,38 +426,42 @@ func (c *Catalog) topLevel() Logger {
 // a reopened engine continues the crashed engine's persisted version
 // sequence exactly (replay's own bumps can undercount when some mutations
 // were batched into one record).
-func (c *Catalog) RestoreVersion(v int64) { c.version.Store(v) }
-
-// Version returns the catalog's monotonic schema/stats version. It starts
-// at zero and increases on every CreateTable/CreateView/CreateIndex/
-// DropTable/Insert/Analyze.
-func (c *Catalog) Version() int64 { return c.version.Load() }
-
-// bump advances the version after a mutation.
-func (c *Catalog) bump() { c.version.Add(1) }
-
-// New creates an empty catalog over the given store.
-func New(store *storage.Store) *Catalog {
-	return &Catalog{store: store, tables: map[string]*Table{}, views: map[string]*View{}, matviews: map[string]*MatView{}}
+func (c *Catalog) RestoreVersion(v int64) {
+	if c.work != nil {
+		c.work.version = v
+		return
+	}
+	h := c.head.Load()
+	n := *h
+	n.version = v
+	c.head.Store(&n)
 }
 
-// Store returns the backing store.
-func (c *Catalog) Store() *storage.Store { return c.store }
+// Version returns the current schema/stats version: the working batch's
+// when one is open, the head's otherwise. Writer-side use only; readers
+// take Snapshot().Version() so the version and the state it describes are
+// one consistent pin.
+func (c *Catalog) Version() int64 { return c.view().version }
+
+// bump advances the working version after a mutation.
+func (c *Catalog) bump() { c.work.version++ }
 
 // CreateTable registers a new base table. Column IDs in cols must either
 // carry Rel equal to the table name or be unqualified (they are qualified
 // automatically).
-func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) (*Table, error) {
+func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []string, fks []schema.ForeignKey) (_ *Table, err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
 	lname := strings.ToLower(name)
-	if _, ok := c.tables[lname]; ok {
+	if _, ok := c.work.tables[lname]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
 	}
-	if _, ok := c.views[lname]; ok {
+	if _, ok := c.work.views[lname]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
 	}
-	if _, ok := c.matviews[lname]; ok {
+	if _, ok := c.work.matviews[lname]; ok {
 		return nil, fmt.Errorf("materialized view %q already exists", name)
 	}
 	if len(cols) == 0 {
@@ -218,7 +499,9 @@ func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []st
 		Stats:       TableStats{Cols: map[string]ColStats{}},
 		Indexes:     map[string]*HashIndex{},
 	}
-	c.tables[lname] = t
+	c.created = append(c.created, t.File)
+	c.dirty[lname] = t // brand new: already private, no clone needed
+	c.work.tables[lname] = t
 	c.bump()
 	if l := c.topLevel(); l != nil {
 		if err := l.CreateTable(t.Name, t.Schema, t.PrimaryKey, t.ForeignKeys); err != nil {
@@ -229,17 +512,19 @@ func (c *Catalog) CreateTable(name string, cols []schema.Column, primaryKey []st
 }
 
 // CreateView registers a named view.
-func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, error) {
+func (c *Catalog) CreateView(name string, cols []string, sql string) (_ *View, err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
 	lname := strings.ToLower(name)
-	if _, ok := c.tables[lname]; ok {
+	if _, ok := c.work.tables[lname]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
 	}
-	if _, ok := c.views[lname]; ok {
+	if _, ok := c.work.views[lname]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
 	}
-	if _, ok := c.matviews[lname]; ok {
+	if _, ok := c.work.matviews[lname]; ok {
 		return nil, fmt.Errorf("materialized view %q already exists", name)
 	}
 	lcols := make([]string, len(cols))
@@ -247,7 +532,7 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 		lcols[i] = strings.ToLower(col)
 	}
 	v := &View{Name: lname, Cols: lcols, SQL: sql}
-	c.views[lname] = v
+	c.work.views[lname] = v
 	c.bump()
 	if l := c.topLevel(); l != nil {
 		if err := l.CreateView(v.Name, v.Cols, v.SQL); err != nil {
@@ -260,21 +545,23 @@ func (c *Catalog) CreateView(name string, cols []string, sql string) (*View, err
 // CreateMatView registers a materialized view. The backing table must
 // already exist (the engine creates and populates it first, so recovery
 // replay re-creates the rows before the view object references them).
-func (c *Catalog) CreateMatView(name, sql, backing string, baseTables []string) (*MatView, error) {
+func (c *Catalog) CreateMatView(name, sql, backing string, baseTables []string) (_ *MatView, err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
 	lname := strings.ToLower(name)
-	if _, ok := c.tables[lname]; ok {
+	if _, ok := c.work.tables[lname]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
 	}
-	if _, ok := c.views[lname]; ok {
+	if _, ok := c.work.views[lname]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
 	}
-	if _, ok := c.matviews[lname]; ok {
+	if _, ok := c.work.matviews[lname]; ok {
 		return nil, fmt.Errorf("materialized view %q already exists", name)
 	}
 	lbacking := strings.ToLower(backing)
-	if _, ok := c.tables[lbacking]; !ok {
+	if _, ok := c.work.tables[lbacking]; !ok {
 		return nil, fmt.Errorf("materialized view %q: backing table %q does not exist", name, backing)
 	}
 	base := make([]string, len(baseTables))
@@ -283,7 +570,7 @@ func (c *Catalog) CreateMatView(name, sql, backing string, baseTables []string) 
 	}
 	sort.Strings(base)
 	mv := &MatView{Name: lname, SQL: sql, Backing: lbacking, BaseTables: base}
-	c.matviews[lname] = mv
+	c.work.matviews[lname] = mv
 	c.bump()
 	if l := c.topLevel(); l != nil {
 		if err := l.CreateMatView(mv.Name, mv.SQL, mv.Backing, mv.BaseTables); err != nil {
@@ -293,20 +580,25 @@ func (c *Catalog) CreateMatView(name, sql, backing string, baseTables []string) 
 	return mv, nil
 }
 
-// DropMatView removes a materialized view and its backing table.
-func (c *Catalog) DropMatView(name string) error {
+// DropMatView removes a materialized view and its backing table. The
+// backing heap file is released when the batch publishes; a discarded
+// batch leaves it untouched.
+func (c *Catalog) DropMatView(name string) (err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
 	lname := strings.ToLower(name)
-	mv, ok := c.matviews[lname]
+	mv, ok := c.work.matviews[lname]
 	if !ok {
 		return fmt.Errorf("materialized view %q does not exist", name)
 	}
-	if t, ok := c.tables[mv.Backing]; ok {
-		c.store.DropFile(t.File)
-		delete(c.tables, mv.Backing)
+	if t, ok := c.work.tables[mv.Backing]; ok {
+		c.drops = append(c.drops, t.File)
+		delete(c.work.tables, mv.Backing)
+		delete(c.dirty, mv.Backing)
 	}
-	delete(c.matviews, lname)
+	delete(c.work.matviews, lname)
 	c.bump()
 	if l := c.topLevel(); l != nil {
 		if err := l.DropMatView(lname); err != nil {
@@ -316,16 +608,19 @@ func (c *Catalog) DropMatView(name string) error {
 	return nil
 }
 
-// DropTable removes a table and its heap file.
-func (c *Catalog) DropTable(name string) error {
+// DropTable removes a table. Its heap file is released when the batch
+// publishes; a discarded batch leaves it untouched.
+func (c *Catalog) DropTable(name string) (err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
 	lname := strings.ToLower(name)
-	t, ok := c.tables[lname]
+	t, ok := c.work.tables[lname]
 	if !ok {
 		return fmt.Errorf("table %q does not exist", name)
 	}
-	for _, mv := range c.matviews {
+	for _, mv := range c.work.matviews {
 		if mv.Backing == lname {
 			return fmt.Errorf("table %q backs materialized view %q; drop the view instead", name, mv.Name)
 		}
@@ -335,8 +630,9 @@ func (c *Catalog) DropTable(name string) error {
 			}
 		}
 	}
-	c.store.DropFile(t.File)
-	delete(c.tables, lname)
+	c.drops = append(c.drops, t.File)
+	delete(c.work.tables, lname)
+	delete(c.dirty, lname)
 	c.bump()
 	if l := c.topLevel(); l != nil {
 		if err := l.DropTable(lname); err != nil {
@@ -346,77 +642,43 @@ func (c *Catalog) DropTable(name string) error {
 	return nil
 }
 
-// Table resolves a base table by name.
-func (c *Catalog) Table(name string) (*Table, bool) {
-	t, ok := c.tables[strings.ToLower(name)]
-	return t, ok
-}
+// Table resolves a base table by name: in the working snapshot inside a
+// write batch, in the published head otherwise.
+func (c *Catalog) Table(name string) (*Table, bool) { return c.view().Table(name) }
 
 // View resolves a view by name.
-func (c *Catalog) View(name string) (*View, bool) {
-	v, ok := c.views[strings.ToLower(name)]
-	return v, ok
-}
+func (c *Catalog) View(name string) (*View, bool) { return c.view().View(name) }
 
 // MatView resolves a materialized view by name.
-func (c *Catalog) MatView(name string) (*MatView, bool) {
-	mv, ok := c.matviews[strings.ToLower(name)]
-	return mv, ok
-}
+func (c *Catalog) MatView(name string) (*MatView, bool) { return c.view().MatView(name) }
 
 // MatViewNames returns all materialized view names, sorted.
-func (c *Catalog) MatViewNames() []string {
-	out := make([]string, 0, len(c.matviews))
-	for n := range c.matviews {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Catalog) MatViewNames() []string { return c.view().MatViewNames() }
 
 // MatViewsOn returns the materialized views whose definition reads the
-// named base table, sorted by view name. INSERT maintenance iterates this.
-func (c *Catalog) MatViewsOn(table string) []*MatView {
-	lname := strings.ToLower(table)
-	var out []*MatView
-	for _, n := range c.MatViewNames() {
-		mv := c.matviews[n]
-		for _, b := range mv.BaseTables {
-			if b == lname {
-				out = append(out, mv)
-				break
-			}
-		}
-	}
-	return out
-}
+// named base table, sorted by view name.
+func (c *Catalog) MatViewsOn(table string) []*MatView { return c.view().MatViewsOn(table) }
 
 // TableNames returns all base table names, sorted.
-func (c *Catalog) TableNames() []string {
-	out := make([]string, 0, len(c.tables))
-	for n := range c.tables {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Catalog) TableNames() []string { return c.view().TableNames() }
 
 // ViewNames returns all view names, sorted.
-func (c *Catalog) ViewNames() []string {
-	out := make([]string, 0, len(c.views))
-	for n := range c.views {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Catalog) ViewNames() []string { return c.view().ViewNames() }
 
-// Insert appends a row to the table, checking arity and kinds.
-func (c *Catalog) Insert(t *Table, row types.Row) error {
+// Insert appends a row to the table, checking arity and kinds. The write
+// lands in the batch-private clone of the table; t itself (possibly a
+// shared snapshot object) is only read.
+func (c *Catalog) Insert(t *Table, row types.Row) (err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
-	if len(row) != len(t.Schema) {
-		return fmt.Errorf("table %q: expected %d values, got %d", t.Name, len(t.Schema), len(row))
+	w := c.writable(t.Name)
+	if w == nil {
+		return fmt.Errorf("table %q does not exist", t.Name)
+	}
+	if len(row) != len(w.Schema) {
+		return fmt.Errorf("table %q: expected %d values, got %d", w.Name, len(w.Schema), len(row))
 	}
 	for i, v := range row {
 		// NULL is storable in any column (the conference paper assumes
@@ -424,7 +686,7 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 		if v.IsNull() {
 			continue
 		}
-		want := t.Schema[i].Type
+		want := w.Schema[i].Type
 		if v.K == want {
 			continue
 		}
@@ -434,44 +696,63 @@ func (c *Catalog) Insert(t *Table, row types.Row) error {
 			continue
 		}
 		return fmt.Errorf("table %q column %q: cannot store %s into %s",
-			t.Name, t.Schema[i].ID.Name, v.K, want)
+			w.Name, w.Schema[i].ID.Name, v.K, want)
 	}
 	c.bump()
-	if err := c.store.Append(t.File, row); err != nil {
+	if err := c.store.Append(w.File, row); err != nil {
 		return err
 	}
 	// Logged after the coercion above: the logged row is byte-for-byte what
 	// the heap stores, so replay needs no re-coercion.
 	if l := c.topLevel(); l != nil {
-		if err := l.Insert(t.Name, row); err != nil {
+		if err := l.Insert(w.Name, row); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// FlushTable flushes the table's partial tail page.
-func (c *Catalog) FlushTable(t *Table) error { return c.store.Flush(t.File) }
-
-// Analyze scans the table and recomputes statistics and all indexes.
-func (c *Catalog) Analyze(t *Table) error {
+// FlushTable flushes the table's partial tail page (into the batch-private
+// clone; published snapshots never change).
+func (c *Catalog) FlushTable(t *Table) (err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
-	if err := c.store.Flush(t.File); err != nil {
+	w := c.writable(t.Name)
+	if w == nil {
+		return fmt.Errorf("table %q does not exist", t.Name)
+	}
+	return c.store.Flush(w.File)
+}
+
+// Analyze scans the table and recomputes statistics and all indexes.
+func (c *Catalog) Analyze(t *Table) (err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
+	c.enter()
+	defer c.exit()
+	w := c.writable(t.Name)
+	if w == nil {
+		return fmt.Errorf("table %q does not exist", t.Name)
+	}
+	if err := c.store.Flush(w.File); err != nil {
 		return err
 	}
 	stats := TableStats{Cols: map[string]ColStats{}}
-	distinct := make([]map[string]struct{}, len(t.Schema))
-	mins := make([]types.Value, len(t.Schema))
-	maxs := make([]types.Value, len(t.Schema))
+	distinct := make([]map[string]struct{}, len(w.Schema))
+	mins := make([]types.Value, len(w.Schema))
+	maxs := make([]types.Value, len(w.Schema))
 	for i := range distinct {
 		distinct[i] = map[string]struct{}{}
 	}
-	for _, ix := range t.Indexes {
+	for _, ix := range w.Indexes {
+		// Fresh maps, not in-place clears: the clone's index objects may
+		// still share bucket maps with the published originals.
 		ix.buckets = map[string][]int64{}
 	}
 
-	sc := c.store.NewScanner(t.File)
+	sc := c.store.NewScanner(w.File)
 	var buf []byte
 	for {
 		row, rid, ok, err := sc.Next()
@@ -498,13 +779,13 @@ func (c *Catalog) Analyze(t *Table) error {
 				maxs[i] = v
 			}
 		}
-		for _, ix := range t.Indexes {
+		for _, ix := range w.Indexes {
 			// A NULL index key can never satisfy an equality probe
 			// (NULL = x is UNKNOWN), so NULL-keyed rows are not indexed.
 			key := buf[:0]
 			nullKey := false
 			for _, cn := range ix.Cols {
-				pos := t.Schema.MustIndexOf(schema.ColID{Rel: t.Name, Name: cn})
+				pos := w.Schema.MustIndexOf(schema.ColID{Rel: w.Name, Name: cn})
 				if row[pos].IsNull() {
 					nullKey = true
 					break
@@ -517,18 +798,18 @@ func (c *Catalog) Analyze(t *Table) error {
 			ix.buckets[string(key)] = append(ix.buckets[string(key)], rid)
 		}
 	}
-	for i, col := range t.Schema {
+	for i, col := range w.Schema {
 		stats.Cols[col.ID.Name] = ColStats{
 			NDV: int64(len(distinct[i])),
 			Min: mins[i],
 			Max: maxs[i],
 		}
 	}
-	stats.Pages = t.File.Pages()
-	t.Stats = stats
+	stats.Pages = w.File.Pages()
+	w.Stats = stats
 	c.bump()
 	if l := c.topLevel(); l != nil {
-		if err := l.Analyze(t.Name); err != nil {
+		if err := l.Analyze(w.Name); err != nil {
 			return err
 		}
 	}
@@ -536,11 +817,13 @@ func (c *Catalog) Analyze(t *Table) error {
 }
 
 // CreateIndex registers a hash index over the named columns and builds it.
-func (c *Catalog) CreateIndex(name, table string, cols []string) (*HashIndex, error) {
+func (c *Catalog) CreateIndex(name, table string, cols []string) (_ *HashIndex, err error) {
+	own := c.beginAuto()
+	defer func() { c.endAuto(own, err) }()
 	c.enter()
 	defer c.exit()
-	t, ok := c.Table(table)
-	if !ok {
+	t := c.writable(strings.ToLower(table))
+	if t == nil {
 		return nil, fmt.Errorf("table %q does not exist", table)
 	}
 	lname := strings.ToLower(name)

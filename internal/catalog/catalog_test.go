@@ -24,7 +24,10 @@ func newTestCatalog(t *testing.T) (*Catalog, *Table) {
 	return c, tbl
 }
 
-func loadEmp(t *testing.T, c *Catalog, tbl *Table, n int) {
+// loadEmp inserts n rows and analyzes, returning the current emp table:
+// under copy-on-write snapshots, mutations publish fresh Table objects, so
+// pointers from before a mutation describe the older version.
+func loadEmp(t *testing.T, c *Catalog, tbl *Table, n int) *Table {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		err := c.Insert(tbl, types.Row{
@@ -39,6 +42,11 @@ func loadEmp(t *testing.T, c *Catalog, tbl *Table, n int) {
 	if err := c.Analyze(tbl); err != nil {
 		t.Fatal(err)
 	}
+	cur, ok := c.Table(tbl.Name)
+	if !ok {
+		t.Fatalf("table %q vanished", tbl.Name)
+	}
+	return cur
 }
 
 func TestCreateTableNormalizesNames(t *testing.T) {
@@ -93,7 +101,7 @@ func TestInsertValidation(t *testing.T) {
 
 func TestAnalyzeStats(t *testing.T) {
 	c, tbl := newTestCatalog(t)
-	loadEmp(t, c, tbl, 100)
+	tbl = loadEmp(t, c, tbl, 100)
 	if tbl.Stats.Rows != 100 {
 		t.Fatalf("Rows = %d", tbl.Stats.Rows)
 	}
@@ -119,11 +127,12 @@ func TestAnalyzeStats(t *testing.T) {
 
 func TestIndexBuildAndLookup(t *testing.T) {
 	c, tbl := newTestCatalog(t)
-	loadEmp(t, c, tbl, 100)
+	tbl = loadEmp(t, c, tbl, 100)
 	ix, err := c.CreateIndex("emp_dno", "emp", []string{"dno"})
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl, _ = c.Table("emp") // CreateIndex published a new table version
 	if ix.Entries() != 100 {
 		t.Fatalf("Entries = %d", ix.Entries())
 	}
@@ -147,10 +156,11 @@ func TestIndexBuildAndLookup(t *testing.T) {
 
 func TestIndexOnMatching(t *testing.T) {
 	c, tbl := newTestCatalog(t)
-	loadEmp(t, c, tbl, 10)
+	tbl = loadEmp(t, c, tbl, 10)
 	if _, err := c.CreateIndex("pk", "emp", []string{"eno"}); err != nil {
 		t.Fatal(err)
 	}
+	tbl, _ = c.Table("emp") // CreateIndex published a new table version
 	if _, ok := tbl.IndexOn([]string{"ENO"}); !ok {
 		t.Fatalf("IndexOn should match case-insensitively")
 	}
@@ -236,6 +246,7 @@ func TestAnalyzeEmptyTable(t *testing.T) {
 	if err := c.Analyze(tbl); err != nil {
 		t.Fatal(err)
 	}
+	tbl, _ = c.Table("emp") // Analyze published a new table version
 	if tbl.Stats.Rows != 0 {
 		t.Fatalf("Rows = %d", tbl.Stats.Rows)
 	}

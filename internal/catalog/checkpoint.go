@@ -34,16 +34,21 @@ import (
 
 const snapMagic = "AGVSNAP2"
 
-// EncodeSnapshot serializes the full catalog state. Iteration orders are
-// sorted so the same state always produces the same bytes.
-func (c *Catalog) EncodeSnapshot() []byte {
-	dst := []byte(snapMagic)
-	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Version()))
+// EncodeSnapshot serializes the current catalog state: the working batch's
+// snapshot when one is open (so a checkpoint taken at commit captures the
+// about-to-publish version), the published head otherwise.
+func (c *Catalog) EncodeSnapshot() []byte { return c.view().Encode() }
 
-	names := c.TableNames()
+// Encode serializes the full snapshot state. Iteration orders are sorted
+// so the same state always produces the same bytes.
+func (s *Snapshot) Encode() []byte {
+	dst := []byte(snapMagic)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.version))
+
+	names := s.TableNames()
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(names)))
 	for _, name := range names {
-		t := c.tables[name]
+		t := s.tables[name]
 		dst = snapPutString(dst, t.Name)
 
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Schema)))
@@ -60,7 +65,7 @@ func (c *Catalog) EncodeSnapshot() []byte {
 		}
 
 		// Exact physical layout: flushed pages, then the unflushed tail.
-		pages, tail := c.store.SnapshotFile(t.File)
+		pages, tail := s.store.SnapshotFile(t.File)
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pages)))
 		for _, page := range pages {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(page)))
@@ -116,19 +121,19 @@ func (c *Catalog) EncodeSnapshot() []byte {
 		}
 	}
 
-	vnames := c.ViewNames()
+	vnames := s.ViewNames()
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vnames)))
 	for _, name := range vnames {
-		v := c.views[name]
+		v := s.views[name]
 		dst = snapPutString(dst, v.Name)
 		dst = snapPutStrings(dst, v.Cols)
 		dst = snapPutString(dst, v.SQL)
 	}
 
-	mvnames := c.MatViewNames()
+	mvnames := s.MatViewNames()
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(mvnames)))
 	for _, name := range mvnames {
-		mv := c.matviews[name]
+		mv := s.matviews[name]
 		dst = snapPutString(dst, mv.Name)
 		dst = snapPutString(dst, mv.SQL)
 		dst = snapPutString(dst, mv.Backing)
@@ -146,7 +151,13 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: snapshot: bad magic")
 	}
 	version := int64(r.u64())
-	c := New(store)
+	snap := &Snapshot{
+		version:  version,
+		store:    store,
+		tables:   map[string]*Table{},
+		views:    map[string]*View{},
+		matviews: map[string]*MatView{},
+	}
 
 	nt := int(r.u32())
 	for i := 0; i < nt && r.err == nil; i++ {
@@ -225,7 +236,7 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 		}
 		t.File = store.CreateFile(name)
 		store.RestoreFile(t.File, pages, tail)
-		c.tables[name] = t
+		snap.tables[name] = t
 	}
 
 	nv := int(r.u32())
@@ -234,7 +245,7 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 		v.Name = r.str()
 		v.Cols = r.strs()
 		v.SQL = r.str()
-		c.views[v.Name] = v
+		snap.views[v.Name] = v
 	}
 
 	nmv := int(r.u32())
@@ -244,7 +255,7 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 		mv.SQL = r.str()
 		mv.Backing = r.str()
 		mv.BaseTables = r.strs()
-		c.matviews[mv.Name] = mv
+		snap.matviews[mv.Name] = mv
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("catalog: snapshot: %w", r.err)
@@ -252,7 +263,8 @@ func DecodeSnapshot(store *storage.Store, data []byte) (*Catalog, error) {
 	if len(r.b) != 0 {
 		return nil, fmt.Errorf("catalog: snapshot: %d trailing bytes", len(r.b))
 	}
-	c.RestoreVersion(version)
+	c := &Catalog{store: store}
+	c.head.Store(snap)
 	return c, nil
 }
 

@@ -70,6 +70,10 @@ func newEnv(t *testing.T, seed int64, nEmp, nDept int) *env {
 	if err := c.Analyze(dept); err != nil {
 		t.Fatal(err)
 	}
+	// Re-resolve: mutations publish fresh copy-on-write Table objects, so
+	// the handles returned by CreateTable describe the pre-insert version.
+	emp, _ = c.Table("emp")
+	dept, _ = c.Table("dept")
 	return &env{store: st, cat: c, emp: emp, dept: dept}
 }
 

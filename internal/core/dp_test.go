@@ -149,6 +149,7 @@ func TestOptimizerUsesIndexNL(t *testing.T) {
 	if _, err := e.cat.CreateIndex("emp_dno", "emp", []string{"dno"}); err != nil {
 		t.Fatal(err)
 	}
+	e.emp, _ = e.cat.Table("emp") // re-resolve: CreateIndex published a new version
 	// A very selective dept filter joined with big emp: under System-R
 	// joins (no hash) index NL beats sorting emp for a merge join.
 	top := &qblock.Block{

@@ -62,6 +62,10 @@ func newFixture(t *testing.T, nEmp, nDept int) *fixture {
 	if err := c.Analyze(dept); err != nil {
 		t.Fatal(err)
 	}
+	// Re-resolve: mutations publish fresh copy-on-write Table objects, so
+	// the handles returned by CreateTable describe the pre-insert version.
+	emp, _ = c.Table("emp")
+	dept, _ = c.Table("dept")
 	return &fixture{cat: c, emp: emp, dept: dept}
 }
 
@@ -176,6 +180,9 @@ func TestIndexNLRequiresIndex(t *testing.T) {
 	if _, err := f.cat.CreateIndex("dept_dno", "dept", []string{"dno"}); err != nil {
 		t.Fatal(err)
 	}
+	f.dept, _ = f.cat.Table("dept") // re-resolve: CreateIndex published a new version
+	j = &lplan.Join{L: f.scanEmp("e"), R: f.scanDept("d"),
+		Preds: []expr.Expr{pred}, Method: lplan.JoinIndexNL}
 	if _, _, ok := IndexNLAccess(j); !ok {
 		t.Fatalf("IndexNLAccess should find the new index")
 	}
@@ -196,6 +203,7 @@ func TestIndexNLSelectiveOuterBeatsHash(t *testing.T) {
 	if _, err := f.cat.CreateIndex("emp_dno", "emp", []string{"dno"}); err != nil {
 		t.Fatal(err)
 	}
+	f.emp, _ = f.cat.Table("emp") // re-resolve: CreateIndex published a new version
 	m := NewModel(16, 0)
 	pred := expr.NewCmp(expr.EQ, expr.Col("d", "dno"), expr.Col("e", "dno"))
 	selDept := f.scanDept("d")

@@ -63,12 +63,26 @@ func DefaultEmpDept() EmpDeptSpec {
 
 // LoadEmpDept creates and populates emp and dept per the spec, analyzing
 // both. emp(eno pk, dno fk, sal, age [, pad0..padN]); dept(dno pk, budget).
-func LoadEmpDept(cat *catalog.Catalog, spec EmpDeptSpec) error {
+//
+// The load runs as one catalog write batch (opened here unless the caller
+// already has one), so per-row inserts build a single private snapshot and
+// publish once at the end instead of once per row.
+func LoadEmpDept(cat *catalog.Catalog, spec EmpDeptSpec) (err error) {
 	if spec.PayloadLen <= 0 {
 		spec.PayloadLen = 24
 	}
 	if spec.Departments <= 0 || spec.Employees <= 0 {
 		return fmt.Errorf("datagen: need positive cardinalities, got %d/%d", spec.Employees, spec.Departments)
+	}
+	if own := !cat.Writing(); own {
+		cat.BeginWrite()
+		defer func() {
+			if err != nil {
+				cat.Discard()
+			} else {
+				cat.Publish()
+			}
+		}()
 	}
 	empCols := []schema.Column{
 		{ID: schema.ColID{Name: "eno"}, Type: types.KindInt},
@@ -160,10 +174,21 @@ type TPCDSpec struct {
 // DefaultTPCD returns a laptop-scale configuration.
 func DefaultTPCD() TPCDSpec { return TPCDSpec{Seed: 7, Lineitems: 60000} }
 
-// LoadTPCD creates part, supplier, customer, orders and lineitem.
-func LoadTPCD(cat *catalog.Catalog, spec TPCDSpec) error {
+// LoadTPCD creates part, supplier, customer, orders and lineitem. Like
+// LoadEmpDept, the whole load is one catalog write batch.
+func LoadTPCD(cat *catalog.Catalog, spec TPCDSpec) (err error) {
 	if spec.Lineitems <= 0 {
 		return fmt.Errorf("datagen: need positive lineitem count")
+	}
+	if own := !cat.Writing(); own {
+		cat.BeginWrite()
+		defer func() {
+			if err != nil {
+				cat.Discard()
+			} else {
+				cat.Publish()
+			}
+		}()
 	}
 	nOrders := max(spec.Lineitems/4, 1)
 	nCustomers := max(spec.Lineitems/40, 1)
@@ -290,8 +315,10 @@ func max(a, b int) int {
 	return b
 }
 
-// WriteCSV streams a table's rows as CSV with a header line.
-func WriteCSV(cat *catalog.Catalog, tableName string, w io.Writer) error {
+// WriteCSV streams a table's rows as CSV with a header line. Any catalog
+// reader works — typically a pinned snapshot, so the dump is consistent
+// even with a concurrent writer.
+func WriteCSV(cat catalog.Reader, tableName string, w io.Writer) error {
 	t, ok := cat.Table(tableName)
 	if !ok {
 		return fmt.Errorf("datagen: table %q not found", tableName)

@@ -74,6 +74,7 @@ func TestMultiColumnIndexNL(t *testing.T) {
 	if _, err := e.cat.CreateIndex("emp_dno_age", "emp", []string{"dno", "age"}); err != nil {
 		t.Fatal(err)
 	}
+	e.emp, _ = e.cat.Table("emp") // re-resolve: CreateIndex published a new version
 	// Build an auxiliary probe table with (dno, age) pairs.
 	probe, err := e.cat.CreateTable("probe", []schema.Column{
 		{ID: schema.ColID{Name: "pd"}, Type: types.KindInt},

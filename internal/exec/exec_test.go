@@ -65,6 +65,10 @@ func newEnv(t *testing.T, poolPages, nEmp, nDept int) *env {
 	if err := c.Analyze(dept); err != nil {
 		t.Fatal(err)
 	}
+	// Re-resolve: mutations publish fresh copy-on-write Table objects, so
+	// the handles returned by CreateTable describe the pre-insert version.
+	emp, _ = c.Table("emp")
+	dept, _ = c.Table("dept")
 	return &env{store: st, cat: c, emp: emp, dept: dept}
 }
 
@@ -232,6 +236,7 @@ func TestIndexNLJoin(t *testing.T) {
 	if _, err := e.cat.CreateIndex("emp_dno", "emp", []string{"dno"}); err != nil {
 		t.Fatal(err)
 	}
+	e.emp, _ = e.cat.Table("emp") // re-resolve: CreateIndex published a new version
 	sd := e.scanDept("d")
 	sd.Filter = []expr.Expr{expr.NewCmp(expr.LT, expr.Col("d", "dno"), expr.IntLit(3))}
 	j := &lplan.Join{
@@ -248,6 +253,7 @@ func TestIndexNLJoinWithInnerFilterAndResidual(t *testing.T) {
 	if _, err := e.cat.CreateIndex("emp_dno", "emp", []string{"dno"}); err != nil {
 		t.Fatal(err)
 	}
+	e.emp, _ = e.cat.Table("emp") // re-resolve: CreateIndex published a new version
 	se := e.scanEmp("e")
 	se.Filter = []expr.Expr{expr.NewCmp(expr.LT, expr.Col("e", "age"), expr.IntLit(40))}
 	j := &lplan.Join{

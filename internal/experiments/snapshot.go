@@ -66,6 +66,26 @@ type OuterJoinResult struct {
 	P99MS         float64 `json:"p99_ms"`
 }
 
+// MixedResult is one concurrency level of the mixed read/write benchmark:
+// N reader goroutines drive the warehouse query suite while one background
+// writer commits small INSERTs in a tight loop. Readers pin MVCC snapshots
+// and never queue behind the writer; each commit publishes a new catalog
+// version, so every post-commit query also pays a plan-cache invalidation.
+// Reader qps and tail latency against the read-only Throughput section
+// quantify what concurrent commits cost a reader — under the old exclusive
+// engine lock every commit stalled the whole read side, which showed up
+// directly in p95/p99.
+type MixedResult struct {
+	Concurrency   int     `json:"concurrency"` // readers; plus one writer
+	Queries       int64   `json:"queries"`
+	WriterCommits int64   `json:"writer_commits"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	QPS           float64 `json:"qps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
 // PreparedResult is one (variant, concurrency) cell of the
 // prepared-vs-adhoc benchmark. All variants run the same parameterized
 // warehouse workload; they differ only in how each execution obtains its
@@ -118,6 +138,7 @@ type Snapshot struct {
 	Quick       bool               `json:"quick"`
 	Results     []BenchResult      `json:"results"`
 	Throughput  []ThroughputResult `json:"throughput,omitempty"`
+	Mixed       []MixedResult      `json:"mixed,omitempty"`
 	Prepared    []PreparedResult   `json:"prepared,omitempty"`
 	Durability  []DurabilityResult `json:"durability,omitempty"`
 	Recovery    *RecoveryResult    `json:"recovery,omitempty"`
@@ -265,6 +286,20 @@ func NewSnapshot(quick bool, concurrency ...int) (*Snapshot, error) {
 		}
 		snap.Throughput = append(snap.Throughput, tr)
 	}
+	// Mixed read/write: the reader pool sizes the paper cares about (a few
+	// concurrent sessions, then oversubscription), each level sharing the
+	// engine with one continuously committing writer.
+	for _, n := range []int{4, 16} {
+		perWorker := totalQueries / (n * len(whQueries))
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		mr, err := measureMixed(wh, whQueries, n, perWorker)
+		if err != nil {
+			return nil, err
+		}
+		snap.Mixed = append(snap.Mixed, mr)
+	}
 	for _, n := range levels {
 		prs, err := measurePrepared(wh, n, iters)
 		if err != nil {
@@ -310,6 +345,87 @@ func latencyPercentiles(lat []time.Duration) (p50, p95, p99 float64) {
 		return float64(lat[i].Microseconds()) / 1000
 	}
 	return at(0.50), at(0.95), at(0.99)
+}
+
+// measureMixed runs the warehouse query suite on `readers` goroutines
+// while one writer goroutine commits scratch-table INSERTs as fast as the
+// single-writer gate admits them, for the whole reader window. The
+// scratch table keeps the suite's answers stable while still forcing a
+// snapshot publish (and plan-cache invalidation) per commit.
+func measureMixed(eng *aggview.Engine, queries []string, readers, iters int) (MixedResult, error) {
+	if _, err := eng.Exec(`create table mixed_scratch (k int, v int)`); err != nil {
+		return MixedResult{}, err
+	}
+	var (
+		wg      sync.WaitGroup
+		total   atomic.Int64
+		commits atomic.Int64
+		errCh   = make(chan error, readers+1)
+		stop    = make(chan struct{})
+		wdone   = make(chan struct{})
+	)
+	go func() {
+		defer close(wdone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := fmt.Sprintf(`insert into mixed_scratch values (%d, %d)`, i%97, i)
+			if _, err := eng.Exec(q); err != nil {
+				errCh <- err
+				return
+			}
+			commits.Add(1)
+		}
+	}()
+	lats := make([][]time.Duration, readers)
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, iters*len(queries))
+			for i := 0; i < iters; i++ {
+				for qi := range queries {
+					t0 := time.Now()
+					if _, err := eng.Query(context.Background(), queries[(qi+w)%len(queries)]); err != nil {
+						errCh <- err
+						return
+					}
+					lats[w] = append(lats[w], time.Since(t0))
+					total.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	<-wdone
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return MixedResult{}, err
+	}
+	if _, err := eng.Exec(`drop table mixed_scratch`); err != nil {
+		return MixedResult{}, err
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	p50, p95, p99 := latencyPercentiles(all)
+	return MixedResult{
+		Concurrency:   readers,
+		Queries:       total.Load(),
+		WriterCommits: commits.Load(),
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		QPS:           float64(total.Load()) / elapsed.Seconds(),
+		P50MS:         p50,
+		P95MS:         p95,
+		P99MS:         p99,
+	}, nil
 }
 
 // outerJoinWorkload is the snapshot's outer-join suite: padding-heavy

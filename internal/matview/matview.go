@@ -96,7 +96,7 @@ type Def struct {
 // convenience: a grand-total view would need to materialize one row even
 // for an empty base table (COUNT(*) = 0), and every backing group must
 // come from at least one base row for the coalescing rewrite to be exact.
-func Bind(cat *catalog.Catalog, name, sqlText string) (*Def, error) {
+func Bind(cat catalog.Reader, name, sqlText string) (*Def, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, fmt.Errorf("materialized view %q: %w", name, err)
@@ -206,7 +206,7 @@ func Bind(cat *catalog.Catalog, name, sqlText string) (*Def, error) {
 }
 
 // BindCatalog rebinds a catalog MatView entry into a Def.
-func BindCatalog(cat *catalog.Catalog, mv *catalog.MatView) (*Def, error) {
+func BindCatalog(cat catalog.Reader, mv *catalog.MatView) (*Def, error) {
 	return Bind(cat, mv.Name, mv.SQL)
 }
 

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aggview/internal/types"
 )
@@ -259,6 +260,46 @@ func (s *Store) DropCaches() error {
 // own shard's latch, never the whole pool.
 func (s *Store) ForceDropCaches() { s.pool.reset() }
 
+// DropCachesBounded empties the buffer pool after waiting up to wait for
+// open sessions to drain. Under MVCC snapshot reads a long-lived cursor can
+// legitimately hold a session open for an unbounded time, so the hard
+// ErrStoreBusy refusal of DropCaches would wedge cache maintenance forever;
+// instead this waits briefly — preserving undisturbed measurements in the
+// common quiescent case — and then sweeps anyway, which is always safe (the
+// pool tracks page identity only; an in-flight query sees a colder cache,
+// never corrupt data). Returns true when the store was idle at sweep time.
+func (s *Store) DropCachesBounded(wait time.Duration) bool {
+	idle := s.awaitIdle(wait)
+	s.pool.reset()
+	return idle
+}
+
+// ResetStatsBounded zeroes the global IO counters after waiting up to wait
+// for open sessions to drain, then resets regardless (see DropCachesBounded
+// for why the bounded wait replaces a hard refusal). Per-session counters
+// are unaffected either way; only the global sum restarts. Returns true
+// when the store was idle at reset time.
+func (s *Store) ResetStatsBounded(wait time.Duration) bool {
+	idle := s.awaitIdle(wait)
+	s.forceResetStats()
+	return idle
+}
+
+// awaitIdle polls until no sessions are open or the wait expires.
+func (s *Store) awaitIdle(wait time.Duration) bool {
+	if s.sessions.Load() == 0 {
+		return true
+	}
+	deadline := time.Now().Add(wait)
+	for s.sessions.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return true
+}
+
 // Session is one query's registered view of the store: page accesses
 // performed through it tick the session's IOHook (governance, attribution)
 // and its private IOStats, in addition to the store-global counters. Each
@@ -439,6 +480,55 @@ func (s *Store) DropFile(f *File) {
 	delete(s.files, f.id)
 	s.mu.Unlock()
 }
+
+// CloneFile returns a structure-shared copy-on-write clone of f for the
+// catalog's versioned write batches. The clone keeps the file's identity
+// (same id, so buffer-pool residency keyed by (file, page) carries over —
+// flushed pages of a published revision are immutable, so shared prefixes
+// stay byte-identical across revisions) and shares the flushed pages by
+// slice-header copy; only the unflushed write buffer is deep-copied, since
+// appends mutate it in place. The clone is NOT registered with the store:
+// the original stays the live file until the writer publishes the clone
+// with AdoptFile, or abandons it (see EvictFilePages for the pool hygiene a
+// discard needs).
+func (s *Store) CloneFile(f *File) *File {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	nf := &File{
+		id:       f.id,
+		name:     f.name,
+		temp:     f.temp,
+		pages:    append([]*page(nil), f.pages...),
+		starts:   append([]int64(nil), f.starts...),
+		rows:     f.rows,
+		bytes:    f.bytes,
+		curBytes: f.curBytes,
+	}
+	if f.cur != nil {
+		nf.cur = &page{rows: append([]types.Row(nil), f.cur.rows...)}
+	}
+	return nf
+}
+
+// AdoptFile installs f as the live file for its id, replacing the revision
+// registered there (if any). The catalog calls this when publishing a write
+// batch: the working clone becomes the current revision, while readers
+// holding the previous revision keep scanning their own File object — the
+// registry is only consulted by create/drop/census operations, never by the
+// page-access path.
+func (s *Store) AdoptFile(f *File) {
+	s.mu.Lock()
+	s.files[f.id] = f
+	s.mu.Unlock()
+}
+
+// EvictFilePages removes any buffer-pool residency for the file id. A
+// discarded write batch must call this for every cloned file it touched:
+// pages the abandoned revision faulted in would otherwise stay "resident"
+// and could alias a different page later flushed at the same index by the
+// next revision — a pure accounting hazard (the pool holds identity, not
+// data), but one that would silently skew measured IO.
+func (s *Store) EvictFilePages(id int) { s.pool.evictFile(id) }
 
 // Append adds a row to the file's write buffer, flushing full pages to
 // "disk" (charging one write per flushed page). The row is not copied;

@@ -22,6 +22,15 @@ const (
 	KindAnalyze
 	KindCreateMatView
 	KindDropMatView
+	// Transaction frames. A multi-record commit group is bracketed by
+	// TxnBegin and TxnCommit; recovery applies a group only when its commit
+	// frame is durable, discards a group whose tail is torn, and skips a
+	// group closed by TxnAbort. Bare records (no enclosing frame) commit
+	// individually, exactly as in the pre-transaction log format — so old
+	// logs replay unchanged.
+	KindTxnBegin
+	KindTxnCommit
+	KindTxnAbort
 )
 
 // String names the kind for diagnostics.
@@ -43,6 +52,12 @@ func (k Kind) String() string {
 		return "create-matview"
 	case KindDropMatView:
 		return "drop-matview"
+	case KindTxnBegin:
+		return "txn-begin"
+	case KindTxnCommit:
+		return "txn-commit"
+	case KindTxnAbort:
+		return "txn-abort"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -130,6 +145,27 @@ type Analyze struct {
 	Table string
 }
 
+// TxnBegin opens a commit group: the records that follow, up to the
+// matching TxnCommit, apply atomically or not at all. The ID pairs frames
+// within one log positionally (the engine is single-writer, so groups never
+// interleave); it is unique per process lifetime, not across reopens.
+type TxnBegin struct {
+	ID int64
+}
+
+// TxnCommit closes a commit group; its durability is the commit point.
+type TxnCommit struct {
+	ID int64
+}
+
+// TxnAbort closes a commit group whose records must be discarded. The
+// current engine never writes one — a rolled-back transaction logs nothing
+// at all (records are buffered in memory until commit) — but recovery
+// honors the frame so a future streaming-write protocol can use it.
+type TxnAbort struct {
+	ID int64
+}
+
 // Kind implementations.
 func (CreateTable) Kind() Kind   { return KindCreateTable }
 func (CreateView) Kind() Kind    { return KindCreateView }
@@ -139,6 +175,9 @@ func (Insert) Kind() Kind        { return KindInsert }
 func (Analyze) Kind() Kind       { return KindAnalyze }
 func (CreateMatView) Kind() Kind { return KindCreateMatView }
 func (DropMatView) Kind() Kind   { return KindDropMatView }
+func (TxnBegin) Kind() Kind      { return KindTxnBegin }
+func (TxnCommit) Kind() Kind     { return KindTxnCommit }
+func (TxnAbort) Kind() Kind      { return KindTxnAbort }
 
 // Entry is one decoded log record: its sequence number, the catalog version
 // the mutation produced (persisted so a recovered engine's version — and
@@ -378,6 +417,25 @@ func decodeDropMatView(b []byte) (Record, error) {
 
 func (r Analyze) encode(dst []byte) []byte { return putString(dst, r.Table) }
 
+func (r TxnBegin) encode(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(r.ID))
+}
+
+func (r TxnCommit) encode(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(r.ID))
+}
+
+func (r TxnAbort) encode(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(r.ID))
+}
+
+func decodeTxnID(b []byte, kind Kind) (int64, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("wal: %s id: %d bytes", kind, len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
 func decodeAnalyze(b []byte) (Record, error) {
 	name, _, err := getString(b)
 	if err != nil {
@@ -423,6 +481,18 @@ func decodeRecord(b []byte) (int64, Record, error) {
 		rec, err = decodeCreateMatView(body)
 	case KindDropMatView:
 		rec, err = decodeDropMatView(body)
+	case KindTxnBegin:
+		var id int64
+		id, err = decodeTxnID(body, kind)
+		rec = TxnBegin{ID: id}
+	case KindTxnCommit:
+		var id int64
+		id, err = decodeTxnID(body, kind)
+		rec = TxnCommit{ID: id}
+	case KindTxnAbort:
+		var id int64
+		id, err = decodeTxnID(body, kind)
+		rec = TxnAbort{ID: id}
 	default:
 		err = fmt.Errorf("wal: unknown record kind %d", uint8(kind))
 	}

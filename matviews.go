@@ -16,11 +16,9 @@ import (
 	"aggview/internal/types"
 )
 
-// MatViews lists the materialized views.
+// MatViews lists the materialized views in the current published snapshot.
 func (e *Engine) MatViews() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.cat.MatViewNames()
+	return e.cat.Snapshot().MatViewNames()
 }
 
 // viewPlans builds the materialized-view-backed plan candidates for a bound
@@ -28,23 +26,24 @@ func (e *Engine) MatViews() []string {
 // matview.Def.Rewrite for the legality rules) contributes complete
 // alternative plans reading its backing table. The optimizer costs them
 // against the best base-table plan; a candidate wins only when strictly
-// cheaper. The caller must hold at least the engine read lock.
-func (e *Engine) viewPlans(q *qblock.Query) []core.ViewPlan {
-	names := e.cat.MatViewNames()
+// cheaper. cat is the catalog state the query was bound against — a pinned
+// snapshot on the read path, the working state inside a write batch.
+func (e *Engine) viewPlans(cat catalog.Reader, q *qblock.Query) []core.ViewPlan {
+	names := cat.MatViewNames()
 	if len(names) == 0 {
 		return nil
 	}
 	var out []core.ViewPlan
 	for _, name := range names {
-		mv, ok := e.cat.MatView(name)
+		mv, ok := cat.MatView(name)
 		if !ok {
 			continue
 		}
-		backing, ok := e.cat.Table(mv.Backing)
+		backing, ok := cat.Table(mv.Backing)
 		if !ok {
 			continue
 		}
-		def, err := matview.BindCatalog(e.cat, mv)
+		def, err := matview.BindCatalog(cat, mv)
 		if err != nil {
 			// A definition that no longer binds (should be impossible while
 			// DropTable guards base tables) simply stops contributing
@@ -344,12 +343,13 @@ func valuesApproxEqual(a, b []types.Value) bool {
 	return true
 }
 
-// runLocked optimizes and executes an internal query while the caller holds
-// the engine write lock. It bypasses the public query path (which takes the
-// read lock and would deadlock) and the plan cache, running on a private
-// storage session with no governor: view materialization is part of a DDL
-// or INSERT statement and is not separately budgeted. Rows are copied out
-// of the executor's reused buffers.
+// runLocked optimizes and executes an internal query while the caller is
+// the admitted writer, reading its uncommitted working state. It bypasses
+// the public query path (which pins the published snapshot and would not
+// see the statement being applied) and the plan cache, running on a
+// private storage session with no governor: view materialization is part
+// of a DDL or INSERT statement and is not separately budgeted. Rows are
+// copied out of the executor's reused buffers.
 func (e *Engine) runLocked(q *qblock.Query) ([]types.Row, error) {
 	plan, err := core.Optimize(q, e.options())
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"aggview/internal/binder"
+	"aggview/internal/catalog"
 	"aggview/internal/core"
 	"aggview/internal/govern"
 	"aggview/internal/lplan"
@@ -69,15 +70,16 @@ func (cp *compiledPlan) runInfo(status string) *PlanInfo {
 }
 
 // compileSelect binds and optimizes a SELECT into an immutable compiled
-// plan. The caller must hold the engine read lock, so the catalog version
-// stamped here is consistent with the schema and statistics the optimizer
-// saw (DDL takes the write lock and cannot interleave).
-func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, error) {
-	bound, err := binder.BindSelect(e.cat, sel)
+// plan against cat — an immutable pinned snapshot (or the writer's working
+// state inside a transaction), so the catalog version stamped here is
+// consistent with the schema and statistics the optimizer saw no matter
+// what commits concurrently.
+func (e *Engine) compileSelect(cat catalog.Reader, sel *sql.Select, text string, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, error) {
+	bound, err := binder.BindSelect(cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	plan, usedMode, err := e.optimizeLadder(bound.Query, mode, noViewRewrite, gov, trace)
+	plan, usedMode, err := e.optimizeLadder(cat, bound.Query, mode, noViewRewrite, gov, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +94,7 @@ func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode,
 		limit:      bound.Limit,
 		numParams:  bound.NumParams,
 		paramTypes: bound.ParamTypes,
-		version:    e.cat.Version(),
+		version:    cat.Version(),
 		info: PlanInfo{
 			Mode:          usedMode,
 			RequestedMode: mode,
@@ -114,27 +116,29 @@ func (e *Engine) compileSelect(sel *sql.Select, text string, mode OptimizerMode,
 // into float slots (matching the engine's literal rules); any other
 // mismatch is an error. The returned slice is the input, copied only when
 // a coercion rewrites a value.
-// resolveAdhoc returns the compiled plan for an ad-hoc SELECT. Ad-hoc
-// statements share the prepared-statement plan cache: the key is the
-// normalized statement text plus the resolved optimizer mode, so a
-// repeated dashboard query pays bind+optimize once and every later run is
-// a cache hit (until DDL bumps the catalog version). Traced runs bypass
-// the cache — a search trace requires a real search — and, like prepared
-// statements, degraded plans are never cached. The caller must hold the
-// engine read lock.
-func (e *Engine) resolveAdhoc(sel *sql.Select, src string, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
-	if e.cache == nil || trace != nil {
-		cp, err := e.compileSelect(sel, src, mode, noViewRewrite, gov, trace)
+// resolveAdhoc returns the compiled plan for an ad-hoc SELECT bound
+// against cat. Ad-hoc statements share the prepared-statement plan cache:
+// the key is the normalized statement text plus the resolved optimizer
+// mode, so a repeated dashboard query pays bind+optimize once and every
+// later run is a cache hit (until a commit bumps the catalog version).
+// Traced runs bypass the cache — a search trace requires a real search —
+// and, like prepared statements, degraded plans are never cached. When
+// cacheable is false (a transaction querying its own uncommitted working
+// state) the cache is neither consulted nor populated: a plan compiled
+// against unpublished state must never serve a later reader.
+func (e *Engine) resolveAdhoc(cat catalog.Reader, sel *sql.Select, src string, mode OptimizerMode, noViewRewrite bool, cacheable bool, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
+	if e.cache == nil || trace != nil || !cacheable {
+		cp, err := e.compileSelect(cat, sel, src, mode, noViewRewrite, gov, trace)
 		return cp, cacheBypass, err
 	}
 	// Normalize before compiling: the binder's flattening pass may rewrite
 	// the parsed tree in place.
 	key := planKey{text: sql.FormatSelect(sel), mode: mode, noViewRewrite: noViewRewrite}
-	cp, status := e.cache.get(key, e.cat.Version())
+	cp, status := e.cache.get(key, cat.Version())
 	if cp != nil {
 		return cp, status, nil
 	}
-	cp, err := e.compileSelect(sel, src, mode, noViewRewrite, gov, trace)
+	cp, err := e.compileSelect(cat, sel, src, mode, noViewRewrite, gov, trace)
 	if err != nil {
 		return nil, status, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"aggview/internal/catalog"
 	"aggview/internal/core"
 	"aggview/internal/govern"
 	"aggview/internal/sql"
@@ -63,12 +64,11 @@ func (e *Engine) PrepareMode(src string, mode OptimizerMode) (st *Stmt, err erro
 		n:    sql.CountParams(sel),
 	}
 	// Compile eagerly: bind and optimize errors belong to Prepare, and the
-	// first execution should already find the plan cached.
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	// first execution should already find the plan cached. The compilation
+	// pins the published snapshot current now, like any read.
 	gov, cancel := e.newGovernor(context.Background(), nil)
 	defer cancel()
-	if _, _, err := s.resolve(gov, nil); err != nil {
+	if _, _, err := s.resolve(e.cat.Snapshot(), gov, nil); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -77,14 +77,14 @@ func (e *Engine) PrepareMode(src string, mode OptimizerMode) (st *Stmt, err erro
 // resolve returns the statement's compiled plan, consulting the engine
 // plan cache first and recompiling from source on a miss or when the
 // cached plan's catalog version is stale. The returned status is the
-// plan's provenance for this run (hit/miss/invalidated/bypass). The
-// caller must hold the engine read lock, so the version check, the
-// recompile and the upcoming execution all see one consistent catalog.
-func (s *Stmt) resolve(gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
+// plan's provenance for this run (hit/miss/invalidated/bypass). cat is
+// the run's pinned snapshot: the version check, the recompile and the
+// upcoming execution all see that one immutable catalog state.
+func (s *Stmt) resolve(cat catalog.Reader, gov *govern.Governor, trace *core.SearchTrace) (*compiledPlan, string, error) {
 	e := s.e
 	status := cacheBypass
 	if e.cache != nil {
-		cp, st := e.cache.get(s.key, e.cat.Version())
+		cp, st := e.cache.get(s.key, cat.Version())
 		if cp != nil {
 			return cp, st, nil
 		}
@@ -99,7 +99,7 @@ func (s *Stmt) resolve(gov *govern.Governor, trace *core.SearchTrace) (*compiled
 		return nil, status, err
 	}
 	sel := stmt.(*sql.Select) // checked at Prepare
-	cp, err := e.compileSelect(sel, s.key.text, s.mode, false, gov, trace)
+	cp, err := e.compileSelect(cat, sel, s.key.text, s.mode, false, gov, trace)
 	if err != nil {
 		return nil, status, err
 	}

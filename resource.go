@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"aggview/internal/catalog"
 	"aggview/internal/core"
 	"aggview/internal/govern"
 	"aggview/internal/obs"
@@ -150,14 +151,15 @@ func ladderModes(m OptimizerMode) []OptimizerMode {
 // fresh plan budget; the final rung runs with the budget disabled (but
 // still polls cancellation), so a finite ladder always produces a plan.
 // The returned mode is the rung that succeeded; the plan's SearchStats
-// records how many rungs were skipped.
-func (e *Engine) optimizeLadder(q *qblock.Query, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*core.Plan, OptimizerMode, error) {
+// records how many rungs were skipped. cat is the catalog state the query
+// was bound against (the run's pinned snapshot).
+func (e *Engine) optimizeLadder(cat catalog.Reader, q *qblock.Query, mode OptimizerMode, noViewRewrite bool, gov *govern.Governor, trace *core.SearchTrace) (*core.Plan, OptimizerMode, error) {
 	modes := ladderModes(mode)
 	// Materialized-view candidates are mode-independent (they bypass the
 	// join search entirely), so one rewrite pass serves every rung.
 	var viewPlans []core.ViewPlan
 	if !noViewRewrite {
-		viewPlans = e.viewPlans(q)
+		viewPlans = e.viewPlans(cat, q)
 	}
 	degradations := 0
 	for i, m := range modes {

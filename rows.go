@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aggview/internal/catalog"
 	"aggview/internal/core"
 	"aggview/internal/exec"
 	"aggview/internal/obs"
@@ -64,7 +65,6 @@ type queryRun struct {
 	sess    *storage.Session
 	start   time.Time
 	cancel  context.CancelFunc
-	unlock  func() // releases the engine's read lock; set once at open
 	rowsOut int64
 	io      IOStats
 
@@ -85,9 +85,9 @@ type queryRun struct {
 }
 
 // finish tears the run down exactly once: closes the storage session,
-// releases the governor and the engine read lock, fixes the IO totals, and
-// publishes the per-query rollup to the engine's metrics registry (and
-// sink). Safe to call repeatedly and from racing goroutines.
+// releases the governor, fixes the IO totals, and publishes the per-query
+// rollup to the engine's metrics registry (and sink). Safe to call
+// repeatedly and from racing goroutines.
 func (qr *queryRun) finish(execErr error) {
 	qr.once.Do(func() {
 		if qr.sess != nil {
@@ -125,9 +125,6 @@ func (qr *queryRun) finish(execErr error) {
 			qm.PlanCache = qr.planInfo.CacheStatus
 		}
 		qr.engine.reg.Observe(qm)
-		if qr.unlock != nil {
-			qr.unlock()
-		}
 	})
 }
 
@@ -175,24 +172,37 @@ type rowsOptions struct {
 	params []types.Value
 	// limits are this run's resource-limit overrides (nil = engine config).
 	limits *Limits
+	// snap overrides the catalog state the run binds and executes against.
+	// Nil (the normal case) pins the published snapshot current at open;
+	// a transaction sets it to its own working snapshot so its reads see
+	// its own uncommitted writes. Runs with an explicit snap never touch
+	// the plan cache.
+	snap *catalog.Snapshot
 }
 
-// openRows opens a SELECT as a streaming cursor. The compile phase —
-// parse, bind, optimize — runs through compileSelect for ad-hoc statements
-// (every call pays it) or through the prepared statement's cached plan;
-// the run phase builds per-run state only: governor, collector, storage
-// session, and the iterator tree with this run's parameter values bound.
-// The engine's read lock is held for the whole run (released by
-// queryRun.finish) and each run gets its own storage session, so
-// concurrent queries account and govern their IO independently. Every
-// error path after the governor exists still publishes query metrics.
+// openRows opens a SELECT as a streaming cursor. The run first pins its
+// catalog snapshot — the published snapshot current at open, or the
+// transaction's working state when opt.snap is set — and binds, optimizes
+// and executes entirely against it: concurrent commits publish new
+// snapshots without ever disturbing this run, and this run never blocks a
+// writer. The compile phase — parse, bind, optimize — runs through
+// compileSelect for ad-hoc statements (consulting the plan cache) or
+// through the prepared statement's cached plan; the run phase builds
+// per-run state only: governor, collector, storage session, and the
+// iterator tree with this run's parameter values bound. Each run gets its
+// own storage session, so concurrent queries account and govern their IO
+// independently. Every error path after the governor exists still
+// publishes query metrics.
 func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt rowsOptions) (rows *Rows, err error) {
-	e.mu.RLock()
 	// A dead durable engine's memory may be ahead of its log; serving reads
 	// from it would expose unacknowledged state.
 	if err := e.walAlive(); err != nil {
-		e.mu.RUnlock()
 		return nil, err
+	}
+	snap := opt.snap
+	cacheable := snap == nil
+	if snap == nil {
+		snap = e.cat.Snapshot()
 	}
 	gov, cancel := e.newGovernor(ctx, opt.limits)
 	col := obs.NewCollector()
@@ -202,12 +212,11 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 		col:    col,
 		start:  time.Now(),
 		cancel: cancel,
-		unlock: e.mu.RUnlock,
 	}
 	// Panics below are recovered at the engine boundary; without this the
-	// read lock and session would leak and wedge the engine. finish is
-	// sync.Once-idempotent, so paths that already finished are unaffected,
-	// and the success path hands teardown ownership to the Rows.
+	// session would leak. finish is sync.Once-idempotent, so paths that
+	// already finished are unaffected, and the success path hands teardown
+	// ownership to the Rows.
 	defer func() {
 		if p := recover(); p != nil {
 			qr.finish(fmt.Errorf("%w: %v", ErrInternal, p))
@@ -227,13 +236,13 @@ func (e *Engine) openRows(ctx context.Context, sel *sql.Select, src string, opt 
 	status := cacheBypass
 	endOpt := col.Time("optimize")
 	if opt.stmt != nil {
-		cp, status, err = opt.stmt.resolve(gov, trace)
+		cp, status, err = opt.stmt.resolve(snap, gov, trace)
 	} else {
 		mode := e.cfg.Mode
 		if opt.mode != ModeDefault {
 			mode = opt.mode
 		}
-		cp, status, err = e.resolveAdhoc(sel, src, mode, opt.noViewRewrite, gov, trace)
+		cp, status, err = e.resolveAdhoc(snap, sel, src, mode, opt.noViewRewrite, cacheable, gov, trace)
 	}
 	endOpt()
 	if err != nil {

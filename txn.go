@@ -1,0 +1,138 @@
+package aggview
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"aggview/internal/sql"
+	txnpkg "aggview/internal/txn"
+)
+
+// ErrTxnDone is returned by every Txn method after Commit or Rollback has
+// completed the transaction.
+var ErrTxnDone = errors.New("aggview: transaction already committed or rolled back")
+
+// Txn is an explicit multi-statement transaction. It is the engine's
+// single writer for its whole lifetime: Begin acquires the writer gate,
+// every Exec applies to a private copy-on-write catalog snapshot (visible
+// to this transaction's own queries, invisible to everyone else), and
+// Commit makes the whole batch durable — one framed, fsynced log group —
+// before publishing it to readers atomically. Rollback discards the
+// private snapshot; nothing was logged, so there is nothing to undo.
+//
+// Queries on the engine proceed freely while a Txn is open: they pin the
+// last published snapshot and never observe uncommitted state. Queries on
+// the Txn itself read the transaction's working state, so a transaction
+// sees its own writes.
+//
+// A Txn is owned by one goroutine: its methods must not be called
+// concurrently. Holding a Txn open blocks every other writer (including
+// auto-commit statements) until Commit or Rollback, so keep transactions
+// short.
+type Txn struct {
+	e    *Engine
+	rec  *txnpkg.Recorder
+	done bool
+}
+
+// Begin starts an explicit transaction, blocking until the calling
+// goroutine is admitted as the engine's single writer (ctx cancels the
+// wait). The transaction must end with exactly one Commit or Rollback.
+func (e *Engine) Begin(ctx context.Context) (*Txn, error) {
+	rec, err := e.beginWrite(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{e: e, rec: rec}, nil
+}
+
+// Exec parses and executes one statement inside the transaction. Writes
+// (DDL, INSERT, ANALYZE) apply to the transaction's private state; SELECT
+// and EXPLAIN read that same state, so the transaction observes its own
+// uncommitted writes. A failed statement leaves the transaction open with
+// its previous statements intact — the caller decides whether to retry,
+// continue, or roll back. (Statement-level atomicity inside a transaction
+// is not rolled back automatically: a multi-action statement that fails
+// midway leaves its partial effects in the working state; Rollback
+// discards them along with everything else.)
+func (t *Txn) Exec(src string) (res *Result, err error) {
+	defer recoverToError(&err, src)
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sql.Select:
+		return t.query(context.Background(), src, nil)
+	case *sql.Explain:
+		return nil, fmt.Errorf("aggview: EXPLAIN is not supported inside a transaction")
+	default:
+		return t.e.execWriteLocked(stmt)
+	}
+}
+
+// Query executes a SELECT against the transaction's working state —
+// including its own uncommitted writes — and materializes the result.
+// Plans compiled here never enter the engine's plan cache.
+func (t *Txn) Query(ctx context.Context, src string, opts ...QueryOption) (res *Result, err error) {
+	defer recoverToError(&err, src)
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	return t.query(ctx, src, opts)
+}
+
+// query opens the run against the working snapshot and materializes it
+// before returning: the working state is only guaranteed stable until the
+// next Exec, so no streaming cursor may outlive a statement boundary.
+func (t *Txn) query(ctx context.Context, src string, opts []QueryOption) (*Result, error) {
+	opt, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("aggview: Query requires a SELECT statement")
+	}
+	opt.snap = t.e.cat.WorkingSnapshot()
+	rows, err := t.e.openRows(ctx, sel, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// Commit makes the transaction durable and visible: the buffered log
+// records are appended as one TxnBegin/TxnCommit-framed group and fsynced,
+// then the working snapshot publishes — readers switch from the old state
+// to the new in one atomic step, never observing an intermediate point. On
+// error (a durability failure) nothing was published and the engine is
+// dead; recovery discards the torn group, restoring the pre-transaction
+// state.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	return t.e.endWrite(t.rec, nil)
+}
+
+// Rollback abandons the transaction: the private working state is
+// discarded and the published state is untouched. Nothing was written to
+// the log, so rollback is free and always succeeds.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.e.abortWrite(t.rec)
+	return nil
+}
